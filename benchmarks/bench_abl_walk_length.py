@@ -1,0 +1,69 @@
+"""Ablation: walk length l (the paper fixes l = 64).
+
+Trade-off: feed bits and GPU steps scale linearly with l, while quality
+saturates once the walk mixes.  Reports local throughput and a fast
+quality probe (serial pairs + autocorrelation + hamming independence)
+per walk length.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import record
+
+from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.quality.crush import (
+    autocorrelation_test,
+    hamming_indep_test,
+    serial_pairs_test,
+)
+from repro.utils.tables import format_table
+
+WALK_LENGTHS = [8, 16, 32, 64, 128]
+N = 200_000
+
+
+def _probe(gen) -> tuple:
+    tests = [
+        serial_pairs_test(gen, n_pairs=200_000),
+        autocorrelation_test(gen, n_bits=1_000_000),
+        hamming_indep_test(gen, n_words=200_000),
+    ]
+    return sum(t.passed for t in tests), min(t.p_value for t in tests)
+
+
+def test_ablation_walk_length(benchmark):
+    def sweep():
+        rows = []
+        for l in WALK_LENGTHS:
+            gen = HybridPRNG(seed=1, num_threads=1 << 14, walk_length=l)
+            gen.u64_array(1 << 14)  # warm-up
+            t0 = time.perf_counter()
+            gen.u64_array(N)
+            dt = time.perf_counter() - t0
+            passed, min_p = _probe(gen)
+            rows.append(
+                [
+                    l,
+                    f"{N / dt / 1e3:.0f}",
+                    3 * l,
+                    f"{passed}/3",
+                    f"{min_p:.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["walk length l", "Knumbers/s (local)", "bits/number", "probe passed",
+         "min p"],
+        rows,
+        title="Ablation -- walk length vs throughput and quality",
+    )
+    record("Ablation: walk length", table)
+
+    by_l = {r[0]: r for r in rows}
+    # Throughput must decrease with l; quality probe passes from l=16 on.
+    assert float(by_l[8][1]) > float(by_l[128][1])
+    assert by_l[64][3] == "3/3"

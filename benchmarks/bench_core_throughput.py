@@ -1,0 +1,74 @@
+"""Local microbenchmarks of the hot kernels (pytest-benchmark, multi-round).
+
+Not a paper figure -- these measure this repository's own NumPy kernels
+so regressions in the vectorized inner loops are visible: walk stepping,
+feed-chunk extraction, and each baseline generator's bulk path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MT19937, Md5Rand, Mwc, Xorwow
+from repro.bitsource import GlibcRandom, SplitMix64Source
+from repro.core.expander import GabberGalilExpander
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.walk import WalkEngine
+
+LANES = 1 << 15
+N = 1 << 17
+
+
+@pytest.fixture(scope="module")
+def engine_state():
+    eng = WalkEngine(GabberGalilExpander())
+    state = eng.make_state(SplitMix64Source(1).words64(LANES))
+    return eng, state
+
+
+def test_walk_step_kernel(benchmark, engine_state):
+    """One vectorized walk step across 32k lanes."""
+    eng, state = engine_state
+    src = SplitMix64Source(2)
+    benchmark(lambda: eng.step(state, src))
+
+
+def test_walk_64_steps(benchmark, engine_state):
+    """A full GetNextRand round (64 steps, bulk chunk draw)."""
+    eng, state = engine_state
+    src = SplitMix64Source(3)
+    benchmark(lambda: eng.walk(state, src, 64))
+
+
+def test_chunks3_extraction(benchmark):
+    src = SplitMix64Source(4)
+    benchmark(lambda: src.chunks3(LANES * 64))
+
+
+def test_hybrid_bulk_generation(benchmark):
+    prng = ParallelExpanderPRNG(num_threads=LANES,
+                                bit_source=SplitMix64Source(5))
+    result = benchmark(lambda: prng.generate(LANES))
+    assert result.size == LANES
+
+
+def test_glibc_bulk(benchmark):
+    gen = GlibcRandom(1)
+    benchmark(lambda: gen.rand_array(N))
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: MT19937(1),
+        lambda: Xorwow(seed=1, lanes=256),
+        lambda: Mwc(seed=1, lanes=256),
+        lambda: Md5Rand(seed=1),
+    ],
+    ids=["mt19937", "xorwow", "mwc", "md5"],
+)
+def test_baseline_bulk(benchmark, make):
+    gen = make()
+    out = benchmark(lambda: gen.u32_array(N))
+    assert out.size == N

@@ -1,0 +1,48 @@
+"""Figure 3: time to generate N numbers, N = 5M .. 1000M.
+
+Hybrid vs GPU Mersenne Twister vs CURAND on the simulated platform.
+The paper's claim: the hybrid generator "outperforms both ... by a
+factor of 2 in most cases".
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.gpusim.pipeline import PipelineConfig
+from repro.hybrid.throughput import curand_time_ns, hybrid_time_ns, mt_time_ns
+from repro.utils.tables import format_series
+
+SIZES_M = [5, 10, 50, 100, 200, 500, 1000]
+
+
+def _series():
+    hybrid, mt, curand = [], [], []
+    for m in SIZES_M:
+        n = int(m * 1e6)
+        hybrid.append(
+            hybrid_time_ns(PipelineConfig(total_numbers=n, batch_size=100)) / 1e6
+        )
+        mt.append(mt_time_ns(n) / 1e6)
+        curand.append(curand_time_ns(n) / 1e6)
+    return hybrid, mt, curand
+
+
+def test_fig3_generation_time(benchmark):
+    hybrid, mt, curand = benchmark.pedantic(_series, rounds=1, iterations=1)
+    speedups = [m / h for m, h in zip(mt, hybrid)]
+    table = format_series(
+        "Size (M)",
+        SIZES_M,
+        {
+            "Hybrid Time (ms)": [round(v, 1) for v in hybrid],
+            "Mersenne Twister (ms)": [round(v, 1) for v in mt],
+            "CURAND (ms)": [round(v, 1) for v in curand],
+            "MT/Hybrid": [round(s, 2) for s in speedups],
+        },
+        title="Figure 3 -- generation time vs stream size",
+    )
+    record("Figure 3", table)
+    # Shape assertions: hybrid fastest everywhere, ~2x at large N.
+    assert all(h < m and h < c for h, m, c in zip(hybrid, mt, curand))
+    assert 1.7 < speedups[-1] < 2.3

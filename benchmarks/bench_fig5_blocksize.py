@@ -1,0 +1,40 @@
+"""Figure 5: runtime versus batch size ("block size") S.
+
+The paper finds a U-shaped curve with the minimum near S = 100 numbers
+per thread: below it the per-thread initialization overhead dominates;
+above it the GPU runs out of resident threads and waits for bits.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.gpusim.pipeline import PipelineConfig
+from repro.hybrid.throughput import hybrid_time_ns, optimal_batch_size
+from repro.utils.tables import format_series
+
+BLOCK_SIZES = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000]
+N = 10_000_000
+
+
+def test_fig5_blocksize(benchmark):
+    def sweep():
+        return [
+            hybrid_time_ns(PipelineConfig(total_numbers=N, batch_size=s)) / 1e6
+            for s in BLOCK_SIZES
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best = optimal_batch_size(N, candidates=BLOCK_SIZES)
+    table = format_series(
+        "Block size S",
+        BLOCK_SIZES,
+        {"Hybrid Time (ms)": [round(t, 1) for t in times]},
+        title=f"Figure 5 -- runtime vs block size (N = 10M); optimum S = {best}",
+    )
+    record("Figure 5", table)
+
+    assert best == 100  # the paper's empirical optimum
+    i100 = BLOCK_SIZES.index(100)
+    assert times[0] > times[i100]          # left arm of the U
+    assert times[-1] > times[i100]         # right arm of the U

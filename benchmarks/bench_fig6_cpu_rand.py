@@ -1,0 +1,82 @@
+"""Figure 6: the generator on a multicore CPU versus serial glibc rand().
+
+Two views:
+
+* the calibrated platform model (6-core i7 980 running the OpenMP
+  variant vs a serial ``rand()`` loop) -- the paper's figure;
+* a real local measurement of this repository's vectorized CPU
+  implementation against the vectorized glibc reimplementation, as an
+  environment-specific sanity check (absolute numbers differ, the
+  hybrid-scales-better shape is the claim).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import record
+
+from repro.bitsource import SplitMix64Source
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.bitsource.glibc import GlibcRandom
+from repro.hybrid.throughput import cpu_hybrid_time_ns, glibc_rand_time_ns
+from repro.utils.tables import format_series
+
+SIZES_M = [5, 10, 50, 100, 500, 1000]
+
+
+def test_fig6_model(benchmark):
+    def sweep():
+        hybrid = [cpu_hybrid_time_ns(int(m * 1e6)) / 1e6 for m in SIZES_M]
+        rand = [glibc_rand_time_ns(int(m * 1e6)) / 1e6 for m in SIZES_M]
+        return hybrid, rand
+
+    hybrid, rand = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Size (M)",
+        SIZES_M,
+        {
+            "Hybrid Time (ms)": [round(v, 1) for v in hybrid],
+            "CPU Rand Time (ms)": [round(v, 1) for v in rand],
+        },
+        title="Figure 6 -- CPU-only generator vs glibc rand() (platform model)",
+    )
+    record("Figure 6 (model)", table)
+    assert all(h < r for h, r in zip(hybrid, rand))
+
+
+def test_fig6_local_measurement(benchmark):
+    n = 1_000_000
+    prng = ParallelExpanderPRNG(
+        num_threads=1 << 16, bit_source=SplitMix64Source(3)
+    )
+    glibc = GlibcRandom(1)
+    prng.generate(1 << 16)  # warm-up
+    glibc.rand_array(1000)
+
+    def measure():
+        t0 = time.perf_counter()
+        prng.generate(n)
+        t_hybrid = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        glibc.rand_array(n)
+        t_glibc = time.perf_counter() - t0
+        return t_hybrid, t_glibc
+
+    t_hybrid, t_glibc = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(
+        "Figure 6 (local)",
+        "\n".join(
+            [
+                "Local wall-clock, 1M numbers (this Python implementation):",
+                f"  expander-walk CPU generator : {t_hybrid * 1e3:8.1f} ms"
+                "  (64 walk steps per number)",
+                f"  glibc rand() (vectorized)   : {t_glibc * 1e3:8.1f} ms"
+                "  (1 additive-feedback step per number)",
+                "NOTE: in pure Python the 64x work ratio dominates; the paper's",
+                "crossover relies on multicore OpenMP scaling, reproduced by the",
+                "platform model above.",
+            ]
+        ),
+    )
+    assert t_hybrid > 0 and t_glibc > 0

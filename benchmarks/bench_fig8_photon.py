@@ -1,0 +1,73 @@
+"""Figure 8: Monte Carlo photon migration timings, 1M .. 256M photons.
+
+Platform model: the original CUDAMCML-style MWC implementation vs the
+hybrid-PRNG version (paper: ~20% overall speedup from removing staged
+randomness traffic and weight clashes).  Plus a real functional run of
+the vectorized simulator under both RNGs, verifying that the physics
+(energy balance, output fractions) is RNG-independent.
+"""
+
+from __future__ import annotations
+
+from common import quality_hybrid
+from conftest import record
+
+from repro.apps.photon import (
+    MCPhotonMigration,
+    figure8_series,
+    photon_times_ms,
+    three_layer_skin,
+)
+from repro.baselines import Mwc
+from repro.utils.tables import format_series
+
+PHOTONS_M = [1, 4, 16, 64, 128, 256]
+
+
+def test_fig8_model(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure8_series(PHOTONS_M), rounds=1, iterations=1
+    )
+    speedup = photon_times_ms(int(256e6))["speedup"]
+    table = format_series(
+        "Photons (M)",
+        PHOTONS_M,
+        {
+            "Original (ms)": [round(v, 1) for v in series["Original (MWC)"]],
+            "HybridResult (ms)": [round(v, 1) for v in series["Hybrid PRNG"]],
+        },
+        title=f"Figure 8 -- photon migration time (speedup {speedup:.2f}x)",
+    )
+    record("Figure 8", table)
+    assert 1.1 < speedup < 1.35  # the paper's ~20%
+
+
+def test_fig8_functional(benchmark):
+    model = three_layer_skin()
+    n = 40_000
+
+    def run_both():
+        mwc = MCPhotonMigration(model, Mwc(seed=3, lanes=64), batch_size=n)
+        res_mwc = mwc.run(n)
+        hyb = MCPhotonMigration(model, quality_hybrid(seed=3), batch_size=n)
+        res_hyb = hyb.run(n)
+        return res_mwc, res_hyb
+
+    res_mwc, res_hyb = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    f_mwc = res_mwc.fractions()
+    f_hyb = res_hyb.fractions()
+
+    lines = [f"{'sink':22s} {'MWC':>10s} {'Hybrid':>10s}"]
+    for key in ("specular", "diffuse_reflectance", "absorbed", "transmittance"):
+        lines.append(f"{key:22s} {f_mwc[key]:10.4f} {f_hyb[key]:10.4f}")
+    lines.append(
+        f"energy balance error   {res_mwc.tally.energy_balance_error():10.2e}"
+        f" {res_hyb.tally.energy_balance_error():10.2e}"
+    )
+    record("Figure 8 (functional)", "\n".join(lines))
+
+    # Physics must agree between RNGs (they only change sampling noise).
+    for key in ("diffuse_reflectance", "absorbed", "transmittance"):
+        assert abs(f_mwc[key] - f_hyb[key]) < 0.02, key
+    assert res_mwc.tally.energy_balance_error() < 1e-9
+    assert res_hyb.tally.energy_balance_error() < 1e-9

@@ -1,0 +1,57 @@
+"""Extension table: NIST SP800-22 results for the paper's generators.
+
+Not in the paper -- a third quality battery (alongside Table II's
+DIEHARD and Table III's Crush tiers) using NIST's exact statistics.
+Notable because the naive C-idiom adapters (glibc, ANSI) fail nearly
+everything here, while the hybrid generator is indistinguishable from
+Mersenne Twister.
+"""
+
+from __future__ import annotations
+
+from common import quality_hybrid
+from conftest import record
+
+from repro.baselines import make_generator
+from repro.quality.nist import run_nist
+from repro.utils.tables import format_table
+
+ROWS = [
+    "Hybrid PRNG",
+    "CUDPP RAND",
+    "Mersenne Twister",
+    "CURAND",
+    "glibc rand()",
+]
+
+N_BITS = 1_000_000
+
+
+def _generator(name):
+    if name == "Hybrid PRNG":
+        return quality_hybrid(seed=1)
+    return make_generator(name, seed=1)
+
+
+def test_nist_battery(benchmark):
+    def run_all():
+        return {name: run_nist(_generator(name), n_bits=N_BITS)
+                for name in ROWS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in ROWS:
+        res = results[name]
+        fails = ", ".join(r.name for r in res.results if not r.passed) or "-"
+        rows.append([name, res.pass_string, f"{res.ks_d:.3f}", fails])
+    table = format_table(
+        ["Algorithm", "NIST SP800-22 Passed", "KS D", "failed tests"],
+        rows,
+        title=f"Extension -- NIST SP800-22 battery ({N_BITS} bits/stream)",
+    )
+    record("Extension: NIST battery", table)
+
+    assert results["Hybrid PRNG"].num_passed >= 13
+    assert results["Mersenne Twister"].num_passed >= 13
+    assert results["glibc rand()"].num_passed <= 8

@@ -1,0 +1,69 @@
+"""Table II: DIEHARD battery results + KS-test D for the five generators.
+
+Paper's row order and results:
+
+    Hybrid PRNG   15/15  D = 0.04
+    CUDPP RAND    15/15  D = 0.04
+    M. Twister    15/15  D = 0.03
+    CURAND         8/15  D = 0.25
+    glibc rand()   6/15  D = 0.35
+
+Measured pass counts depend on battery scale; the reproduction targets
+the *ordering*: hybrid/CUDPP/MT at the top with small D, glibc at the
+bottom with large D.  (Our from-scratch XORWOW is statistically sound,
+so unlike the paper's CURAND row it passes -- see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from common import quality_hybrid
+from conftest import record
+
+from repro.baselines import make_generator
+from repro.quality.diehard import run_diehard
+from repro.utils.tables import format_table
+
+SCALE = 1.0
+
+ROWS = [
+    "Hybrid PRNG",
+    "CUDPP RAND",
+    "Mersenne Twister",
+    "CURAND",
+    "glibc rand()",
+]
+
+
+def _generator(name):
+    if name == "Hybrid PRNG":
+        return quality_hybrid(seed=1)
+    return make_generator(name, seed=1)
+
+
+def test_table2_diehard(benchmark):
+    def run_all():
+        results = {}
+        for name in ROWS:
+            results[name] = run_diehard(_generator(name), scale=SCALE)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in ROWS:
+        res = results[name]
+        fails = ", ".join(r.name for r in res.results if not r.passed) or "-"
+        rows.append([name, res.pass_string, f"{res.ks_d:.3f}", fails])
+    table = format_table(
+        ["Algorithm", "DIEHARD Tests Passed", "KS-Test D", "failed tests"],
+        rows,
+        title="Table II -- DIEHARD quality results",
+    )
+    record("Table II", table)
+
+    assert results["Hybrid PRNG"].num_passed >= 14
+    assert results["Mersenne Twister"].num_passed >= 14
+    assert results["CUDPP RAND"].num_passed >= 14
+    # glibc tested as C applications use it: clearly worst, as in the paper.
+    assert results["glibc rand()"].num_passed <= 10
+    assert results["glibc rand()"].ks_d > results["Hybrid PRNG"].ks_d

@@ -1,0 +1,65 @@
+"""Table III: TestU01-style SmallCrush / Crush / BigCrush results.
+
+Paper's rows (x/15 passed):
+
+    CURAND        15/15, 14/15, 13/15
+    M. Twister    15/15, 13/15, 13/15
+    Hybrid PRNG   15/15, 14/15, 13/15
+
+The reproduced batteries are scaled re-implementations (see
+DESIGN.md): they preserve the tiered structure and the "all three
+generators are comparable" conclusion; at our sample sizes the
+borderline failures of real Crush/BigCrush do not trigger, so rows read
+15/15 across (recorded as measured in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from common import quality_hybrid
+from conftest import record
+
+from repro.baselines import make_generator
+from repro.quality.crush import run_battery
+from repro.utils.tables import format_table
+
+ROWS = ["CURAND", "Mersenne Twister", "Hybrid PRNG"]
+
+#: Battery -> size scale (BigCrush reduced to bound hybrid runtime).
+BATTERY_SCALES = [("SmallCrush", 1.0), ("Crush", 1.0), ("BigCrush", 0.5)]
+
+
+def _generator(name):
+    if name == "Hybrid PRNG":
+        return quality_hybrid(seed=1)
+    return make_generator(name, seed=1)
+
+
+def test_table3_testu01(benchmark):
+    def run_all():
+        results = {}
+        for name in ROWS:
+            for battery, scale in BATTERY_SCALES:
+                results[(name, battery)] = run_battery(
+                    battery, _generator(name), scale=scale
+                )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in ROWS:
+        for battery, _scale in BATTERY_SCALES:
+            res = results[(name, battery)]
+            fails = ", ".join(r.name for r in res.results if not r.passed) or "-"
+            rows.append([name, battery, res.pass_string, fails])
+    table = format_table(
+        ["PRNG", "Test Suite", "Tests Passed", "failed tests"],
+        rows,
+        title="Table III -- TestU01-style battery results",
+    )
+    record("Table III", table)
+
+    for name in ROWS:
+        assert results[(name, "SmallCrush")].num_passed >= 14, name
+        assert results[(name, "Crush")].num_passed >= 13, name
+        assert results[(name, "BigCrush")].num_passed >= 13, name

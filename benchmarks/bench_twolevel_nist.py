@@ -1,0 +1,57 @@
+"""Extension table: two-level NIST testing (SP800-22 §4 methodology).
+
+Runs the NIST battery over several independently seeded streams per
+generator and evaluates, per test, the proportion of passing streams and
+the uniformity of the p-values -- the hardened verdict a single battery
+run cannot give.
+"""
+
+from __future__ import annotations
+
+from common import quality_hybrid
+from conftest import record
+
+from repro.baselines import make_generator
+from repro.quality.nist import run_nist
+from repro.quality.twolevel import two_level_run
+from repro.utils.tables import format_table
+
+ROWS = ["Hybrid PRNG", "Mersenne Twister", "glibc rand()"]
+STREAMS = 12
+N_BITS = 250_000
+
+
+def _generator(name):
+    if name == "Hybrid PRNG":
+        return quality_hybrid(seed=1)
+    return make_generator(name, seed=1)
+
+
+def test_twolevel_nist(benchmark):
+    def run_all():
+        return {
+            name: two_level_run(
+                _generator(name),
+                lambda g: run_nist(g, n_bits=N_BITS),
+                streams=STREAMS,
+            )
+            for name in ROWS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in ROWS:
+        res = results[name]
+        fails = ", ".join(v.name for v in res.verdicts if not v.passed) or "-"
+        rows.append([name, res.pass_string, fails])
+    table = format_table(
+        ["Algorithm", f"tests passed ({STREAMS} streams)", "failed tests"],
+        rows,
+        title="Extension -- two-level NIST SP800-22",
+    )
+    record("Extension: two-level NIST", table)
+
+    assert results["Hybrid PRNG"].num_passed >= 13
+    assert results["Mersenne Twister"].num_passed >= 13
+    assert results["glibc rand()"].num_passed <= 8

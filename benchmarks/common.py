@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.quality.stats import BatteryResult
+
+#: Walker lanes for quality-grade hybrid runs (bulk-generation friendly).
+QUALITY_THREADS = 1 << 16
+
+
+def quality_hybrid(seed: int = 1) -> HybridPRNG:
+    """The hybrid PRNG configured for high-volume battery runs."""
+    return HybridPRNG(seed=seed, num_threads=QUALITY_THREADS)
+
+
+def battery_row(result: BatteryResult) -> list:
+    """One table row: generator, passed, KS D."""
+    return [result.generator, result.pass_string, f"{result.ks_d:.4f}"]

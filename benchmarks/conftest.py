@@ -1,0 +1,36 @@
+"""Benchmark-harness plumbing.
+
+Reproduced tables/figures are registered with :func:`record` and echoed
+in the terminal summary (so they survive pytest's output capture) as
+well as written to ``benchmarks/results/<name>.txt`` for later diffing
+against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_REPORTS: list = []
+
+
+def record(name: str, text: str) -> None:
+    """Register a reproduced table/figure for the summary and on disk."""
+    _REPORTS.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    safe = (
+        name.lower().replace(" ", "_").replace("/", "-").replace(":", "")
+        .replace("(", "").replace(")", "")
+    )
+    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,44 @@
+"""repro -- reproduction of "An On-Demand Fast Parallel Pseudo Random
+Number Generator with Applications" (Banerjee, Bahl, Kothapalli; IPDPS
+Workshops 2012).
+
+Quick start::
+
+    from repro import ExpanderWalkPRNG, ParallelExpanderPRNG
+
+    prng = ExpanderWalkPRNG(seed=42)
+    value = prng.get_next_rand()        # one 64-bit number, on demand
+
+    bank = ParallelExpanderPRNG(num_threads=4096, seed=42)
+    values = bank.generate(1_000_000)   # bulk generation, one lane/thread
+
+Sub-packages:
+
+* :mod:`repro.core`       -- the expander-walk PRNG itself;
+* :mod:`repro.bitsource`  -- CPU-side bit feeds (glibc rand() et al.);
+* :mod:`repro.baselines`  -- MT19937, XORWOW/CURAND, MWC, MD5/CUDPP, LCGs;
+* :mod:`repro.gpusim`     -- discrete-event model of the CPU+GPU platform;
+* :mod:`repro.hybrid`     -- pipeline scheduling and throughput models;
+* :mod:`repro.quality`    -- DIEHARD and Crush statistical batteries;
+* :mod:`repro.apps`       -- list ranking and photon migration.
+"""
+
+from repro.core import (
+    ExpanderWalkPRNG,
+    GabberGalilExpander,
+    ParallelExpanderPRNG,
+)
+from repro.core.api import rand, randint, random, srand
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExpanderWalkPRNG",
+    "GabberGalilExpander",
+    "ParallelExpanderPRNG",
+    "rand",
+    "randint",
+    "random",
+    "srand",
+    "__version__",
+]

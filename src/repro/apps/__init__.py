@@ -1,0 +1,6 @@
+"""The paper's applications: list ranking, photon migration, and the
+connected-components companion from the same hybrid-algorithms line."""
+
+from repro.apps.connectivity import CCResult, connected_components, random_graph_edges
+
+__all__ = ["CCResult", "connected_components", "random_graph_edges"]

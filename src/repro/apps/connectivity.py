@@ -1,0 +1,122 @@
+"""Graph connected components by random-mate contraction.
+
+The hybrid-algorithms line of work the paper builds on ([3], Banerjee &
+Kothapalli HiPC 2011) covers list ranking *and graph connected
+components*; both consume per-element random coin flips whose count per
+round is unknowable in advance -- the on-demand pattern.  This module
+implements the classic random-mate (Reif) contraction algorithm:
+
+1. every live vertex flips a coin: heads -> "parent", tails -> "child";
+2. every edge from a child to a parent hooks the child's component onto
+   the parent's (grafting stars);
+3. pointer-jump to re-flatten, drop internal edges, repeat.
+
+Expected O(log n) rounds; each round needs exactly one random bit per
+*live* component, supplied by any bit provider (the hybrid PRNG's
+:class:`~repro.apps.listranking.hybrid.OnDemandBits` fits directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.utils.checks import check_positive
+
+__all__ = ["connected_components", "CCResult", "random_graph_edges"]
+
+
+@dataclass
+class CCResult:
+    """Labels plus instrumentation of the contraction."""
+
+    labels: np.ndarray
+    rounds: int
+    bits_requested: List[int] = field(default_factory=list)
+
+    @property
+    def num_components(self) -> int:
+        return int(np.unique(self.labels).size)
+
+    @property
+    def total_bits(self) -> int:
+        return int(sum(self.bits_requested))
+
+
+def _flatten(parent: np.ndarray) -> np.ndarray:
+    """Pointer-jump until every vertex points at its root."""
+    while True:
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            return parent
+        parent = grand
+
+
+def connected_components(
+    n: int,
+    edges: np.ndarray,
+    bit_provider: Callable[[int], np.ndarray],
+    max_rounds: int = 200,
+) -> CCResult:
+    """Label the components of an undirected graph by random mating.
+
+    Parameters
+    ----------
+    n : int
+        Vertex count (vertices are 0..n-1).
+    edges : (m, 2) int array
+        Undirected edges; self-loops and duplicates are tolerated.
+    bit_provider : callable(k) -> uint8 array
+        On-demand coin flips, one per live component per round.
+
+    Returns
+    -------
+    CCResult with ``labels[v]`` = component representative of ``v``.
+    """
+    check_positive("n", n)
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoint out of range")
+
+    parent = np.arange(n, dtype=np.int64)
+    live_edges = edges[edges[:, 0] != edges[:, 1]]
+    result = CCResult(labels=parent, rounds=0)
+
+    while live_edges.size and result.rounds < max_rounds:
+        result.rounds += 1
+        roots = np.unique(parent)
+        # One on-demand coin per live component -- the count shrinks
+        # geometrically and is unknown before the previous round ends.
+        coins = np.zeros(n, dtype=np.uint8)
+        flips = np.asarray(bit_provider(roots.size), dtype=np.uint8)
+        result.bits_requested.append(int(roots.size))
+        coins[roots] = flips
+
+        u = parent[live_edges[:, 0]]
+        v = parent[live_edges[:, 1]]
+        # Hook child (tails) onto parent (heads) along each edge; ties
+        # are broken arbitrarily by the scatter order, which is safe:
+        # every hook links a tails-root under a heads-root, so no cycles.
+        child_u = (coins[u] == 0) & (coins[v] == 1)
+        child_v = (coins[v] == 0) & (coins[u] == 1)
+        parent[u[child_u]] = v[child_u]
+        parent[v[child_v]] = u[child_v]
+
+        parent = _flatten(parent)
+        u = parent[live_edges[:, 0]]
+        v = parent[live_edges[:, 1]]
+        live_edges = live_edges[u != v]
+
+    result.labels = _flatten(parent)
+    return result
+
+
+def random_graph_edges(
+    n: int, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``m`` uniform random undirected edges over ``n`` vertices."""
+    check_positive("n", n)
+    check_positive("m", m)
+    return rng.integers(0, n, size=(m, 2), dtype=np.int64)

@@ -1,0 +1,50 @@
+"""Application I: hybrid list ranking with on-demand randomness (Section V)."""
+
+from repro.apps.listranking.fis import select_fis
+from repro.apps.listranking.helman_jaja import helman_jaja_weighted_ranks
+from repro.apps.listranking.hybrid import (
+    OnDemandBits,
+    PregeneratedBits,
+    RankingResult,
+    rank_list_hybrid,
+)
+from repro.apps.listranking.linkedlist import (
+    NIL,
+    LinkedList,
+    ordered_list,
+    random_list,
+    serial_ranks,
+)
+from repro.apps.listranking.reduce import ReductionTrace, reduce_list
+from repro.apps.listranking.timing_model import (
+    FIS_REMOVAL_FRACTION,
+    GUARANTEED_REMOVAL,
+    ListRankingCosts,
+    figure7_series,
+    phase1_times_ms,
+    survivor_profile,
+)
+from repro.apps.listranking.wyllie import wyllie_ranks
+
+__all__ = [
+    "select_fis",
+    "helman_jaja_weighted_ranks",
+    "OnDemandBits",
+    "PregeneratedBits",
+    "RankingResult",
+    "rank_list_hybrid",
+    "NIL",
+    "LinkedList",
+    "ordered_list",
+    "random_list",
+    "serial_ranks",
+    "ReductionTrace",
+    "reduce_list",
+    "FIS_REMOVAL_FRACTION",
+    "GUARANTEED_REMOVAL",
+    "ListRankingCosts",
+    "figure7_series",
+    "phase1_times_ms",
+    "survivor_profile",
+    "wyllie_ranks",
+]

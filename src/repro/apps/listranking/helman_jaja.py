@@ -1,0 +1,115 @@
+"""Helman-JaJa list ranking for the reduced list (Phase II, after [10]).
+
+Splits the list at ``s`` random splitters into sublists, ranks each
+sublist locally by sequential traversal (the per-processor work of the
+SMP algorithm), ranks the splitters by walking the sublist chain, and
+broadcasts the offsets.  Works on the *weighted* reduced lists produced
+by Phase I: ranks are weighted distances to the tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.listranking.linkedlist import NIL
+
+__all__ = ["helman_jaja_weighted_ranks"]
+
+
+def helman_jaja_weighted_ranks(
+    node_ids: np.ndarray,
+    succ: np.ndarray,
+    wsucc: np.ndarray,
+    head: int,
+    num_splitters: int = 16,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Weighted rank (distance to tail) of every node in the sublist.
+
+    Parameters
+    ----------
+    node_ids : array of the list's node ids (any order).
+    succ, wsucc : full-size arrays (indexed by node id) describing the
+        weighted chain restricted to ``node_ids``.
+    head : the first node of the chain.
+    num_splitters : sublist count (including the head).
+    rng : generator for splitter choice (deterministic default).
+
+    Returns
+    -------
+    Full-size int64 array ``ranks`` with entries defined for ``node_ids``.
+    """
+    if node_ids.size == 0:
+        raise ValueError("empty list")
+    n = node_ids.size
+    rng = rng or np.random.Generator(np.random.PCG64(0))
+    ranks = np.zeros(succ.size, dtype=np.int64)
+
+    if n == 1:
+        return ranks
+
+    # --- choose splitters: the head plus random distinct nodes ---------
+    k = int(min(max(1, num_splitters), n))
+    others = node_ids[node_ids != head]
+    extra = rng.choice(others, size=min(k - 1, others.size), replace=False) \
+        if k > 1 and others.size else np.empty(0, dtype=np.int64)
+    splitters = np.concatenate([[head], np.asarray(extra, dtype=np.int64)])
+    is_splitter = np.zeros(succ.size, dtype=bool)
+    is_splitter[splitters] = True
+
+    # --- local pass: walk each sublist to the next splitter ------------
+    # dist_to_next[s] = weighted length from splitter s to the next
+    # splitter (or to the tail); local[v] = weighted distance from the
+    # owning splitter to v.
+    local = np.zeros(succ.size, dtype=np.int64)
+    next_splitter = np.full(splitters.size, NIL, dtype=np.int64)
+    dist_to_next = np.zeros(splitters.size, dtype=np.int64)
+    for i, s0 in enumerate(splitters):
+        d = 0
+        v = int(s0)
+        while True:
+            local[v] = d
+            nxt = int(succ[v])
+            if nxt == NIL:
+                next_splitter[i] = NIL
+                dist_to_next[i] = d  # d is distance to the tail here
+                break
+            d += int(wsucc[v])
+            if is_splitter[nxt]:
+                next_splitter[i] = nxt
+                dist_to_next[i] = d
+                break
+            v = nxt
+
+    # --- rank the splitter chain ---------------------------------------
+    index_of = {int(s): i for i, s in enumerate(splitters)}
+    splitter_rank = np.zeros(splitters.size, dtype=np.int64)
+    # Walk from the head accumulating distance; then rank = total - dist.
+    order = []
+    i = index_of[head]
+    dist = 0
+    prefix = {}
+    while True:
+        order.append(i)
+        prefix[i] = dist
+        nxt = next_splitter[i]
+        if nxt == NIL:
+            total = dist + dist_to_next[i]
+            break
+        dist += dist_to_next[i]
+        i = index_of[int(nxt)]
+    for i in order:
+        splitter_rank[i] = total - prefix[i]
+
+    # --- broadcast: rank[v] = rank(owning splitter) - local[v] ---------
+    owner_rank = np.zeros(succ.size, dtype=np.int64)
+    for i, s0 in enumerate(splitters):
+        v = int(s0)
+        while True:
+            owner_rank[v] = splitter_rank[i]
+            nxt = int(succ[v])
+            if nxt == NIL or is_splitter[nxt]:
+                break
+            v = nxt
+    ranks[node_ids] = owner_rank[node_ids] - local[node_ids]
+    return ranks

@@ -1,0 +1,112 @@
+"""The full three-phase hybrid list-ranking algorithm (Section V).
+
+Phase I  -- :func:`repro.apps.listranking.reduce.reduce_list` shrinks the
+            list to ~n/log2(n) nodes using on-demand random bits;
+Phase II -- Helman-JaJa ranks the reduced weighted list;
+Phase III-- removed nodes are reinserted batch-by-batch in reverse order
+            (``rank[v] = rank[succ at removal] + weight``).
+
+Random bits can come from any provider; the three provider constructors
+mirror the paper's Figure 7 comparison (pure-GPU Mersenne Twister,
+hybrid glibc with pre-generated upper bounds, hybrid on-demand PRNG) and
+instrument how many random bits each strategy actually produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.listranking.helman_jaja import helman_jaja_weighted_ranks
+from repro.apps.listranking.linkedlist import NIL, LinkedList
+from repro.apps.listranking.reduce import ReductionTrace, reduce_list
+from repro.core.parallel import ParallelExpanderPRNG
+
+__all__ = [
+    "rank_list_hybrid",
+    "OnDemandBits",
+    "PregeneratedBits",
+    "RankingResult",
+]
+
+
+class OnDemandBits:
+    """Bit provider backed by the hybrid PRNG: exactly k bits on request."""
+
+    def __init__(self, prng: ParallelExpanderPRNG):
+        self.prng = prng
+        self.bits_produced = 0
+
+    def __call__(self, k: int) -> np.ndarray:
+        self.bits_produced += k
+        return self.prng.random_bits(k)
+
+
+class PregeneratedBits:
+    """Provider that pre-generates a safe upper bound per round.
+
+    Models the strategy of [3]: before each round the CPU generates bits
+    for the *upper bound* on surviving nodes (the full previous count),
+    regardless of how many are actually needed.  ``waste`` measures the
+    overshoot that the on-demand PRNG avoids.
+    """
+
+    def __init__(self, uniform_source, initial_bound: int,
+                 shrink_factor: float = 1.0):
+        if not 0 < shrink_factor <= 1.0:
+            raise ValueError(f"shrink_factor must be in (0,1], got {shrink_factor}")
+        self._source = uniform_source
+        self._bound = int(initial_bound)
+        self._shrink = float(shrink_factor)
+        self.bits_produced = 0
+        self.bits_used = 0
+
+    def __call__(self, k: int) -> np.ndarray:
+        bound = max(int(self._bound * self._shrink), k)
+        batch = (self._source(bound) < 0.5).astype(np.uint8)
+        self.bits_produced += bound
+        self.bits_used += k
+        self._bound = bound
+        return batch[:k]
+
+    @property
+    def waste(self) -> int:
+        return self.bits_produced - self.bits_used
+
+
+@dataclass
+class RankingResult:
+    """Output of the hybrid ranking plus Phase I instrumentation."""
+
+    ranks: np.ndarray
+    trace: ReductionTrace
+    reduced_size: int
+
+
+def _reinsert(ranks: np.ndarray, trace: ReductionTrace) -> None:
+    """Phase III: reinsert removed batches in reverse order, in place."""
+    for batch in reversed(trace.batches):
+        ranks[batch.nodes] = ranks[batch.succ_at_removal] + batch.weight_to_succ
+
+
+def rank_list_hybrid(
+    lst: LinkedList,
+    bit_provider,
+    num_splitters: int = 16,
+) -> RankingResult:
+    """Rank ``lst`` (distance to tail) with the three-phase algorithm."""
+    active, succ, pred, wsucc, trace = reduce_list(lst, bit_provider)
+
+    # The reduced chain's head: the surviving node with NIL predecessor.
+    sub_pred = pred[active]
+    heads = active[sub_pred == NIL]
+    if heads.size != 1:
+        raise RuntimeError("reduced list lost its head")
+    head = int(heads[0])
+
+    ranks = helman_jaja_weighted_ranks(
+        active, succ, wsucc, head, num_splitters=num_splitters
+    )
+    _reinsert(ranks, trace)
+    return RankingResult(ranks=ranks, trace=trace, reduced_size=active.size)

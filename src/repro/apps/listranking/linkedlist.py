@@ -1,0 +1,110 @@
+"""Array-based linked lists for the list-ranking application (Section V).
+
+A list of ``n`` nodes is stored as a successor array (``succ[v]`` is the
+next node, ``-1`` at the tail) plus the derived predecessor array.  The
+paper experiments on **random lists** -- successor permutations laid out
+randomly in memory -- "the most difficult to rank due to their irregular
+memory access patterns"; ordered lists are provided as the easy case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.checks import check_positive
+
+__all__ = ["LinkedList", "random_list", "ordered_list", "serial_ranks"]
+
+NIL = -1
+
+
+@dataclass
+class LinkedList:
+    """A singly linked list over nodes ``0..n-1`` in array form."""
+
+    succ: np.ndarray
+    head: int
+
+    def __post_init__(self):
+        self.succ = np.asarray(self.succ, dtype=np.int64)
+        n = self.succ.size
+        if not 0 <= self.head < n:
+            raise ValueError(f"head {self.head} out of range for {n} nodes")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.succ.size
+
+    @property
+    def pred(self) -> np.ndarray:
+        """Predecessor array (NIL at the head), derived on demand."""
+        pred = np.full(self.num_nodes, NIL, dtype=np.int64)
+        has_succ = self.succ != NIL
+        pred[self.succ[has_succ]] = np.nonzero(has_succ)[0]
+        return pred
+
+    @property
+    def tail(self) -> int:
+        """The unique node with no successor."""
+        tails = np.nonzero(self.succ == NIL)[0]
+        if tails.size != 1:
+            raise ValueError(f"list has {tails.size} tails; expected 1")
+        return int(tails[0])
+
+    def validate(self) -> None:
+        """Raise if this is not a single chain covering all nodes."""
+        n = self.num_nodes
+        succ = self.succ
+        if int((succ == NIL).sum()) != 1:
+            raise ValueError("list must have exactly one tail")
+        targets = succ[succ != NIL]
+        if np.unique(targets).size != targets.size:
+            raise ValueError("a node has two predecessors")
+        if self.head in targets:
+            raise ValueError("head must have no predecessor")
+        # Walk the chain; it must visit every node exactly once.
+        count = 0
+        v = self.head
+        while v != NIL:
+            count += 1
+            if count > n:
+                raise ValueError("cycle detected")
+            v = int(succ[v])
+        if count != n:
+            raise ValueError(f"chain covers {count} of {n} nodes")
+
+    def to_order(self) -> np.ndarray:
+        """Node ids in list order (head first)."""
+        order = np.empty(self.num_nodes, dtype=np.int64)
+        v = self.head
+        for i in range(self.num_nodes):
+            order[i] = v
+            v = int(self.succ[v])
+        return order
+
+
+def random_list(n: int, rng: np.random.Generator) -> LinkedList:
+    """A random list: node ids assigned to list positions by permutation."""
+    check_positive("n", n)
+    perm = rng.permutation(n)
+    succ = np.full(n, NIL, dtype=np.int64)
+    succ[perm[:-1]] = perm[1:]
+    return LinkedList(succ=succ, head=int(perm[0]))
+
+
+def ordered_list(n: int) -> LinkedList:
+    """The easy case: node ``i`` is at position ``i``."""
+    check_positive("n", n)
+    succ = np.arange(1, n + 1, dtype=np.int64)
+    succ[-1] = NIL
+    return LinkedList(succ=succ, head=0)
+
+
+def serial_ranks(lst: LinkedList) -> np.ndarray:
+    """Ground truth: rank = distance to the tail (tail has rank 0)."""
+    order = lst.to_order()
+    ranks = np.empty(lst.num_nodes, dtype=np.int64)
+    ranks[order] = np.arange(lst.num_nodes - 1, -1, -1, dtype=np.int64)
+    return ranks

@@ -1,0 +1,113 @@
+"""Algorithm 3: ReduceList -- shrink the list to ~n / log2(n) nodes.
+
+Repeatedly selects a fractional independent set using *on-demand* random
+bits (one per surviving node per round -- the exact consumption pattern
+that motivates the paper's PRNG) and splices the selected nodes out with
+weighted links, recording enough bookkeeping to reinsert them in Phase
+III.
+
+The number of bits each round needs equals the number of *surviving*
+nodes, which is unknowable in advance; callers can observe the actual
+demand through :attr:`ReductionTrace.bits_requested`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.apps.listranking.fis import select_fis
+from repro.apps.listranking.linkedlist import NIL, LinkedList
+
+__all__ = ["ReductionTrace", "reduce_list", "BitProvider"]
+
+#: Callable giving ``k`` on-demand random bits (uint8 0/1 array).
+BitProvider = Callable[[int], np.ndarray]
+
+
+@dataclass
+class RemovalBatch:
+    """One round's spliced-out nodes and their reinsertion data."""
+
+    nodes: np.ndarray          # removed node ids
+    succ_at_removal: np.ndarray  # their successor at removal time
+    weight_to_succ: np.ndarray   # link weight to that successor
+
+
+@dataclass
+class ReductionTrace:
+    """Everything Phase III needs, plus instrumentation."""
+
+    batches: List[RemovalBatch] = field(default_factory=list)
+    #: Random bits requested per round (the on-demand profile).
+    bits_requested: List[int] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return int(sum(self.bits_requested))
+
+    @property
+    def total_removed(self) -> int:
+        return int(sum(batch.nodes.size for batch in self.batches))
+
+
+def reduce_list(
+    lst: LinkedList,
+    bit_provider: BitProvider,
+    target_fraction: float | None = None,
+    max_rounds: int = 200,
+) -> tuple:
+    """Run Algorithm 3 until at most ``n / log2 n`` nodes remain.
+
+    Returns ``(active_ids, succ, pred, wsucc, trace)`` where ``succ`` /
+    ``pred`` / ``wsucc`` describe the reduced, weighted list over the
+    surviving nodes.
+    """
+    n = lst.num_nodes
+    if target_fraction is None:
+        target = max(2, int(n / max(np.log2(n), 1.0)))
+    else:
+        if not 0 < target_fraction <= 1:
+            raise ValueError(f"target_fraction must be in (0, 1], got {target_fraction}")
+        target = max(2, int(n * target_fraction))
+
+    succ = lst.succ.copy()
+    pred = lst.pred.copy()
+    wsucc = np.where(succ != NIL, 1, 0).astype(np.int64)
+    active = np.arange(n, dtype=np.int64)
+    trace = ReductionTrace()
+
+    while active.size > target and trace.rounds < max_rounds:
+        bits = bit_provider(active.size)
+        trace.bits_requested.append(int(active.size))
+        trace.rounds += 1
+
+        in_fis = select_fis(active, succ, pred, bits)
+        if not in_fis.any():
+            continue
+        removed = active[in_fis]
+        p = pred[removed]
+        s = succ[removed]
+        w_vs = wsucc[removed]
+
+        trace.batches.append(
+            RemovalBatch(
+                nodes=removed.copy(),
+                succ_at_removal=s.copy(),
+                weight_to_succ=w_vs.copy(),
+            )
+        )
+
+        # Splice: p -> s with combined weight.  FIS nodes are never
+        # adjacent and are interior, so p and s are valid and distinct
+        # from other removed nodes.
+        wsucc[p] = wsucc[p] + w_vs
+        succ[p] = s
+        pred[s] = p
+
+        active = active[~in_fis]
+
+    return active, succ, pred, wsucc, trace

@@ -1,0 +1,42 @@
+"""Application II: Monte Carlo photon migration (Section VI)."""
+
+from repro.apps.photon.layers import Layer, TissueModel, three_layer_skin
+from repro.apps.photon.physics import (
+    ROULETTE_CHANCE,
+    WEIGHT_THRESHOLD,
+    fresnel_reflectance,
+    hg_cos_theta,
+    roulette_survival,
+    sample_step,
+    spin,
+)
+from repro.apps.photon.profile import DepthProfile
+from repro.apps.photon.simulate import MCPhotonMigration, SimulationResult
+from repro.apps.photon.tally import Tally
+from repro.apps.photon.timing_model import (
+    MEAN_INTERACTIONS,
+    PhotonCosts,
+    figure8_series,
+    photon_times_ms,
+)
+
+__all__ = [
+    "Layer",
+    "TissueModel",
+    "three_layer_skin",
+    "ROULETTE_CHANCE",
+    "WEIGHT_THRESHOLD",
+    "fresnel_reflectance",
+    "hg_cos_theta",
+    "roulette_survival",
+    "sample_step",
+    "spin",
+    "DepthProfile",
+    "MCPhotonMigration",
+    "SimulationResult",
+    "Tally",
+    "MEAN_INTERACTIONS",
+    "PhotonCosts",
+    "figure8_series",
+    "photon_times_ms",
+]

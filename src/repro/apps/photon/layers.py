@@ -1,0 +1,109 @@
+"""Layered tissue models for Monte Carlo photon migration (Section VI).
+
+Follows the MCML conventions of the original CUDAMCML code ([1],
+Alerstam et al.): a stack of slabs, each with refractive index ``n``,
+absorption ``mua`` (1/cm), scattering ``mus`` (1/cm), anisotropy ``g``
+and thickness (cm), sandwiched between ambient media.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Layer", "TissueModel", "three_layer_skin"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One homogeneous slab."""
+
+    n: float          # refractive index
+    mua: float        # absorption coefficient, 1/cm
+    mus: float        # scattering coefficient, 1/cm
+    g: float          # scattering anisotropy (Henyey-Greenstein)
+    thickness: float  # cm
+
+    def __post_init__(self):
+        if self.n < 1.0:
+            raise ValueError(f"refractive index must be >= 1, got {self.n}")
+        if self.mua < 0 or self.mus < 0:
+            raise ValueError("mua and mus must be non-negative")
+        if not -1.0 < self.g < 1.0:
+            raise ValueError(f"anisotropy must be in (-1, 1), got {self.g}")
+        if self.thickness <= 0:
+            raise ValueError(f"thickness must be positive, got {self.thickness}")
+
+    @property
+    def mut(self) -> float:
+        """Total interaction coefficient ``mua + mus``."""
+        return self.mua + self.mus
+
+    @property
+    def albedo(self) -> float:
+        """Scattering albedo ``mus / mut`` (1 when the layer is inert)."""
+        return self.mus / self.mut if self.mut > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class TissueModel:
+    """A stack of layers with ambient media above and below."""
+
+    layers: tuple
+    n_above: float = 1.0
+    n_below: float = 1.0
+
+    def __post_init__(self):
+        if not self.layers:
+            raise ValueError("need at least one layer")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Depths of the layer interfaces: z_0 = 0 .. z_L = total depth."""
+        t = np.array([layer.thickness for layer in self.layers])
+        return np.concatenate([[0.0], np.cumsum(t)])
+
+    @property
+    def total_thickness(self) -> float:
+        return float(sum(layer.thickness for layer in self.layers))
+
+    def specular_reflectance(self) -> float:
+        """Fresnel specular reflection at normal incidence on the surface."""
+        n1, n2 = self.n_above, self.layers[0].n
+        return ((n1 - n2) / (n1 + n2)) ** 2
+
+    def arrays(self) -> dict:
+        """Per-layer property arrays for vectorized kernels."""
+        return {
+            "n": np.array([l.n for l in self.layers]),
+            "mua": np.array([l.mua for l in self.layers]),
+            "mus": np.array([l.mus for l in self.layers]),
+            "mut": np.array([l.mut for l in self.layers]),
+            "g": np.array([l.g for l in self.layers]),
+            "z_top": self.boundaries[:-1],
+            "z_bot": self.boundaries[1:],
+        }
+
+
+def three_layer_skin() -> TissueModel:
+    """The three-layer model the paper's experiment simulates.
+
+    Epidermis / dermis / subcutaneous fat with standard optical
+    coefficients (cf. the MCML sample files).
+    """
+    return TissueModel(
+        layers=(
+            Layer(n=1.37, mua=1.0, mus=100.0, g=0.90, thickness=0.01),
+            Layer(n=1.37, mua=1.0, mus=10.0, g=0.90, thickness=0.02),
+            Layer(n=1.37, mua=2.0, mus=10.0, g=0.70, thickness=0.20),
+        ),
+        n_above=1.0,
+        n_below=1.4,
+    )

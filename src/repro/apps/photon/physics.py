@@ -1,0 +1,118 @@
+"""Photon transport physics kernels (MCML variance-reduction scheme).
+
+Vectorized over photon packets: step-size sampling, Henyey-Greenstein
+scattering, Fresnel boundary interaction and the Russian-roulette
+termination -- the "rules of photon migration" of Section VI expressed as
+array operations.  Every kernel consumes uniforms handed in by the
+caller, so the PRNG-consumption pattern (on-demand, variable amounts per
+iteration) is explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sample_step",
+    "hg_cos_theta",
+    "spin",
+    "fresnel_reflectance",
+    "roulette_survival",
+    "WEIGHT_THRESHOLD",
+    "ROULETTE_CHANCE",
+]
+
+#: MCML defaults: roulette below this weight, survive with chance 1/10.
+WEIGHT_THRESHOLD = 1e-4
+ROULETTE_CHANCE = 0.1
+
+
+def sample_step(u: np.ndarray, mut: np.ndarray) -> np.ndarray:
+    """Free path length ``s = -ln(U) / mut`` (cm)."""
+    u = np.clip(u, 1e-300, 1.0)
+    return -np.log(u) / mut
+
+
+def hg_cos_theta(u: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """Sample cos(theta) from the Henyey-Greenstein phase function."""
+    g = np.broadcast_to(np.asarray(g, dtype=np.float64), u.shape)
+    iso = np.abs(g) < 1e-6
+    out = np.empty_like(u, dtype=np.float64)
+    # Isotropic limit.
+    out[iso] = 2.0 * u[iso] - 1.0
+    if (~iso).any():
+        gg = g[~iso]
+        uu = u[~iso]
+        frac = (1.0 - gg * gg) / (1.0 - gg + 2.0 * gg * uu)
+        out[~iso] = (1.0 + gg * gg - frac * frac) / (2.0 * gg)
+    return np.clip(out, -1.0, 1.0)
+
+
+def spin(ux, uy, uz, cos_t, u_phi):
+    """Rotate direction vectors by polar angle theta and azimuth phi.
+
+    Standard MCML direction update; handles the near-vertical singular
+    case separately.  ``u_phi`` is a uniform used for phi = 2 pi U.
+    """
+    sin_t = np.sqrt(np.maximum(0.0, 1.0 - cos_t * cos_t))
+    phi = 2.0 * np.pi * u_phi
+    cos_p, sin_p = np.cos(phi), np.sin(phi)
+
+    near_vertical = np.abs(uz) > 0.99999
+    denom = np.sqrt(np.maximum(1e-30, 1.0 - uz * uz))
+
+    nux = np.where(
+        near_vertical,
+        sin_t * cos_p,
+        sin_t * (ux * uz * cos_p - uy * sin_p) / denom + ux * cos_t,
+    )
+    nuy = np.where(
+        near_vertical,
+        sin_t * sin_p,
+        sin_t * (uy * uz * cos_p + ux * sin_p) / denom + uy * cos_t,
+    )
+    nuz = np.where(
+        near_vertical,
+        np.sign(uz) * cos_t,
+        -denom * sin_t * cos_p + uz * cos_t,
+    )
+    # Renormalize against accumulated float error.
+    norm = np.sqrt(nux * nux + nuy * nuy + nuz * nuz)
+    return nux / norm, nuy / norm, nuz / norm
+
+
+def fresnel_reflectance(n1, n2, cos_i: np.ndarray) -> np.ndarray:
+    """Unpolarized Fresnel reflectance for incidence cosine ``cos_i``.
+
+    Total internal reflection returns 1.  ``n1`` is the medium the photon
+    is in, ``n2`` the medium beyond the boundary.
+    """
+    cos_i = np.clip(np.abs(cos_i), 0.0, 1.0)
+    n1 = np.broadcast_to(np.asarray(n1, dtype=np.float64), cos_i.shape)
+    n2 = np.broadcast_to(np.asarray(n2, dtype=np.float64), cos_i.shape)
+
+    sin_i = np.sqrt(np.maximum(0.0, 1.0 - cos_i * cos_i))
+    sin_t = n1 / n2 * sin_i
+    tir = sin_t >= 1.0
+    sin_t = np.clip(sin_t, 0.0, 1.0 - 1e-12)
+    cos_t = np.sqrt(np.maximum(0.0, 1.0 - sin_t * sin_t))
+
+    rs = ((n1 * cos_i - n2 * cos_t) / (n1 * cos_i + n2 * cos_t)) ** 2
+    rp = ((n1 * cos_t - n2 * cos_i) / (n1 * cos_t + n2 * cos_i)) ** 2
+    r = 0.5 * (rs + rp)
+    matched = np.abs(n1 - n2) < 1e-12
+    r = np.where(matched, 0.0, r)
+    return np.where(tir, 1.0, np.clip(r, 0.0, 1.0))
+
+
+def roulette_survival(weight: np.ndarray, u: np.ndarray) -> tuple:
+    """Russian roulette on low-weight photons.
+
+    Returns ``(alive_mask, new_weight)``: photons below the threshold
+    survive with probability :data:`ROULETTE_CHANCE` and have their
+    weight boosted by its inverse (unbiased).
+    """
+    low = weight < WEIGHT_THRESHOLD
+    survive = ~low | (u < ROULETTE_CHANCE)
+    new_weight = np.where(low & survive, weight / ROULETTE_CHANCE, weight)
+    return survive, new_weight

@@ -1,0 +1,224 @@
+"""Algorithm 4: multi-layer Monte Carlo photon migration, vectorized.
+
+One NumPy lane per photon packet, mirroring the thread-per-photon CUDA
+kernel of [1].  The simulation consumes uniforms from any object with a
+``uniform(n)`` method (all :class:`repro.baselines.base.PRNG` subclasses
+and :class:`repro.bitsource.base.BitSource` qualify) -- each iteration
+requests exactly as many numbers as there are surviving photons, which
+is the on-demand supply pattern the hybrid PRNG exists to serve.
+
+Weight bookkeeping is exact: specular + diffuse reflectance + absorption
++ transmittance + roulette residue = launched weight, enforced in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.photon.layers import TissueModel
+from repro.apps.photon.physics import (
+    WEIGHT_THRESHOLD,
+    fresnel_reflectance,
+    hg_cos_theta,
+    roulette_survival,
+    sample_step,
+    spin,
+)
+from repro.apps.photon.tally import Tally
+from repro.utils.checks import check_positive
+
+__all__ = ["MCPhotonMigration", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Tally plus run metadata."""
+
+    tally: Tally
+    iterations: int
+    uniforms_consumed: int
+
+    def fractions(self) -> dict:
+        return self.tally.fractions()
+
+
+class MCPhotonMigration:
+    """Monte Carlo photon migration through a layered tissue model."""
+
+    def __init__(self, model: TissueModel, rng, batch_size: int = 65_536,
+                 max_iterations: int = 10_000, depth_profile=None):
+        check_positive("batch_size", batch_size)
+        self.model = model
+        self.rng = rng
+        self.batch_size = int(batch_size)
+        self.max_iterations = int(max_iterations)
+        self._props = model.arrays()
+        self.uniforms_consumed = 0
+        #: Optional :class:`repro.apps.photon.profile.DepthProfile` that
+        #: receives every interior weight deposition.
+        self.depth_profile = depth_profile
+
+    def _uniform(self, n: int) -> np.ndarray:
+        self.uniforms_consumed += n
+        return self.rng.uniform(n)
+
+    # ------------------------------------------------------------------
+
+    def run(self, n_photons: int) -> SimulationResult:
+        """Simulate ``n_photons`` packets (in batches) and tally."""
+        check_positive("n_photons", n_photons)
+        tally = Tally(num_layers=self.model.num_layers)
+        iterations = 0
+        remaining = n_photons
+        while remaining > 0:
+            batch = min(self.batch_size, remaining)
+            iterations += self._run_batch(batch, tally)
+            remaining -= batch
+        return SimulationResult(
+            tally=tally,
+            iterations=iterations,
+            uniforms_consumed=self.uniforms_consumed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, n: int, tally: Tally) -> int:
+        props = self._props
+        rsp = self.model.specular_reflectance()
+        tally.add_launch(n, rsp)
+        if self.depth_profile is not None:
+            self.depth_profile.add_photons(n)
+
+        # Pencil beam at the origin, straight down, post-specular weight.
+        z = np.zeros(n)
+        ux = np.zeros(n)
+        uy = np.zeros(n)
+        uz = np.ones(n)
+        weight = np.full(n, 1.0 - rsp)
+        layer = np.zeros(n, dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+
+        iterations = 0
+        while alive.any() and iterations < self.max_iterations:
+            iterations += 1
+            idx = np.nonzero(alive)[0]
+            m = idx.size
+
+            mut = props["mut"][layer[idx]]
+            step = sample_step(self._uniform(m), mut)
+
+            # Distance to the layer boundary along the flight direction.
+            zi = z[idx]
+            uzi = uz[idx]
+            z_top = props["z_top"][layer[idx]]
+            z_bot = props["z_bot"][layer[idx]]
+            going_down = uzi > 1e-12
+            going_up = uzi < -1e-12
+            db = np.full(m, np.inf)
+            db[going_down] = (z_bot[going_down] - zi[going_down]) / uzi[going_down]
+            db[going_up] = (z_top[going_up] - zi[going_up]) / uzi[going_up]
+            db = np.maximum(db, 0.0)
+
+            hits = step > db
+            # --- boundary interaction ---------------------------------
+            if hits.any():
+                h = idx[hits]
+                z[h] = z[h] + db[hits] * uz[h]
+                self._boundary(h, tally, z, ux, uy, uz, weight, layer, alive)
+
+            # --- interior hop + drop + spin ---------------------------
+            inside = ~hits
+            if inside.any():
+                t = idx[inside]
+                z[t] = z[t] + step[inside] * uz[t]
+                lt = layer[t]
+                mua = props["mua"][lt]
+                mutt = props["mut"][lt]
+                dw = weight[t] * mua / mutt
+                tally.add_absorption(lt, dw)
+                if self.depth_profile is not None:
+                    self.depth_profile.add(z[t], dw)
+                weight[t] = weight[t] - dw
+
+                cos_t = hg_cos_theta(self._uniform(t.size), props["g"][lt])
+                nux, nuy, nuz = spin(
+                    ux[t], uy[t], uz[t], cos_t, self._uniform(t.size)
+                )
+                ux[t], uy[t], uz[t] = nux, nuy, nuz
+
+                # Roulette for faint photons.
+                low = weight[t] < WEIGHT_THRESHOLD
+                if low.any():
+                    lidx = t[low]
+                    before = float(weight[lidx].sum())
+                    survive, new_w = roulette_survival(
+                        weight[lidx], self._uniform(lidx.size)
+                    )
+                    weight[lidx] = np.where(survive, new_w, 0.0)
+                    after = float(weight[lidx].sum())
+                    tally.add_roulette_loss(before, after)
+                    alive[lidx[~survive]] = False
+        # Any photons still alive at the iteration cap leak weight; record
+        # it as roulette residue so the balance stays exact.
+        if alive.any():
+            tally.add_roulette_loss(float(weight[alive].sum()), 0.0)
+        return iterations
+
+    def _boundary(self, h, tally, z, ux, uy, uz, weight, layer, alive):
+        """Fresnel reflect/transmit photons that reached a boundary."""
+        props = self._props
+        lh = layer[h]
+        downward = uz[h] > 0
+        n1 = props["n"][lh]
+        # Medium beyond the boundary.
+        last = self.model.num_layers - 1
+        n2 = np.where(
+            downward,
+            np.where(lh == last, self.model.n_below,
+                     props["n"][np.minimum(lh + 1, last)]),
+            np.where(lh == 0, self.model.n_above,
+                     props["n"][np.maximum(lh - 1, 0)]),
+        )
+        r = fresnel_reflectance(n1, n2, uz[h])
+        reflect = self._uniform(h.size) < r
+
+        # Reflected: flip the z direction, stay in the layer.
+        rb = h[reflect]
+        uz[rb] = -uz[rb]
+
+        # Transmitted.
+        tb = h[~reflect]
+        if tb.size == 0:
+            return
+        t_down = uz[tb] > 0
+        lt = layer[tb]
+        exits_bottom = t_down & (lt == last)
+        exits_top = ~t_down & (lt == 0)
+        inside = ~(exits_bottom | exits_top)
+
+        if exits_top.any():
+            e = tb[exits_top]
+            tally.add_reflectance(weight[e])
+            weight[e] = 0.0
+            alive[e] = False
+        if exits_bottom.any():
+            e = tb[exits_bottom]
+            tally.add_transmittance(weight[e])
+            weight[e] = 0.0
+            alive[e] = False
+        if inside.any():
+            e = tb[inside]
+            n1e = n1[~reflect][inside]
+            n2e = n2[~reflect][inside]
+            # Snell refraction: scale the transverse components, keep the
+            # sign of uz, renormalize.
+            ratio = n1e / n2e
+            sin2 = np.minimum((ux[e] ** 2 + uy[e] ** 2) * ratio**2, 1.0 - 1e-12)
+            ux[e] = ux[e] * ratio
+            uy[e] = uy[e] * ratio
+            uz[e] = np.sign(uz[e]) * np.sqrt(1.0 - sin2)
+            layer[e] = np.where(uz[e] > 0, layer[e] + 1, layer[e] - 1)
+            # Nudge off the interface to avoid zero-length rehits.
+            z[e] = z[e] + np.sign(uz[e]) * 1e-12

@@ -1,0 +1,82 @@
+"""Tallies for photon-migration results: reflectance, absorption, transmission.
+
+Accumulates the three weight sinks of the MCML scheme and checks the
+energy balance ``R_specular + R_diffuse + A + T = 1`` (per launched
+photon weight) -- the key physical invariant the tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Tally"]
+
+
+@dataclass
+class Tally:
+    """Weight accounting for a photon-migration run."""
+
+    num_layers: int
+    photons_launched: int = 0
+    specular: float = 0.0
+    diffuse_reflectance: float = 0.0
+    transmittance: float = 0.0
+    absorbed_per_layer: np.ndarray = field(default=None)
+    #: Weight destroyed by roulette (statistical noise term; ~0 on average
+    #: because survivors are boosted).
+    roulette_net: float = 0.0
+
+    def __post_init__(self):
+        if self.num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
+        if self.absorbed_per_layer is None:
+            self.absorbed_per_layer = np.zeros(self.num_layers)
+
+    # -- accumulation ---------------------------------------------------
+
+    def add_launch(self, n: int, specular_fraction: float) -> None:
+        self.photons_launched += n
+        self.specular += n * specular_fraction
+
+    def add_absorption(self, layer_idx: np.ndarray, amounts: np.ndarray) -> None:
+        np.add.at(self.absorbed_per_layer, layer_idx, amounts)
+
+    def add_reflectance(self, weights: np.ndarray) -> None:
+        self.diffuse_reflectance += float(np.sum(weights))
+
+    def add_transmittance(self, weights: np.ndarray) -> None:
+        self.transmittance += float(np.sum(weights))
+
+    def add_roulette_loss(self, killed: float, boosted: float) -> None:
+        self.roulette_net += killed - boosted
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def total_absorbed(self) -> float:
+        return float(self.absorbed_per_layer.sum())
+
+    def fractions(self) -> dict:
+        """Per-launched-photon weight fractions of each sink."""
+        n = max(self.photons_launched, 1)
+        return {
+            "specular": self.specular / n,
+            "diffuse_reflectance": self.diffuse_reflectance / n,
+            "absorbed": self.total_absorbed / n,
+            "transmittance": self.transmittance / n,
+            "roulette_net": self.roulette_net / n,
+        }
+
+    def energy_balance_error(self) -> float:
+        """|1 - sum of sinks| per launched photon (should be ~0)."""
+        f = self.fractions()
+        total = (
+            f["specular"]
+            + f["diffuse_reflectance"]
+            + f["absorbed"]
+            + f["transmittance"]
+            + f["roulette_net"]
+        )
+        return abs(1.0 - total)

@@ -1,0 +1,32 @@
+"""Baseline PRNGs the paper compares against, implemented from scratch."""
+
+from repro.baselines.base import BitSourcePRNG, PRNG
+from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.baselines.lcg import AnsiLcgPRNG, GlibcPackedPRNG, GlibcRandPRNG, Lcg64
+from repro.baselines.md5_rand import Md5Rand, md5_compress, md5_hex
+from repro.baselines.mt19937 import MT19937
+from repro.baselines.mwc import GOOD_MULTIPLIERS, Mwc, is_safeprime_multiplier
+from repro.baselines.registry import GENERATORS, available_generators, make_generator
+from repro.baselines.xorwow import MARSAGLIA_INITIAL_STATE, Xorwow
+
+__all__ = [
+    "PRNG",
+    "BitSourcePRNG",
+    "HybridPRNG",
+    "GlibcRandPRNG",
+    "GlibcPackedPRNG",
+    "AnsiLcgPRNG",
+    "Lcg64",
+    "Md5Rand",
+    "md5_compress",
+    "md5_hex",
+    "MT19937",
+    "Mwc",
+    "GOOD_MULTIPLIERS",
+    "is_safeprime_multiplier",
+    "Xorwow",
+    "MARSAGLIA_INITIAL_STATE",
+    "GENERATORS",
+    "make_generator",
+    "available_generators",
+]

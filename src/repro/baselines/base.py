@@ -1,0 +1,98 @@
+"""Common interface for all PRNGs compared in the paper's tables.
+
+Every generator -- the hybrid expander-walk PRNG, the GPU baselines
+(Mersenne Twister, CURAND/XORWOW, CUDPP/MD5, MWC) and the CPU baselines
+(glibc ``rand()``, ANSI LCG) -- is exposed through :class:`PRNG` so the
+quality batteries and benchmark harness treat them uniformly.
+
+The primitive is :meth:`PRNG.u32_array`; everything else (64-bit values,
+uniforms, bits, bytes) derives from it.  Generators that natively emit
+64-bit values override :meth:`u64_array` and synthesize ``u32`` halves.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["PRNG", "BitSourcePRNG"]
+
+_U32 = np.uint32
+_U64 = np.uint64
+
+
+class PRNG(abc.ABC):
+    """A seeded pseudo random number generator with vectorized output."""
+
+    #: Short name used in tables (e.g. "Hybrid PRNG", "CURAND").
+    name: str = "prng"
+    #: True if the generator supports cheap on-demand calls (Table I).
+    on_demand: bool = False
+
+    @abc.abstractmethod
+    def u32_array(self, n: int) -> np.ndarray:
+        """Next ``n`` 32-bit outputs as ``uint32``."""
+
+    @abc.abstractmethod
+    def reseed(self, seed: int) -> None:
+        """Reset to a deterministic state derived from ``seed``."""
+
+    # ------------------------------------------------------------------
+    # Derived output shapes
+    # ------------------------------------------------------------------
+
+    def u64_array(self, n: int) -> np.ndarray:
+        """Next ``n`` 64-bit outputs (two u32 draws each by default)."""
+        w = self.u32_array(2 * n).astype(_U64)
+        return (w[0::2] << _U64(32)) | w[1::2]
+
+    def uniform(self, n: int) -> np.ndarray:
+        """``n`` doubles uniform in [0, 1) built from 32-bit draws."""
+        return self.u32_array(n).astype(np.float64) * (1.0 / 4294967296.0)
+
+    def uniform53(self, n: int) -> np.ndarray:
+        """``n`` doubles uniform in [0, 1) with full 53-bit resolution."""
+        w = self.u64_array(n)
+        return (w >> _U64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+
+    def bytes_stream(self, n: int) -> np.ndarray:
+        """``n`` bytes of output (little-endian per 32-bit word)."""
+        nwords = (n + 3) // 4
+        return self.u32_array(nwords).astype("<u4").view(np.uint8)[:n]
+
+    def bits_stream(self, n: int) -> np.ndarray:
+        """``n`` output bits as uint8 0/1, MSB-first within each u32."""
+        nwords = (n + 31) // 32
+        raw = np.unpackbits(self.u32_array(nwords).astype(">u4").view(np.uint8))
+        return raw[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class BitSourcePRNG(PRNG):
+    """Adapter presenting any :class:`repro.bitsource.base.BitSource` as a PRNG."""
+
+    def __init__(self, source, name: str | None = None, on_demand: bool = True):
+        self.source = source
+        self.name = name if name is not None else source.name
+        self.on_demand = on_demand
+        self._leftover: np.ndarray | None = None
+
+    def reseed(self, seed: int) -> None:
+        self.source.reseed(seed)
+        self._leftover = None
+
+    def u32_array(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        nwords = (n + 1) // 2
+        w = self.source.words64(nwords)
+        halves = np.empty(2 * nwords, dtype=_U32)
+        halves[0::2] = (w >> _U64(32)).astype(_U32)
+        halves[1::2] = (w & _U64(0xFFFFFFFF)).astype(_U32)
+        return halves[:n]
+
+    def u64_array(self, n: int) -> np.ndarray:
+        return self.source.words64(n)

@@ -1,0 +1,157 @@
+"""Linear congruential baselines: glibc ``rand()`` and friends as PRNGs.
+
+These adapt the CPU-side bit sources (:mod:`repro.bitsource.glibc`) to the
+common :class:`~repro.baselines.base.PRNG` interface used by the quality
+batteries, plus a plain 64-bit LCG (Knuth's MMIX constants) as an extra
+deliberately-mediocre reference point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.bitsource.glibc import AnsiCLcg, GlibcRandom
+
+__all__ = ["GlibcRandPRNG", "AnsiLcgPRNG", "Lcg64"]
+
+_U32 = np.uint32
+_U64 = np.uint64
+
+
+class GlibcRandPRNG(PRNG):
+    """glibc ``rand()`` exposed as a PRNG (the paper's Table I/II bottom rows).
+
+    Tested **as an application would use it**: each 32-bit output is one
+    raw ``rand()`` value, whose most significant bit is always zero
+    (RAND_MAX is ``2**31 - 1``).  Bit-level batteries therefore see the
+    stuck MSB -- a genuine property of treating ``rand()`` output as
+    32-bit words, and the main reason the paper's Table II scores glibc
+    so poorly.  :class:`GlibcPackedPRNG` repacks fresh bits instead.
+    """
+
+    name = "glibc rand()"
+    on_demand = True
+
+    def __init__(self, seed: int = 1):
+        self._gen = GlibcRandom(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._gen.reseed(seed)
+
+    def rand31_array(self, n: int) -> np.ndarray:
+        """Raw ``rand()`` outputs (31-bit values), C-sequence compatible."""
+        return self._gen.rand_array(n)
+
+    def u32_array(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        return self.rand31_array(n)
+
+    def uniform(self, n: int) -> np.ndarray:
+        """The C idiom ``rand() / (RAND_MAX + 1.0)``."""
+        return self.rand31_array(n).astype(np.float64) * (1.0 / 2147483648.0)
+
+
+class GlibcPackedPRNG(PRNG):
+    """glibc ``rand()`` with full-entropy repacking (ablation variant).
+
+    32-bit outputs are assembled from fresh bits of the 31-bit stream
+    (:meth:`GlibcRandom.words64`), so the batteries probe the additive-
+    feedback structure itself rather than the stuck MSB of the naive
+    adapter.
+    """
+
+    name = "glibc rand() packed"
+    on_demand = True
+
+    def __init__(self, seed: int = 1):
+        self._gen = GlibcRandom(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._gen.reseed(seed)
+
+    def u32_array(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        nwords = (n + 1) // 2
+        w = self._gen.words64(nwords)
+        halves = np.empty(2 * nwords, dtype=_U32)
+        halves[0::2] = (w >> _U64(32)).astype(_U32)
+        halves[1::2] = (w & _U64(0xFFFFFFFF)).astype(_U32)
+        return halves[:n]
+
+    def u64_array(self, n: int) -> np.ndarray:
+        return self._gen.words64(n)
+
+
+class AnsiLcgPRNG(PRNG):
+    """ANSI C reference ``rand()`` (15-bit LCG) as a PRNG; very weak.
+
+    32-bit outputs are the idiomatic ``(rand() << 16) | rand()``: bits 31
+    and 15 are stuck at zero, exactly what an application gluing two
+    RAND_MAX=32767 calls together produces -- and what the batteries
+    should see.
+    """
+
+    name = "ANSI C LCG"
+    on_demand = True
+
+    def __init__(self, seed: int = 1):
+        self._gen = AnsiCLcg(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._gen.reseed(seed)
+
+    def u32_array(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        vals = self._gen.rand_array(2 * n).astype(_U32).reshape(n, 2)
+        return (vals[:, 0] << _U32(16)) | vals[:, 1]
+
+    def uniform(self, n: int) -> np.ndarray:
+        """The C idiom ``rand() / (RAND_MAX + 1.0)`` (15-bit resolution)."""
+        return self._gen.rand_array(n).astype(np.float64) * (1.0 / 32768.0)
+
+
+class Lcg64(PRNG):
+    """64-bit LCG with Knuth's MMIX constants; upper 32 bits are emitted."""
+
+    name = "LCG64"
+    on_demand = True
+
+    _A = np.uint64(6364136223846793005)
+    _C = np.uint64(1442695040888963407)
+    _BLOCK = 4096
+
+    def __init__(self, seed: int = 1):
+        # Precompute blocked-jump tables (cf. AnsiCLcg) in Python ints to
+        # keep the 64-bit modular arithmetic exact.
+        mod = 1 << 64
+        a_pows = np.empty(self._BLOCK, dtype=_U64)
+        c_terms = np.empty(self._BLOCK, dtype=_U64)
+        a, c = 1, 0
+        for i in range(self._BLOCK):
+            a = (a * int(self._A)) % mod
+            c = (c * int(self._A) + int(self._C)) % mod
+            a_pows[i] = a
+            c_terms[i] = c
+        self._a_pows = a_pows
+        self._c_terms = c_terms
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._state = np.uint64(seed & (2**64 - 1))
+
+    def u32_array(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        out = np.empty(n, dtype=_U32)
+        pos = 0
+        while pos < n:
+            take = min(self._BLOCK, n - pos)
+            states = self._a_pows[:take] * self._state + self._c_terms[:take]
+            self._state = states[-1]
+            out[pos : pos + take] = (states >> _U64(32)).astype(_U32)
+            pos += take
+        return out

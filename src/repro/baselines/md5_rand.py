@@ -1,0 +1,191 @@
+"""MD5-based PRNG in the style of CUDPP RAND / Tzeng-Wei (I3D 2008).
+
+The paper's "CUDPP RAND" rows come from CUDPP's ``rand_md5`` which, per
+Tzeng & Wei's "Parallel white noise generation on a GPU via cryptographic
+hash", hashes a per-thread counter/seed block with MD5 and emits the four
+32-bit digest words as random numbers.
+
+This module contains
+
+* :func:`md5_compress` -- the raw MD5 compression function vectorized over
+  many independent 16-word blocks (one lane per "GPU thread");
+* :func:`md5_hex` -- full RFC 1321 MD5 (padding + chaining), used by the
+  test suite to validate the compression function against the official
+  test vectors;
+* :class:`Md5Rand` -- the counter-mode PRNG built on top.
+
+MD5 is cryptographically broken for collision resistance, but as a
+*statistical* bit mixer it is excellent -- hence its strong showing in the
+paper's Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+
+__all__ = ["md5_compress", "md5_hex", "Md5Rand"]
+
+_U32 = np.uint32
+_U64 = np.uint64
+
+# Round constants K[i] = floor(|sin(i + 1)| * 2**32) (RFC 1321).
+_K = np.floor(np.abs(np.sin(np.arange(1, 65, dtype=np.float64))) * 2**32).astype(
+    _U32
+)
+
+# Per-operation left-rotation amounts.
+_S = np.array(
+    [7, 12, 17, 22] * 4 + [5, 9, 14, 20] * 4 + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4,
+    dtype=np.int64,
+)
+
+# Message-word schedule g(i) per operation.
+_G = np.concatenate(
+    [
+        np.arange(16),
+        (5 * np.arange(16) + 1) % 16,
+        (3 * np.arange(16) + 5) % 16,
+        (7 * np.arange(16)) % 16,
+    ]
+)
+
+_INIT = (
+    _U32(0x67452301),
+    _U32(0xEFCDAB89),
+    _U32(0x98BADCFE),
+    _U32(0x10325476),
+)
+
+
+def _rotl(x: np.ndarray, s: int) -> np.ndarray:
+    s = int(s)
+    return (x << _U32(s)) | (x >> _U32(32 - s))
+
+
+def md5_compress(blocks: np.ndarray, state: tuple | None = None) -> np.ndarray:
+    """MD5 compression of many 512-bit blocks at once.
+
+    Parameters
+    ----------
+    blocks : uint32 array of shape (n, 16)
+        Little-endian message words of ``n`` independent blocks.
+    state : optional tuple of four uint32 arrays (or scalars)
+        Chaining values; defaults to the RFC 1321 initial state.
+
+    Returns
+    -------
+    uint32 array of shape (n, 4) -- the digest words A, B, C, D.
+    """
+    blocks = np.asarray(blocks, dtype=_U32)
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError(f"blocks must have shape (n, 16), got {blocks.shape}")
+    n = blocks.shape[0]
+    if state is None:
+        a0 = np.full(n, _INIT[0], dtype=_U32)
+        b0 = np.full(n, _INIT[1], dtype=_U32)
+        c0 = np.full(n, _INIT[2], dtype=_U32)
+        d0 = np.full(n, _INIT[3], dtype=_U32)
+    else:
+        a0, b0, c0, d0 = (np.broadcast_to(np.asarray(v, dtype=_U32), (n,)).copy()
+                          for v in state)
+    a, b, c, d = a0.copy(), b0.copy(), c0.copy(), d0.copy()
+
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+        elif i < 32:
+            f = (d & b) | (~d & c)
+        elif i < 48:
+            f = b ^ c ^ d
+        else:
+            f = c ^ (b | ~d)
+        f = f + a + _K[i] + blocks[:, _G[i]]
+        a = d
+        d = c
+        c = b
+        b = b + _rotl(f, _S[i])
+
+    return np.stack([a0 + a, b0 + b, c0 + c, d0 + d], axis=1)
+
+
+def md5_hex(data: bytes) -> str:
+    """Full MD5 of ``data`` as a hex digest (RFC 1321 padding + chaining)."""
+    length_bits = (8 * len(data)) & (2**64 - 1)
+    padded = bytearray(data)
+    padded.append(0x80)
+    while len(padded) % 64 != 56:
+        padded.append(0)
+    padded += int(length_bits).to_bytes(8, "little")
+    words = np.frombuffer(bytes(padded), dtype="<u4").reshape(-1, 16)
+    state = tuple(np.asarray([v]) for v in _INIT)
+    for blk in words:
+        digest = md5_compress(blk[None, :].astype(_U32), state=state)
+        state = tuple(digest[:, j] for j in range(4))
+    out = np.stack([state[j][0] for j in range(4)]).astype("<u4")
+    return out.tobytes().hex()
+
+
+class Md5Rand(PRNG):
+    """Counter-mode MD5 generator (the CUDPP RAND construction).
+
+    Lane ``t`` hashing counter ``c`` fills its block with
+    ``(t, c, seed_lo, seed_hi)`` plus fixed padding words -- mirroring
+    CUDPP's per-thread input setup -- and emits the 4 digest words.
+    """
+
+    name = "CUDPP RAND"
+    on_demand = False  # CUDPP RAND generates into a pre-sized array
+
+    def __init__(self, seed: int = 0, lanes: int = 256):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = int(lanes)
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._seed = int(seed) & (2**64 - 1)
+        self._block_counter = 0
+        self._leftover = np.empty(0, dtype=_U32)
+
+    def _blocks(self, nblocks: int) -> np.ndarray:
+        """Build the next ``nblocks`` message blocks.
+
+        Blocks are numbered absolutely: block ``b`` hashes lane
+        ``b % lanes`` at per-lane counter ``b // lanes``, so the stream is
+        independent of how requests are split.
+        """
+        idx = self._block_counter + np.arange(nblocks, dtype=_U64)
+        lane = idx % _U64(self.lanes)
+        ctr = idx // _U64(self.lanes)
+        M = np.zeros((nblocks, 16), dtype=_U32)
+        M[:, 0] = lane.astype(_U32)
+        M[:, 1] = (ctr & _U64(0xFFFFFFFF)).astype(_U32)
+        M[:, 2] = (ctr >> _U64(32)).astype(_U32)
+        M[:, 3] = _U32(self._seed & 0xFFFFFFFF)
+        M[:, 4] = _U32(self._seed >> 32)
+        # RFC-style closing: a 1-bit marker and the message length (160 bits).
+        M[:, 5] = _U32(0x80)
+        M[:, 14] = _U32(160)
+        return M
+
+    def u32_array(self, n: int) -> np.ndarray:
+        """Digest words with leftover buffering: splitting one request
+        into several produces the identical stream."""
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=_U32)
+        have = int(self._leftover.size)
+        if have >= n:
+            out = self._leftover[:n]
+            self._leftover = self._leftover[n:]
+            return out
+        nblocks = (n - have + 3) // 4
+        digests = md5_compress(self._blocks(nblocks)).reshape(-1)
+        self._block_counter += nblocks
+        stream = np.concatenate([self._leftover, digests])
+        self._leftover = stream[n:]
+        return stream[:n]

@@ -1,0 +1,111 @@
+"""MT19937 -- the Mersenne Twister of Matsumoto & Nishimura (1998).
+
+The paper compares against the CUDA SDK's Mersenne Twister sample
+([19], [20], [25]); this is a from-scratch, vectorized implementation of
+the underlying MT19937 generator:
+
+* 624-word state, period ``2**19937 - 1``;
+* ``init_genrand`` seeding (the classic Knuth-style multiplier 1812433253),
+  which also matches legacy ``numpy.random.RandomState(seed)`` -- the test
+  suite cross-checks against both the published reference outputs for
+  seed 5489 and NumPy's legacy generator;
+* the whole 624-word twist is computed with array slicing, so bulk
+  generation runs at NumPy speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+
+__all__ = ["MT19937"]
+
+_U32 = np.uint32
+
+_N = 624
+_M = 397
+_MATRIX_A = _U32(0x9908B0DF)
+_UPPER_MASK = _U32(0x80000000)
+_LOWER_MASK = _U32(0x7FFFFFFF)
+
+
+class MT19937(PRNG):
+    """The 32-bit Mersenne Twister, batch-oriented.
+
+    Notes
+    -----
+    As the paper stresses (Section I), Mersenne Twister on the GPU is a
+    *batch* generator: you must pre-generate a block of numbers.  That is
+    reflected here by ``on_demand = False`` -- scalar draws work but each
+    state refresh produces 624 values at once.
+    """
+
+    name = "Mersenne Twister"
+    on_demand = False
+
+    def __init__(self, seed: int = 5489):
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        """``init_genrand`` seeding from the reference implementation."""
+        self._seed = int(seed)
+        mt = np.empty(_N, dtype=_U32)
+        mt[0] = seed & 0xFFFFFFFF
+        # mt[i] = 1812433253 * (mt[i-1] ^ (mt[i-1] >> 30)) + i
+        prev = int(mt[0])
+        for i in range(1, _N):
+            prev = (1812433253 * (prev ^ (prev >> 30)) + i) & 0xFFFFFFFF
+            mt[i] = prev
+        self._mt = mt
+        self._index = _N  # force twist on first draw
+
+    def _twist(self) -> None:
+        """Advance the full 624-word state, vectorized in chunks of 227.
+
+        The reference twist reads ``mt[(i + M) % N]``, which for
+        ``i >= N - M`` refers to entries *already rewritten this round*.
+        Chunks no larger than ``min(M, N - M) = 227`` guarantee every such
+        read lands outside the chunk being written, so each chunk is a
+        pure array expression while preserving the sequential semantics.
+        """
+        mt = self._mt
+        for a in range(0, _N, _N - _M):
+            b = min(a + (_N - _M), _N)
+            nxt = np.empty(b - a, dtype=_U32)
+            if b < _N:
+                nxt[:] = mt[a + 1 : b + 1]
+            else:
+                nxt[:-1] = mt[a + 1 : _N]
+                nxt[-1] = mt[0]  # already holds this round's new value
+            y = (mt[a:b] & _UPPER_MASK) | (nxt & _LOWER_MASK)
+            mag = np.where((y & _U32(1)).astype(bool), _MATRIX_A, _U32(0))
+            idx = (np.arange(a, b) + _M) % _N
+            mt[a:b] = mt[idx] ^ (y >> _U32(1)) ^ mag
+        self._index = 0
+
+    @staticmethod
+    def _temper(y: np.ndarray) -> np.ndarray:
+        y = y ^ (y >> _U32(11))
+        y = y ^ ((y << _U32(7)) & _U32(0x9D2C5680))
+        y = y ^ ((y << _U32(15)) & _U32(0xEFC60000))
+        return y ^ (y >> _U32(18))
+
+    def u32_array(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        out = np.empty(n, dtype=_U32)
+        pos = 0
+        while pos < n:
+            if self._index >= _N:
+                self._twist()
+            take = min(_N - self._index, n - pos)
+            block = self._mt[self._index : self._index + take]
+            out[pos : pos + take] = self._temper(block)
+            self._index += take
+            pos += take
+        return out
+
+    def next_u32(self) -> int:
+        """Scalar draw (reference-compatible output order)."""
+        return int(self.u32_array(1)[0])

@@ -1,0 +1,48 @@
+"""Name-keyed registry of every generator compared in the paper.
+
+The benchmark harness and quality batteries look generators up by the
+names used in the paper's tables, so rows print with the same labels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.base import PRNG
+from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.baselines.lcg import AnsiLcgPRNG, GlibcPackedPRNG, GlibcRandPRNG, Lcg64
+from repro.baselines.md5_rand import Md5Rand
+from repro.baselines.mt19937 import MT19937
+from repro.baselines.mwc import Mwc
+from repro.baselines.xorwow import Xorwow
+
+__all__ = ["GENERATORS", "make_generator", "available_generators"]
+
+#: Factories keyed by table label.  Each takes a seed and returns a PRNG.
+GENERATORS: Dict[str, Callable[[int], PRNG]] = {
+    "Hybrid PRNG": lambda seed: HybridPRNG(seed=seed),
+    "Mersenne Twister": lambda seed: MT19937(seed=seed),
+    "CURAND": lambda seed: Xorwow(seed=seed, lanes=64),
+    "CUDPP RAND": lambda seed: Md5Rand(seed=seed),
+    "glibc rand()": lambda seed: GlibcRandPRNG(seed=seed),
+    "glibc rand() packed": lambda seed: GlibcPackedPRNG(seed=seed),
+    "ANSI C LCG": lambda seed: AnsiLcgPRNG(seed=seed),
+    "MWC": lambda seed: Mwc(seed=seed, lanes=64),
+    "LCG64": lambda seed: Lcg64(seed=seed),
+}
+
+
+def make_generator(name: str, seed: int = 1) -> PRNG:
+    """Instantiate the generator registered under ``name``."""
+    try:
+        factory = GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown generator {name!r}; known: {sorted(GENERATORS)}"
+        ) from None
+    return factory(seed)
+
+
+def available_generators() -> list[str]:
+    """Names of all registered generators, in table order."""
+    return list(GENERATORS)

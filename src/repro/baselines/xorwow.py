@@ -1,0 +1,119 @@
+"""XORWOW -- the default engine of NVIDIA's CURAND library.
+
+The paper's "CURAND" rows (Table I-III, Figure 3) refer to the CURAND
+device API whose default generator is Marsaglia's **xorwow** (from
+"Xorshift RNGs", JSS 2003): a five-word xorshift recurrence plus a Weyl
+counter:
+
+.. code-block:: c
+
+   t = x ^ (x >> 2);  x = y;  y = z;  z = w;  w = v;
+   v = (v ^ (v << 4)) ^ (t ^ (t << 1));
+   d += 362437;
+   return v + d;
+
+CURAND keeps one such state *per GPU thread*.  This implementation mirrors
+that: :class:`Xorwow` advances ``lanes`` independent states in lockstep
+(lane-major output, matching a one-thread-one-output kernel), and
+``lanes=1`` is the plain scalar generator.  Lane states are seeded by
+SplitMix64 expansion, giving well-separated substreams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.bitsource.counter import splitmix64
+
+__all__ = ["Xorwow", "MARSAGLIA_INITIAL_STATE"]
+
+_U32 = np.uint32
+_U64 = np.uint64
+
+#: The initial state from Marsaglia's paper (x, y, z, w, v, d).
+MARSAGLIA_INITIAL_STATE = (123456789, 362436069, 521288629, 88675123, 5783321, 6615241)
+
+_WEYL = _U32(362437)
+
+
+class Xorwow(PRNG):
+    """Vectorized multi-stream XORWOW (CURAND's default device generator)."""
+
+    name = "CURAND"
+    on_demand = True  # CURAND's *device API* supports per-call generation
+
+    def __init__(self, seed: int = 0, lanes: int = 1, marsaglia_init: bool = False):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = int(lanes)
+        self._marsaglia_init = bool(marsaglia_init)
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._leftover = np.empty(0, dtype=_U32)
+        L = self.lanes
+        if self._marsaglia_init:
+            if L != 1:
+                raise ValueError("marsaglia_init requires lanes == 1")
+            x, y, z, w, v, d = MARSAGLIA_INITIAL_STATE
+            self._s = np.array([[x], [y], [z], [w], [v]], dtype=_U32)
+            self._d = np.array([d], dtype=_U32)
+            return
+        # SplitMix64-expanded per-lane seeding: 3 words -> 6 state values.
+        base = np.uint64(seed & (2**64 - 1))
+        idx = base + np.arange(3 * L, dtype=_U64)
+        words = splitmix64(idx).reshape(3, L)
+        s = np.empty((5, L), dtype=_U32)
+        s[0] = (words[0] >> _U64(32)).astype(_U32)
+        s[1] = (words[0] & _U64(0xFFFFFFFF)).astype(_U32)
+        s[2] = (words[1] >> _U64(32)).astype(_U32)
+        s[3] = (words[1] & _U64(0xFFFFFFFF)).astype(_U32)
+        s[4] = (words[2] >> _U64(32)).astype(_U32)
+        # xorshift states must not be all-zero per lane; fix degenerate lanes.
+        dead = (s == 0).all(axis=0)
+        if dead.any():
+            s[0, dead] = _U32(1)
+        self._s = s
+        self._d = (words[2] & _U64(0xFFFFFFFF)).astype(_U32)
+
+    def _step(self) -> np.ndarray:
+        """Advance every lane one step; returns one output per lane."""
+        s = self._s
+        x = s[0]
+        t = x ^ (x >> _U32(2))
+        s[0] = s[1]
+        s[1] = s[2]
+        s[2] = s[3]
+        s[3] = s[4]
+        v = s[4] ^ (s[4] << _U32(4))
+        s[4] = v ^ (t ^ (t << _U32(1)))
+        self._d = self._d + _WEYL
+        return s[4] + self._d
+
+    def u32_array(self, n: int) -> np.ndarray:
+        """Lane-major bulk output with leftover buffering.
+
+        Partial-round remainders are kept, so splitting one request into
+        several produces the identical stream.
+        """
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        out = np.empty(n, dtype=_U32)
+        pos = min(self._leftover.size, n)
+        out[:pos] = self._leftover[:pos]
+        self._leftover = self._leftover[pos:]
+        L = self.lanes
+        while pos < n:
+            vals = self._step()
+            take = min(L, n - pos)
+            out[pos : pos + take] = vals[:take]
+            if take < L:
+                self._leftover = vals[take:]
+            pos += take
+        return out
+
+    def next_u32(self) -> int:
+        """Scalar draw from lane 0's interleaved stream."""
+        return int(self.u32_array(1)[0])

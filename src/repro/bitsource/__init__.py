@@ -1,0 +1,28 @@
+"""CPU-side random-bit feeds (the paper's FEED work unit).
+
+The hybrid generator consumes a raw bit stream produced on the CPU.  This
+package provides the feed interface (:class:`BitSource`), the paper's
+glibc ``rand()`` feed, faster and weaker alternatives for ablations, and
+the buffered/asynchronous pipeline model.
+"""
+
+from repro.bitsource.base import BitSource
+from repro.bitsource.buffered import BufferedFeed, FeedStats
+from repro.bitsource.counter import RawCounterSource, SplitMix64Source, splitmix64
+from repro.bitsource.glibc import AnsiCLcg, GlibcRandom, glibc_rand_sequence
+from repro.bitsource.numpy_source import NumpyBitSource
+from repro.bitsource.os_entropy import OsEntropySource
+
+__all__ = [
+    "BitSource",
+    "BufferedFeed",
+    "FeedStats",
+    "GlibcRandom",
+    "AnsiCLcg",
+    "glibc_rand_sequence",
+    "SplitMix64Source",
+    "RawCounterSource",
+    "splitmix64",
+    "NumpyBitSource",
+    "OsEntropySource",
+]

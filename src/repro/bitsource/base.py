@@ -1,0 +1,80 @@
+"""Abstract interface for CPU-side random-bit feeds.
+
+In the paper the multicore CPU continuously produces a *raw bit stream*
+(``bin`` in Algorithms 1 and 2) that the GPU walkers consume 3 bits at a
+time to pick expander neighbours.  A :class:`BitSource` is anything that
+can produce that stream.
+
+The canonical source is :class:`repro.bitsource.glibc.GlibcRandom` (the
+paper uses glibc ``rand()``); faster or intentionally weaker sources are
+provided for the ablation studies.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["BitSource"]
+
+
+class BitSource(abc.ABC):
+    """Produces an endless stream of pseudo random bits.
+
+    Subclasses implement :meth:`words64`; everything else derives from it.
+    Sources are deterministic given their seed and are *not* thread-safe by
+    themselves -- wrap one per thread, or use
+    :class:`repro.bitsource.buffered.BufferedFeed`.
+    """
+
+    #: Short human-readable name used in benchmark tables.
+    name: str = "bitsource"
+
+    @abc.abstractmethod
+    def words64(self, n: int) -> np.ndarray:
+        """Return the next ``n`` raw 64-bit words as a ``uint64`` array."""
+
+    @abc.abstractmethod
+    def reseed(self, seed: int) -> None:
+        """Reset the source to a deterministic state derived from ``seed``."""
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+
+    def bits(self, n: int) -> np.ndarray:
+        """Return the next ``n`` bits as a uint8 array of 0/1 (MSB first)."""
+        if n < 0:
+            raise ValueError(f"bit count must be non-negative, got {n}")
+        nwords = (n + 63) // 64
+        words = self.words64(nwords)
+        raw = np.unpackbits(words.astype(">u8").view(np.uint8))
+        return raw[:n]
+
+    def chunks3(self, n: int) -> np.ndarray:
+        """Return ``n`` 3-bit values (0..7), each from 3 consecutive bits.
+
+        A 64-bit word supplies 21 chunks (the last bit of each word is
+        discarded), matching the bit-slicing in Algorithm 1 line 5.
+        """
+        if n < 0:
+            raise ValueError(f"chunk count must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=np.uint8)
+        nwords = (n + 20) // 21
+        words = self.words64(nwords)
+        # Strided extraction (one pass per chunk position) avoids the
+        # (nwords, 21) uint64 temporary of the broadcast formulation.
+        out = np.empty(nwords * 21, dtype=np.uint8)
+        for i in range(21):
+            out[i::21] = (words >> np.uint64(3 * i)).astype(np.uint8) & np.uint8(7)
+        return out[:n]
+
+    def uniform(self, n: int) -> np.ndarray:
+        """``n`` floats uniform in [0, 1) using 53 bits per draw."""
+        w = self.words64(n)
+        return (w >> np.uint64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} name={self.name!r}>"

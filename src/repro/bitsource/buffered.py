@@ -1,0 +1,207 @@
+"""Buffered, optionally asynchronous feed: the CPU->GPU bit pipeline.
+
+On the paper's platform the CPU keeps producing random bits while the GPU
+kernel runs, and PCIe transfers overlap with compute (Section II,
+Figure 4).  Functionally this amounts to a bounded queue of bit batches
+between producer (CPU FEED) and consumer (GPU GENERATE).
+
+:class:`BufferedFeed` models exactly that queue:
+
+* batches of ``batch_words`` 64-bit words are produced from an underlying
+  :class:`~repro.bitsource.base.BitSource`;
+* up to ``prefetch`` batches are kept in flight ("already transferred to
+  device memory");
+* with ``async_producer=True`` a real background thread plays the CPU,
+  refilling the queue concurrently with the consumer -- an honest
+  multicore analogue of the hybrid pipeline (NumPy releases the GIL in
+  bulk operations);
+* consumption statistics (:class:`FeedStats`) record how often the
+  consumer found the queue empty -- the functional counterpart of the
+  "GPU waits for CPU" regime right of the optimum in Figure 5.
+
+The values produced are identical to draining the underlying source
+directly; buffering changes *when* bits are produced, never *which*.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+from repro.utils.checks import check_positive
+
+__all__ = ["BufferedFeed", "FeedStats"]
+
+
+@dataclass
+class FeedStats:
+    """Counters describing pipeline behaviour of a :class:`BufferedFeed`."""
+
+    words_produced: int = 0
+    words_consumed: int = 0
+    refills: int = 0
+    #: Times the consumer had to wait for a batch (queue empty on demand).
+    stalls: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy safe to hand to reports."""
+        with self._lock:
+            return {
+                "words_produced": self.words_produced,
+                "words_consumed": self.words_consumed,
+                "refills": self.refills,
+                "stalls": self.stalls,
+            }
+
+
+class BufferedFeed(BitSource):
+    """Bounded-queue feed between a producer source and walk consumers.
+
+    Parameters
+    ----------
+    source : BitSource
+        The CPU-side generator (e.g. :class:`~repro.bitsource.glibc.GlibcRandom`).
+    batch_words : int
+        Words per produced batch -- the transfer granularity.
+    prefetch : int
+        Maximum batches buffered ahead (queue depth).
+    async_producer : bool
+        If true, a daemon thread keeps the queue full; otherwise batches
+        are produced synchronously on demand (each counted as a stall).
+    """
+
+    name = "buffered-feed"
+
+    def __init__(
+        self,
+        source: BitSource,
+        batch_words: int = 1 << 16,
+        prefetch: int = 2,
+        async_producer: bool = False,
+    ):
+        check_positive("batch_words", batch_words)
+        check_positive("prefetch", prefetch)
+        self.source = source
+        self.batch_words = int(batch_words)
+        self.prefetch = int(prefetch)
+        self.stats = FeedStats()
+        self._queue: queue.Queue[np.ndarray] = queue.Queue(maxsize=prefetch)
+        self._current = np.empty(0, dtype=np.uint64)
+        self._pos = 0
+        self._async = bool(async_producer)
+        self._stop = threading.Event()
+        self._producer: threading.Thread | None = None
+        self._source_lock = threading.Lock()
+        if self._async:
+            self._producer = threading.Thread(
+                target=self._produce_loop, name="feed-producer", daemon=True
+            )
+            self._producer.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def _make_batch(self) -> np.ndarray:
+        with self._source_lock:
+            batch = self.source.words64(self.batch_words)
+        with self.stats._lock:
+            self.stats.words_produced += batch.size
+            self.stats.refills += 1
+        return batch
+
+    def _produce_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self._make_batch()
+            while not self._stop.is_set():
+                try:
+                    self._queue.put(batch, timeout=0.05)
+                    break
+                except queue.Full:
+                    continue
+
+    def close(self) -> None:
+        """Stop the producer thread (no-op for synchronous feeds)."""
+        self._stop.set()
+        if self._producer is not None:
+            # Drain so a blocked put() can finish.
+            try:
+                while True:
+                    self._queue.get_nowait()
+            except queue.Empty:
+                pass
+            self._producer.join(timeout=2.0)
+            self._producer = None
+
+    def __enter__(self) -> "BufferedFeed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Consumer side (BitSource API)
+    # ------------------------------------------------------------------
+
+    def _next_batch(self) -> np.ndarray:
+        if self._async:
+            try:
+                return self._queue.get_nowait()
+            except queue.Empty:
+                with self.stats._lock:
+                    self.stats.stalls += 1
+                return self._queue.get()
+        # Synchronous mode: every demand-refill is by definition a stall.
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            with self.stats._lock:
+                self.stats.stalls += 1
+            return self._make_batch()
+
+    def words64(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"word count must be non-negative, got {n}")
+        out = np.empty(n, dtype=np.uint64)
+        pos = 0
+        while pos < n:
+            avail = self._current.size - self._pos
+            if avail == 0:
+                self._current = self._next_batch()
+                self._pos = 0
+                avail = self._current.size
+            take = min(avail, n - pos)
+            out[pos : pos + take] = self._current[self._pos : self._pos + take]
+            self._pos += take
+            pos += take
+        with self.stats._lock:
+            self.stats.words_consumed += n
+        return out
+
+    def reseed(self, seed: int) -> None:
+        """Reseed the underlying source and drop all buffered batches."""
+        if self._async:
+            raise RuntimeError(
+                "cannot reseed an async BufferedFeed; close() it first"
+            )
+        with self._source_lock:
+            self.source.reseed(seed)
+        try:
+            while True:
+                self._queue.get_nowait()
+        except queue.Empty:
+            pass
+        self._current = np.empty(0, dtype=np.uint64)
+        self._pos = 0
+
+    @property
+    def pending_words(self) -> int:
+        """Words buffered and immediately available to the consumer."""
+        return (
+            self._current.size - self._pos
+        ) + self._queue.qsize() * self.batch_words

@@ -1,0 +1,239 @@
+"""Reimplementation of glibc ``rand()`` -- the paper's CPU feed generator.
+
+The paper's FEED work unit calls ANSI C ``rand()`` which, on the Fedora 14
+system used (Section IV-A), is glibc's **TYPE_3 additive-feedback
+generator**:
+
+* state: 31 lagged 32-bit words (34 including warm-up copies),
+* recurrence ``r[i] = r[i-3] + r[i-31] (mod 2**32)``,
+* output ``r[i] >> 1`` (a 31-bit value in ``0 .. 2**31 - 1``).
+
+Seeding follows glibc ``srandom()``: 30 steps of the Park-Miller minimal
+standard LCG (``x <- 16807 x mod 2**31 - 1``, computed with Schrage's
+trick exactly as glibc does), then 310 warm-up outputs are discarded.
+The implementation is verified against the well-known glibc sequence for
+``seed = 1`` (1804289383, 846930886, ...) in the test suite.
+
+Also provided is :class:`AnsiCLcg`, the K&R reference ``rand()`` (TYPE_0
+LCG), which the paper's Table I/II place at the bottom of the quality
+ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+
+__all__ = ["GlibcRandom", "AnsiCLcg", "glibc_rand_sequence"]
+
+_U32 = np.uint32
+_U64 = np.uint64
+
+_DEG = 31  # r[i-31]
+_SEP = 3  # r[i-3]
+_WARMUP = 310  # glibc discards 10 * 31 outputs after seeding
+
+
+def _srandom_state(seed: int) -> np.ndarray:
+    """Replicate glibc ``srandom_r`` for TYPE_3: the initial 34-word table."""
+    seed = seed & 0xFFFFFFFF
+    if seed == 0:
+        seed = 1
+    r = np.zeros(_DEG + _SEP, dtype=np.int64)
+    r[0] = seed
+    # Park-Miller via Schrage: hi = s / 127773, lo = s % 127773,
+    # word = 16807 * lo - 2836 * hi  (+ 2147483647 if negative).
+    s = int(seed)
+    for i in range(1, _DEG):
+        hi, lo = divmod(s, 127773)
+        word = 16807 * lo - 2836 * hi
+        if word < 0:
+            word += 2147483647
+        r[i] = word
+        s = word
+    for i in range(_DEG, _DEG + _SEP):
+        r[i] = r[i - _DEG]
+    return r.astype(_U32)
+
+
+class GlibcRandom(BitSource):
+    """glibc TYPE_3 ``random()`` as a :class:`BitSource` and a scalar RNG.
+
+    Scalar access (:meth:`rand`) matches C ``rand()`` output exactly.
+    Bulk access is vectorized: the lag-3/lag-31 recurrence is advanced 31
+    outputs at a time using three cumulative sums (one per residue class
+    mod 3), which keeps the Python-level loop 31x shorter.
+    """
+
+    name = "glibc-rand"
+    #: RAND_MAX for this generator (outputs are 31-bit).
+    RAND_MAX = 2**31 - 1
+
+    def __init__(self, seed: int = 1):
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._seed = int(seed)
+        table = _srandom_state(seed)
+        # Warm up exactly like glibc: discard 310 outputs.
+        #   maintain a ring of the last 31 raw words r[t-31..t-1]
+        self._ring = table[_SEP:].copy()  # r[3..33] == last 31 values
+        self._pending = np.empty(0, dtype=_U32)
+        burn = _WARMUP
+        while burn > 0:
+            block = self._advance_block()
+            take = min(burn, block.size)
+            burn -= take
+            if take < block.size:
+                self._pending = block[take:]
+
+    def _advance_block(self) -> np.ndarray:
+        """Produce the next 31 raw state words (before the >> 1 output step)."""
+        prev = self._ring  # r[t-31] .. r[t-1]
+        new = np.empty(_DEG, dtype=_U32)
+        # new[i] = new[i-3] + prev[i]; carry-in new[j-3] = prev[28 + j].
+        for j in range(_SEP):
+            idx = np.arange(j, _DEG, _SEP)
+            csum = np.cumsum(prev[idx], dtype=_U32)
+            new[idx] = csum + prev[_DEG - _SEP + j]
+        self._ring = new
+        return new
+
+    def _raw(self, n: int) -> np.ndarray:
+        """Next ``n`` raw 32-bit state words (output = raw >> 1)."""
+        out = np.empty(n, dtype=_U32)
+        have = min(n, self._pending.size)
+        if have:
+            out[:have] = self._pending[:have]
+            self._pending = self._pending[have:]
+        pos = have
+        while pos < n:
+            block = self._advance_block()
+            take = min(n - pos, block.size)
+            out[pos : pos + take] = block[:take]
+            if take < block.size:
+                self._pending = block[take:]
+            pos += take
+        return out
+
+    # -- scalar C-compatible API --------------------------------------
+
+    def rand(self) -> int:
+        """Exactly C ``rand()``: the next 31-bit value as a Python int."""
+        return int(self._raw(1)[0] >> _U32(1))
+
+    def rand_array(self, n: int) -> np.ndarray:
+        """The next ``n`` C ``rand()`` outputs as ``uint32`` (31-bit values)."""
+        return self._raw(n) >> _U32(1)
+
+    # -- BitSource API -------------------------------------------------
+
+    def words64(self, n: int) -> np.ndarray:
+        """Pack pairs of 31-bit outputs plus 2 extra bits into 64-bit words.
+
+        Each word consumes three ``rand()`` outputs: two full 31-bit values
+        and the low 2 bits of a third, i.e. 64 fresh bits per word.
+        """
+        if n < 0:
+            raise ValueError(f"word count must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=_U64)
+        vals = self.rand_array(3 * n).astype(_U64).reshape(n, 3)
+        return (
+            (vals[:, 0] << _U64(33))
+            | (vals[:, 1] << _U64(2))
+            | (vals[:, 2] & _U64(3))
+        )
+
+
+class AnsiCLcg(BitSource):
+    """The K&R / ANSI C reference ``rand()``: a 15-bit-output LCG.
+
+    ``state <- state * 1103515245 + 12345 (mod 2**31)``; output
+    ``(state >> 16) & 0x7FFF``.  Deliberately weak -- the bottom row of the
+    paper's quality tables.
+    """
+
+    name = "ansi-c-lcg"
+    RAND_MAX = 32767
+
+    _A = 1103515245
+    _C = 12345
+    _MASK = (1 << 31) - 1
+    _BLOCK = 4096
+
+    def __init__(self, seed: int = 1):
+        # Precompute A^i and the LCG increment series for a whole block so
+        # bulk generation runs one vectorized expression per 4096 outputs:
+        #   x_i = A^i x_0 + C (A^{i-1} + ... + 1)   (mod 2**31).
+        a_pows = np.empty(self._BLOCK, dtype=_U64)
+        c_terms = np.empty(self._BLOCK, dtype=_U64)
+        a, c = 1, 0
+        mod = 1 << 31
+        for i in range(self._BLOCK):
+            a = (a * self._A) % mod
+            c = (c * self._A + self._C) % mod
+            a_pows[i] = a
+            c_terms[i] = c
+        self._a_pows = a_pows
+        self._c_terms = c_terms
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._state = np.uint64(seed & 0x7FFFFFFF)
+
+    def rand(self) -> int:
+        """The next ANSI C ``rand()`` value (0..32767)."""
+        self._state = (
+            self._state * _U64(self._A) + _U64(self._C)
+        ) & _U64(0x7FFFFFFF)
+        return int((self._state >> _U64(16)) & _U64(0x7FFF))
+
+    def rand_array(self, n: int) -> np.ndarray:
+        """Vectorized generation of ``n`` outputs, 4096 states per step.
+
+        ``A^i x_0`` never exceeds ``2**62`` so the blocked jump stays exact
+        in ``uint64`` arithmetic.
+        """
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=_U32)
+        out = np.empty(n, dtype=_U32)
+        mask = _U64(self._MASK)
+        pos = 0
+        while pos < n:
+            take = min(self._BLOCK, n - pos)
+            states = (
+                self._a_pows[:take] * self._state + self._c_terms[:take]
+            ) & mask
+            self._state = states[-1]
+            out[pos : pos + take] = (
+                (states >> _U64(16)) & _U64(0x7FFF)
+            ).astype(_U32)
+            pos += take
+        return out
+
+    def words64(self, n: int) -> np.ndarray:
+        """Pack five 15-bit outputs (74 bits, truncated) into each word."""
+        if n < 0:
+            raise ValueError(f"word count must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=_U64)
+        vals = self.rand_array(5 * n).astype(_U64).reshape(n, 5)
+        out = np.zeros(n, dtype=_U64)
+        for j in range(5):
+            out = (out << _U64(15)) | vals[:, j]
+        return out  # 75 bits folded into 64: the first value keeps 4 bits
+
+
+def glibc_rand_sequence(seed: int, n: int) -> list[int]:
+    """First ``n`` outputs of glibc ``rand()`` for ``seed`` (reference helper).
+
+    Equivalent to ``srand(seed)`` followed by ``n`` calls to ``rand()`` on a
+    glibc system.
+    """
+    gen = GlibcRandom(seed)
+    return [int(v) for v in gen.rand_array(n)]

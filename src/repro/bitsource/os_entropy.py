@@ -1,0 +1,36 @@
+"""Operating-system entropy as a (non-deterministic) bit source.
+
+Used to seed generators with fresh entropy.  ``reseed`` is accepted but
+ignored -- the OS pool cannot be rewound -- so this source is unsuitable
+for reproducible experiments and is excluded from the quality batteries.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+
+__all__ = ["OsEntropySource"]
+
+
+class OsEntropySource(BitSource):
+    """``os.urandom``-backed feed; every call returns fresh entropy."""
+
+    name = "os-entropy"
+
+    def __init__(self):
+        pass
+
+    def reseed(self, seed: int) -> None:
+        """No-op: OS entropy is not seedable."""
+
+    def words64(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"word count must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        raw = os.urandom(8 * n)
+        return np.frombuffer(raw, dtype="<u8").astype(np.uint64)

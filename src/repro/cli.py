@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   emit random numbers from the hybrid PRNG;
+``quality``    run a statistical battery against any registered generator;
+``platform``   simulate a generation workload on the paper's CPU+GPU
+               platform and print timing/utilization;
+``figures``    print the platform-model reproduction of a paper figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines import available_generators, make_generator
+from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.gpusim.pipeline import PipelineConfig, simulate_pipeline
+from repro.hybrid.throughput import (
+    cpu_hybrid_time_ns,
+    curand_time_ns,
+    glibc_rand_time_ns,
+    hybrid_time_ns,
+    mt_time_ns,
+)
+from repro.utils.tables import format_series
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-demand expander-walk PRNG (IPDPS-W 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit random numbers")
+    gen.add_argument("-n", type=int, default=10, help="how many numbers")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument(
+        "--format", choices=["hex", "int", "float"], default="hex"
+    )
+    gen.add_argument("--threads", type=int, default=4096)
+
+    qual = sub.add_parser("quality", help="run a statistical battery")
+    qual.add_argument(
+        "--generator", default="Hybrid PRNG", choices=available_generators()
+    )
+    qual.add_argument(
+        "--battery",
+        default="diehard",
+        choices=["diehard", "smallcrush", "crush", "bigcrush", "nist"],
+    )
+    qual.add_argument("--scale", type=float, default=0.5)
+    qual.add_argument("--seed", type=int, default=1)
+
+    plat = sub.add_parser("platform", help="simulate the hybrid platform")
+    plat.add_argument("-n", type=int, default=100_000_000)
+    plat.add_argument("--batch-size", type=int, default=100)
+
+    figs = sub.add_parser("figures", help="print a paper figure (model)")
+    figs.add_argument("which", choices=["fig3", "fig5", "fig6"])
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    gen = HybridPRNG(seed=args.seed, num_threads=args.threads)
+    if args.format == "float":
+        for v in gen.uniform53(args.n):
+            print(f"{v:.17f}")
+    else:
+        values = gen.u64_array(args.n)
+        for v in values:
+            print(f"{int(v):#018x}" if args.format == "hex" else int(v))
+    return 0
+
+
+def _cmd_quality(args) -> int:
+    from repro.quality.crush import run_battery
+    from repro.quality.diehard import run_diehard
+
+    if args.generator == "Hybrid PRNG":
+        gen = HybridPRNG(seed=args.seed, num_threads=1 << 16)
+    else:
+        gen = make_generator(args.generator, seed=args.seed)
+    progress = lambda name: print(f"  running {name} ...", file=sys.stderr)
+    if args.battery == "diehard":
+        result = run_diehard(gen, scale=args.scale, progress=progress)
+    elif args.battery == "nist":
+        from repro.quality.nist import run_nist
+
+        result = run_nist(
+            gen, n_bits=max(150_000, int(1_000_000 * args.scale)),
+            progress=progress,
+        )
+    else:
+        battery = {"smallcrush": "SmallCrush", "crush": "Crush",
+                   "bigcrush": "BigCrush"}[args.battery]
+        result = run_battery(battery, gen, scale=args.scale,
+                             progress=progress)
+    print(result.summary_table())
+    return 0 if result.num_passed == result.num_tests else 1
+
+
+def _cmd_platform(args) -> int:
+    res = simulate_pipeline(
+        PipelineConfig(total_numbers=args.n, batch_size=args.batch_size)
+    )
+    print(f"numbers      : {args.n}")
+    print(f"batch size S : {args.batch_size}")
+    print(f"time         : {res.time_ms:.2f} ms")
+    print(f"throughput   : {res.throughput_gnumbers_s:.4f} GNumbers/s")
+    print(f"CPU idle     : {res.cpu_idle_fraction:.1%}")
+    print(f"GPU idle     : {res.gpu_idle_fraction:.1%}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    if args.which == "fig3":
+        sizes = [5, 10, 50, 100, 500, 1000]
+        print(format_series(
+            "Size (M)", sizes,
+            {
+                "Hybrid (ms)": [
+                    round(hybrid_time_ns(PipelineConfig(
+                        total_numbers=int(m * 1e6), batch_size=100)) / 1e6, 1)
+                    for m in sizes
+                ],
+                "MT (ms)": [round(mt_time_ns(int(m * 1e6)) / 1e6, 1)
+                            for m in sizes],
+                "CURAND (ms)": [round(curand_time_ns(int(m * 1e6)) / 1e6, 1)
+                                for m in sizes],
+            },
+            title="Figure 3 (platform model)",
+        ))
+    elif args.which == "fig5":
+        blocks = [1, 5, 10, 50, 100, 200, 500, 1000]
+        print(format_series(
+            "S", blocks,
+            {"Hybrid (ms)": [
+                round(hybrid_time_ns(PipelineConfig(
+                    total_numbers=10_000_000, batch_size=s)) / 1e6, 1)
+                for s in blocks
+            ]},
+            title="Figure 5 (platform model, N = 10M)",
+        ))
+    else:
+        sizes = [5, 10, 50, 100, 500, 1000]
+        print(format_series(
+            "Size (M)", sizes,
+            {
+                "Hybrid CPU (ms)": [
+                    round(cpu_hybrid_time_ns(int(m * 1e6)) / 1e6, 1)
+                    for m in sizes
+                ],
+                "glibc rand() (ms)": [
+                    round(glibc_rand_time_ns(int(m * 1e6)) / 1e6, 1)
+                    for m in sizes
+                ],
+            },
+            title="Figure 6 (platform model)",
+        ))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "quality":
+        return _cmd_quality(args)
+    if args.command == "platform":
+        return _cmd_platform(args)
+    return _cmd_figures(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Probability amplification by expander walks (the paper's Section IV-C
+connection to Motwani-Raghavan [21]).
+
+A one-sided-error randomized algorithm that errs with probability at
+most ``p0 < 1`` on a uniformly random seed can be amplified by running
+it on ``k`` seeds.  Independent seeds need ``k * b`` fresh random bits
+(seed width b); taking the seeds from ``k`` *consecutive positions of a
+random walk on an expander* needs only ``b + O(k)`` bits, yet the error
+still decays exponentially in ``k`` (Ajtai-Komlos-Szemeredi / Gillman).
+That is precisely the construction the paper's PRNG performs internally,
+exposed here as a reusable primitive.
+
+:func:`walk_seeds` returns the seed sequence plus the exact feed-bit
+cost, so the savings claim is checkable; :func:`amplify` runs a caller's
+decision procedure over walk seeds and majority/any-votes the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+from repro.bitsource.counter import SplitMix64Source
+from repro.core.expander import GabberGalilExpander
+from repro.core.walk import WalkEngine
+from repro.utils.checks import check_positive
+
+__all__ = ["walk_seeds", "amplify", "AmplificationResult",
+           "independent_bit_cost"]
+
+
+def independent_bit_cost(k: int, seed_bits: int = 64) -> int:
+    """Fresh random bits needed for ``k`` independent seeds."""
+    check_positive("k", k)
+    return k * seed_bits
+
+
+def walk_seeds(
+    k: int,
+    source: Optional[BitSource] = None,
+    steps_between: int = 1,
+    graph: Optional[GabberGalilExpander] = None,
+) -> tuple:
+    """``k`` 64-bit seeds from consecutive expander-walk positions.
+
+    Parameters
+    ----------
+    k : int
+        Number of seeds.
+    source : BitSource
+        Feed supplying the walk's neighbour choices (default SplitMix64).
+    steps_between : int
+        Walk steps between recorded positions (1 = adjacent vertices;
+        larger values decorrelate more at linear extra bit cost).
+
+    Returns
+    -------
+    (seeds, bits_used) : uint64 array of length k, and the exact number
+    of feed bits consumed (including the 64 start-position bits).
+    """
+    check_positive("k", k)
+    check_positive("steps_between", steps_between)
+    source = source if source is not None else SplitMix64Source(0)
+    graph = graph if graph is not None else GabberGalilExpander()
+    engine = WalkEngine(graph, policy="reject")
+
+    state = engine.make_state(source.words64(1))
+    bits_before = state.chunks_consumed
+    seeds = np.empty(k, dtype=np.uint64)
+    for i in range(k):
+        engine.walk(state, source, steps_between)
+        seeds[i] = engine.outputs(state)[0]
+    bits_used = 64 + 3 * (state.chunks_consumed - bits_before)
+    return seeds, int(bits_used)
+
+
+@dataclass(frozen=True)
+class AmplificationResult:
+    """Outcome of an amplified randomized decision."""
+
+    decision: bool
+    votes_true: int
+    trials: int
+    bits_used: int
+    bits_independent: int
+
+    @property
+    def bit_savings(self) -> float:
+        """Fraction of fresh bits saved vs independent seeding."""
+        return 1.0 - self.bits_used / self.bits_independent
+
+
+def amplify(
+    predicate: Callable[[int], bool],
+    k: int,
+    source: Optional[BitSource] = None,
+    mode: str = "majority",
+    steps_between: int = 1,
+) -> AmplificationResult:
+    """Run ``predicate`` on ``k`` expander-walk seeds and combine votes.
+
+    Parameters
+    ----------
+    predicate : callable(seed) -> bool
+        The randomized test; seed is a 64-bit integer.
+    mode : "majority" or "any"
+        "any" suits one-sided error (e.g. compositeness witnesses:
+        a single True proves the property); "majority" suits two-sided
+        error.
+    """
+    check_positive("k", k)
+    if mode not in ("majority", "any"):
+        raise ValueError(f"mode must be 'majority' or 'any', got {mode!r}")
+    seeds, bits_used = walk_seeds(k, source=source, steps_between=steps_between)
+    votes = sum(bool(predicate(int(s))) for s in seeds)
+    decision = votes > k / 2 if mode == "majority" else votes > 0
+    return AmplificationResult(
+        decision=decision,
+        votes_true=votes,
+        trials=k,
+        bits_used=bits_used,
+        bits_independent=independent_bit_cost(k),
+    )

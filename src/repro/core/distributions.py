@@ -1,0 +1,130 @@
+"""Non-uniform distributions on top of the expander-walk PRNG.
+
+The paper's applications consume uniforms directly; a downstream user of
+an RNG library also needs the classic derived distributions.  These are
+implemented against the abstract ``uniform(n)`` interface, so they work
+with :class:`~repro.baselines.hybrid_adapter.HybridPRNG`, any baseline
+generator, or any bit source.
+
+All samplers are exact (no table approximations): Box-Muller for
+normals, inversion for exponential/geometric, and the standard rejection
+or counting constructions elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.checks import check_positive, check_probability
+
+__all__ = [
+    "normal",
+    "exponential",
+    "geometric",
+    "poisson",
+    "binomial",
+    "shuffle",
+    "choice_index",
+]
+
+
+def _uniform_nonzero(gen, n: int) -> np.ndarray:
+    """Uniforms in (0, 1]: shift the half-open interval to avoid log(0)."""
+    return 1.0 - gen.uniform(n)
+
+
+def normal(gen, n: int, mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    """``n`` Gaussian samples via Box-Muller (two uniforms per pair)."""
+    check_positive("n", n)
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    half = (n + 1) // 2
+    u1 = _uniform_nonzero(gen, half)
+    u2 = gen.uniform(half)
+    r = np.sqrt(-2.0 * np.log(u1))
+    theta = 2.0 * np.pi * u2
+    out = np.concatenate([r * np.cos(theta), r * np.sin(theta)])[:n]
+    return mean + std * out
+
+
+def exponential(gen, n: int, rate: float = 1.0) -> np.ndarray:
+    """``n`` Exp(rate) samples by inversion."""
+    check_positive("n", n)
+    check_positive("rate", rate)
+    return -np.log(_uniform_nonzero(gen, n)) / rate
+
+
+def geometric(gen, n: int, p: float) -> np.ndarray:
+    """``n`` Geometric(p) samples (number of trials until first success)."""
+    check_positive("n", n)
+    check_probability("p", p)
+    if p == 0:
+        raise ValueError("p must be positive")
+    if p == 1.0:
+        return np.ones(n, dtype=np.int64)
+    u = _uniform_nonzero(gen, n)
+    return np.ceil(np.log(u) / np.log1p(-p)).astype(np.int64)
+
+
+def poisson(gen, n: int, lam: float) -> np.ndarray:
+    """``n`` Poisson(lam) samples.
+
+    Knuth's product-of-uniforms method, vectorized with an active mask;
+    for ``lam > 30`` a normal approximation with continuity correction is
+    used (error far below sampling noise at those means).
+    """
+    check_positive("n", n)
+    check_positive("lam", lam)
+    if lam > 30:
+        g = normal(gen, n, mean=lam, std=np.sqrt(lam))
+        return np.maximum(np.rint(g), 0).astype(np.int64)
+    threshold = np.exp(-lam)
+    counts = np.zeros(n, dtype=np.int64)
+    prod = gen.uniform(n).astype(np.float64)
+    active = prod > threshold
+    while active.any():
+        idx = np.nonzero(active)[0]
+        counts[idx] += 1
+        prod[idx] *= gen.uniform(idx.size)
+        active[idx] = prod[idx] > threshold
+    return counts
+
+
+def binomial(gen, n: int, trials: int, p: float) -> np.ndarray:
+    """``n`` Binomial(trials, p) samples by direct counting.
+
+    Exact; intended for modest ``trials`` (the quality batteries and the
+    applications never need more).
+    """
+    check_positive("n", n)
+    check_positive("trials", trials)
+    check_probability("p", p)
+    u = gen.uniform(n * trials).reshape(n, trials)
+    return (u < p).sum(axis=1).astype(np.int64)
+
+
+def shuffle(gen, items: np.ndarray) -> np.ndarray:
+    """Fisher-Yates shuffle driven by the generator; returns a copy."""
+    arr = np.array(items)
+    n = arr.size
+    if n <= 1:
+        return arr
+    u = gen.uniform(n - 1)
+    for i in range(n - 1, 0, -1):
+        j = int(u[n - 1 - i] * (i + 1))
+        j = min(j, i)
+        arr[i], arr[j] = arr[j], arr[i]
+    return arr
+
+
+def choice_index(gen, n: int, weights: np.ndarray) -> np.ndarray:
+    """``n`` indices sampled proportionally to ``weights`` (inversion)."""
+    check_positive("n", n)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    cdf = np.cumsum(w / w.sum())
+    cdf[-1] = 1.0
+    return np.searchsorted(cdf, gen.uniform(n), side="right").astype(np.int64)

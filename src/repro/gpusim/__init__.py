@@ -1,0 +1,41 @@
+"""Discrete-event simulator of the paper's hybrid CPU+GPU platform.
+
+Substitutes for the physical Tesla C1060 + Core i7 980 testbed: device
+specs, a SimPy-style event kernel, kernel/PCIe cost models, the
+three-stage FEED/TRANSFER/GENERATE pipeline, and timeline rendering.
+"""
+
+from repro.gpusim.calibration import (
+    PAPER_THROUGHPUT_GN_S,
+    BaselineCosts,
+    PipelineCosts,
+)
+from repro.gpusim.device import CpuSpec, GpuSpec, HybridPlatform, PcieLink
+from repro.gpusim.events import Environment, Process, SimulationError, Store, Timeout
+from repro.gpusim.kernel import KernelCostModel
+from repro.gpusim.pcie import TransferModel, bits_per_number
+from repro.gpusim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+from repro.gpusim.timeline import Interval, Timeline
+
+__all__ = [
+    "PAPER_THROUGHPUT_GN_S",
+    "BaselineCosts",
+    "PipelineCosts",
+    "CpuSpec",
+    "GpuSpec",
+    "HybridPlatform",
+    "PcieLink",
+    "Environment",
+    "Process",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "KernelCostModel",
+    "TransferModel",
+    "bits_per_number",
+    "PipelineConfig",
+    "PipelineResult",
+    "simulate_pipeline",
+    "Interval",
+    "Timeline",
+]

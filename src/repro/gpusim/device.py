@@ -1,0 +1,117 @@
+"""Hardware descriptions of the paper's experimental platform (Section II).
+
+These dataclasses carry the published specifications of the two devices
+and the PCIe link; the cost models in :mod:`repro.gpusim.kernel` and
+:mod:`repro.gpusim.pcie` derive timing from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.checks import check_positive
+
+__all__ = ["GpuSpec", "CpuSpec", "PcieLink", "HybridPlatform"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A CUDA-generation GPU described at the SM/warp granularity."""
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    clock_ghz: float
+    max_resident_threads_per_sm: int
+    global_mem_gb: float
+
+    def __post_init__(self):
+        check_positive("num_sms", self.num_sms)
+        check_positive("cores_per_sm", self.cores_per_sm)
+        check_positive("warp_size", self.warp_size)
+        check_positive("clock_ghz", self.clock_ghz)
+
+    @property
+    def total_cores(self) -> int:
+        """Total scalar processors (SPs)."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Threads the chip can keep in flight at once."""
+        return self.num_sms * self.max_resident_threads_per_sm
+
+    @classmethod
+    def tesla_c1060(cls) -> "GpuSpec":
+        """The paper's GPU: 30 SMs x 8 SPs = 240 cores (Section II)."""
+        return cls(
+            name="Nvidia Tesla C1060",
+            num_sms=30,
+            cores_per_sm=8,
+            warp_size=32,
+            clock_ghz=1.296,
+            max_resident_threads_per_sm=1024,
+            global_mem_gb=4.0,
+        )
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore CPU host."""
+
+    name: str
+    num_cores: int
+    clock_ghz: float
+    peak_gflops: float
+
+    def __post_init__(self):
+        check_positive("num_cores", self.num_cores)
+        check_positive("clock_ghz", self.clock_ghz)
+
+    @classmethod
+    def intel_i7_980(cls) -> "CpuSpec":
+        """The paper's host CPU (6 cores, 3.4 GHz, ~109 GFLOPS)."""
+        return cls(
+            name="Intel Core i7 980",
+            num_cores=6,
+            clock_ghz=3.4,
+            peak_gflops=109.0,
+        )
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A PCI Express link between host and device."""
+
+    bandwidth_gb_s: float
+    latency_us: float
+
+    def __post_init__(self):
+        check_positive("bandwidth_gb_s", self.bandwidth_gb_s)
+        check_positive("latency_us", self.latency_us)
+
+    def transfer_time_us(self, nbytes: float) -> float:
+        """Time (microseconds) to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_us + nbytes / (self.bandwidth_gb_s * 1e3)
+
+    @classmethod
+    def pcie2_x16(cls) -> "PcieLink":
+        """PCIe 2.0 x16: 8 GB/s as quoted in Section II."""
+        return cls(bandwidth_gb_s=8.0, latency_us=8.0)
+
+
+@dataclass(frozen=True)
+class HybridPlatform:
+    """The full CPU + GPU + link platform."""
+
+    cpu: CpuSpec = field(default_factory=CpuSpec.intel_i7_980)
+    gpu: GpuSpec = field(default_factory=GpuSpec.tesla_c1060)
+    link: PcieLink = field(default_factory=PcieLink.pcie2_x16)
+
+    @classmethod
+    def paper_platform(cls) -> "HybridPlatform":
+        """Exactly the platform of Section II / Figure 2."""
+        return cls()

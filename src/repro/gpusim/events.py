@@ -1,0 +1,186 @@
+"""A small generator-based discrete-event simulation kernel.
+
+The paper's performance story is about *pipeline structure*: which device
+is busy when, and where the bubbles are (Figures 4 and 5).  To reproduce
+those results without the physical Tesla C1060 we simulate the platform
+with a discrete-event engine in the style of SimPy, reduced to the three
+primitives the pipeline model needs:
+
+* :class:`Environment` -- the event loop and clock;
+* ``yield env.timeout(dt)`` -- consume simulated time;
+* :class:`Store` -- a bounded FIFO channel (``yield store.put(x)`` /
+  ``yield store.get()``) used to model the CPU->GPU bit-buffer queue.
+
+Processes are plain Python generators registered with
+:meth:`Environment.process`.  Determinism: simultaneous events fire in
+schedule order (a monotonically increasing sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable, List, Optional
+
+__all__ = ["Environment", "Store", "Process", "Timeout", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class _EventBase:
+    """Something a process can yield; wakes the process when triggered."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["_EventBase"], None]] = []
+        self.triggered = False
+        self.value = None
+
+    def _succeed(self, value=None) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        for cb in self.callbacks:
+            self.env._schedule_call(cb, self)
+        self.callbacks.clear()
+
+
+class Timeout(_EventBase):
+    """Fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        env._schedule(env.now + delay, self._succeed)
+
+
+class Process(_EventBase):
+    """Wraps a generator; fires when the generator finishes."""
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        self._gen = gen
+        env._schedule(env.now, lambda: self._resume(None))
+
+    def _resume(self, sent_event: Optional[_EventBase]) -> None:
+        try:
+            value = sent_event.value if sent_event is not None else None
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._succeed(stop.value)
+            return
+        if not isinstance(target, _EventBase):
+            raise SimulationError(
+                f"process yielded {target!r}; expected Timeout/Store op/Process"
+            )
+        if target.triggered:
+            self.env._schedule_call(lambda _t: self._resume(target), target)
+        else:
+            target.callbacks.append(lambda t: self._resume(t))
+
+
+class _StorePut(_EventBase):
+    def __init__(self, env, item):
+        super().__init__(env)
+        self.item = item
+
+
+class _StoreGet(_EventBase):
+    pass
+
+
+class Store:
+    """Bounded FIFO channel between processes."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: List = []
+        self._puts: List[_StorePut] = []
+        self._gets: List[_StoreGet] = []
+
+    def put(self, item) -> _StorePut:
+        ev = _StorePut(self.env, item)
+        self._puts.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> _StoreGet:
+        ev = _StoreGet(self.env)
+        self._gets.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._puts and len(self.items) < self.capacity:
+                put = self._puts.pop(0)
+                self.items.append(put.item)
+                put._succeed()
+                progress = True
+            if self._gets and self.items:
+                get = self._gets.pop(0)
+                get._succeed(self.items.pop(0))
+                progress = True
+
+    @property
+    def level(self) -> int:
+        """Items currently buffered."""
+        return len(self.items)
+
+
+class Environment:
+    """Event loop: schedules callbacks on a simulated clock."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, at: float, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, fn))
+
+    def _schedule_call(self, cb: Callable, event: _EventBase) -> None:
+        self._schedule(self.now, lambda: cb(event))
+
+    # -- public API ----------------------------------------------------
+
+    def timeout(self, delay: float) -> Timeout:
+        """An event that fires ``delay`` units from now."""
+        return Timeout(self, delay)
+
+    def process(self, gen: Generator) -> Process:
+        """Register a generator as a process; returns its completion event."""
+        return Process(self, gen)
+
+    def store(self, capacity: float = float("inf")) -> Store:
+        """Create a bounded FIFO channel."""
+        return Store(self, capacity)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or the clock passes ``until``."""
+        while self._heap:
+            at, _seq, fn = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = at
+            fn()
+        return self.now
+
+    def run_all(self, processes: Iterable[Generator]) -> float:
+        """Convenience: register ``processes`` and run to completion."""
+        for gen in processes:
+            self.process(gen)
+        return self.run()

@@ -1,0 +1,70 @@
+"""First-principles GPU kernel cost model for the walk kernel.
+
+Complements the Figure-4-calibrated constants in
+:mod:`repro.gpusim.calibration` with a model built up from the device
+spec: warps, SMs, clock and a cycles-per-step parameter.  The default
+``cycles_per_step`` is chosen so that, at full occupancy on the Tesla
+C1060, the per-number cost agrees with the calibrated ``generate_ns``
+(~11.4 ns) -- the two views of the same quantity are cross-checked in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import GpuSpec
+from repro.utils.checks import check_positive
+
+__all__ = ["KernelCostModel"]
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Estimates walk-kernel execution time on a :class:`GpuSpec`.
+
+    Parameters
+    ----------
+    gpu : GpuSpec
+    cycles_per_step : float
+        GPU core cycles per walk step (bit extraction + two fused affine
+        updates + feed fetch).  Default reproduces the calibrated
+        11.43 ns/number at 64 steps on the C1060.
+    launch_overhead_ns : float
+        Fixed driver/launch cost per kernel invocation.
+    """
+
+    gpu: GpuSpec
+    cycles_per_step: float = 55.5
+    launch_overhead_ns: float = 6_000.0
+
+    def __post_init__(self):
+        check_positive("cycles_per_step", self.cycles_per_step)
+
+    def steps_per_second(self, resident_threads: int) -> float:
+        """Aggregate walk steps/s the chip retires at a given occupancy."""
+        check_positive("resident_threads", resident_threads)
+        occupancy = min(1.0, resident_threads / self.gpu.max_resident_threads)
+        peak = self.gpu.total_cores * self.gpu.clock_ghz * 1e9 / self.cycles_per_step
+        return peak * occupancy
+
+    def number_time_ns(self, resident_threads: int, walk_length: int = 64) -> float:
+        """Amortized ns to produce one number (a ``walk_length``-step walk)."""
+        check_positive("walk_length", walk_length)
+        rate = self.steps_per_second(resident_threads)
+        return walk_length / rate * 1e9
+
+    def kernel_time_ns(
+        self,
+        threads: int,
+        numbers_per_thread: int,
+        walk_length: int = 64,
+    ) -> float:
+        """Wall time of one launch producing ``threads * numbers_per_thread``."""
+        check_positive("threads", threads)
+        check_positive("numbers_per_thread", numbers_per_thread)
+        total_numbers = threads * numbers_per_thread
+        return (
+            self.launch_overhead_ns
+            + total_numbers * self.number_time_ns(threads, walk_length)
+        )

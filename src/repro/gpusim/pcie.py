@@ -1,0 +1,54 @@
+"""PCIe feed-transfer cost model.
+
+How many bytes per random number must cross the link, and how long that
+takes on a :class:`~repro.gpusim.device.PcieLink`.  The from-first-
+principles figure (24-27 bytes/number at 8 GB/s, ~3.4 ns) is larger than
+Figure 4's calibrated TRANSFER share (~1.1 ns/number); the paper's
+Algorithm 1 masks all walk choices out of a single 64-bit word per
+thread, i.e. it ships fewer fresh bits than an unbiased walk needs.
+Both models are provided; the pipeline defaults to the calibrated one so
+figure shapes match, and the ablation benchmarks can swap in this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import PcieLink
+from repro.utils.checks import check_positive
+
+__all__ = ["TransferModel", "bits_per_number"]
+
+
+def bits_per_number(walk_length: int = 64, policy: str = "reject") -> float:
+    """Mean fresh feed bits one emitted number consumes.
+
+    3 bits per step, times the rejection overhead (8/7) when the
+    neighbour index is drawn unbiased.
+    """
+    check_positive("walk_length", walk_length)
+    factor = 8.0 / 7.0 if policy == "reject" else 1.0
+    return 3.0 * walk_length * factor
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Feed-bit transfer times over a PCIe link."""
+
+    link: PcieLink
+    walk_length: int = 64
+    policy: str = "reject"
+
+    @property
+    def bytes_per_number(self) -> float:
+        return bits_per_number(self.walk_length, self.policy) / 8.0
+
+    def batch_time_ns(self, numbers: int) -> float:
+        """Time to ship feed bits for ``numbers`` walks (one batch)."""
+        check_positive("numbers", numbers)
+        nbytes = numbers * self.bytes_per_number
+        return self.link.transfer_time_us(nbytes) * 1e3
+
+    def per_number_ns(self) -> float:
+        """Bandwidth-only cost per number (excludes per-batch latency)."""
+        return self.bytes_per_number / (self.link.bandwidth_gb_s * 1e9) * 1e9

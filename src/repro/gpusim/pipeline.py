@@ -1,0 +1,143 @@
+"""Discrete-event model of the hybrid FEED/TRANSFER/GENERATE pipeline.
+
+This is the simulator behind Figures 3, 4 and 5.  The workload is
+"generate N numbers with batch size S" (S = numbers per thread, the
+paper's *block size*): ``T = ceil(N / S)`` GPU threads each produce one
+number per iteration, for S iterations.
+
+Three device processes run concurrently, connected by bounded buffers
+(CUDA streams allow one transfer in flight while a kernel runs --
+Section II):
+
+* **CPU** produces each iteration's feed bits (FEED);
+* **PCIe** ships them to device memory (TRANSFER);
+* **GPU** runs the walk kernel for the iteration (GENERATE), after an
+  initial Algorithm-1 mixing pass.
+
+Timing comes from :class:`~repro.gpusim.calibration.PipelineCosts`
+(Figure-4-calibrated) by default; any cost triple can be substituted.
+The GPU's per-number cost degrades below full occupancy, which is what
+bends the Figure 5 curve back up for large S (few threads); per-iteration
+fixed costs (kernel launch, PCIe latency) penalize very small S (many
+tiny iterations are modeled per-thread-batch, so small S means a huge
+one-off thread-initialization bill instead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpusim.calibration import PipelineCosts
+from repro.gpusim.events import Environment
+from repro.gpusim.timeline import Timeline
+from repro.utils.checks import check_positive
+
+__all__ = ["PipelineConfig", "PipelineResult", "simulate_pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """A hybrid-generation workload."""
+
+    total_numbers: int
+    batch_size: int = 100
+    costs: PipelineCosts = field(default_factory=PipelineCosts)
+    #: Buffered feed batches between CPU and PCIe, and PCIe and GPU.
+    buffer_depth: int = 2
+    #: Override thread count (default: ceil(N / S)).
+    threads: Optional[int] = None
+
+    def __post_init__(self):
+        check_positive("total_numbers", self.total_numbers)
+        check_positive("batch_size", self.batch_size)
+        check_positive("buffer_depth", self.buffer_depth)
+        if self.threads is not None:
+            check_positive("threads", self.threads)
+
+    @property
+    def num_threads(self) -> int:
+        if self.threads is not None:
+            return self.threads
+        return math.ceil(self.total_numbers / self.batch_size)
+
+    @property
+    def iterations(self) -> int:
+        """Kernel iterations; each produces one number per thread."""
+        return math.ceil(self.total_numbers / self.num_threads)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a simulated hybrid run."""
+
+    config: PipelineConfig
+    total_ns: float
+    timeline: Timeline
+
+    @property
+    def throughput_gnumbers_s(self) -> float:
+        """Numbers per nanosecond == GNumbers per second."""
+        return self.config.total_numbers / self.total_ns
+
+    @property
+    def cpu_idle_fraction(self) -> float:
+        return self.timeline.idle_fraction("CPU")
+
+    @property
+    def gpu_idle_fraction(self) -> float:
+        return self.timeline.idle_fraction("GPU")
+
+    @property
+    def time_ms(self) -> float:
+        return self.total_ns / 1e6
+
+
+def simulate_pipeline(config: PipelineConfig) -> PipelineResult:
+    """Run the three-stage pipeline to completion and report timings."""
+    costs = config.costs
+    T = config.num_threads
+    iters = config.iterations
+
+    feed_ns = T * costs.feed_ns
+    transfer_ns = T * costs.transfer_ns + costs.transfer_latency_ns
+    gen_ns = T * costs.generate_ns_effective(T) + costs.launch_overhead_ns
+    init_ns = (
+        T * costs.init_numbers_per_thread * costs.generate_ns_effective(T)
+        + costs.launch_overhead_ns
+    )
+
+    env = Environment()
+    to_pcie = env.store(capacity=config.buffer_depth)
+    to_gpu = env.store(capacity=config.buffer_depth)
+    timeline = Timeline()
+
+    def cpu_proc():
+        for i in range(iters):
+            start = env.now
+            yield env.timeout(feed_ns)
+            timeline.add("CPU", start, env.now, f"FEED {i}")
+            yield to_pcie.put(i)
+
+    def pcie_proc():
+        for _ in range(iters):
+            i = yield to_pcie.get()
+            start = env.now
+            yield env.timeout(transfer_ns)
+            timeline.add("PCIe", start, env.now, f"TRANSFER {i}")
+            yield to_gpu.put(i)
+
+    def gpu_proc():
+        # Algorithm 1: initialize all walkers before the first iteration.
+        start = env.now
+        yield env.timeout(init_ns)
+        timeline.add("GPU", start, env.now, "INIT")
+        for _ in range(iters):
+            i = yield to_gpu.get()
+            start = env.now
+            yield env.timeout(gen_ns)
+            timeline.add("GPU", start, env.now, f"GENERATE {i}")
+
+    total = env.run_all([cpu_proc(), pcie_proc(), gpu_proc()])
+    return PipelineResult(config=config, total_ns=total, timeline=timeline)

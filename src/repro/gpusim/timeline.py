@@ -1,0 +1,101 @@
+"""Busy-interval timelines: the data behind Figure 4.
+
+The pipeline simulator records one :class:`Interval` per work unit
+(FEED / TRANSFER / GENERATE); :class:`Timeline` aggregates them into
+busy/idle statistics per device and renders an ASCII Gantt chart like the
+paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Interval", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy span of one device."""
+
+    device: str
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """A collection of busy intervals across devices."""
+
+    intervals: List[Interval] = field(default_factory=list)
+
+    def add(self, device: str, start: float, end: float, label: str = "") -> None:
+        self.intervals.append(Interval(device, start, end, label))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def devices(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for iv in self.intervals:
+            seen.setdefault(iv.device, None)
+        return list(seen)
+
+    @property
+    def horizon(self) -> float:
+        """Completion time of the last interval (0 when empty)."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def busy_time(self, device: str) -> float:
+        """Total busy time of ``device`` (its intervals never overlap)."""
+        return sum(iv.duration for iv in self.intervals if iv.device == device)
+
+    def idle_fraction(self, device: str, horizon: float | None = None) -> float:
+        """Fraction of the run during which ``device`` sat idle."""
+        h = self.horizon if horizon is None else horizon
+        if h <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_time(device) / h)
+
+    def device_intervals(self, device: str) -> List[Interval]:
+        return sorted(
+            (iv for iv in self.intervals if iv.device == device),
+            key=lambda iv: iv.start,
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 4)
+    # ------------------------------------------------------------------
+
+    def render(self, width: int = 72, max_time: float | None = None) -> str:
+        """ASCII Gantt chart: one row per device, '#' busy, '.' idle."""
+        h = self.horizon if max_time is None else max_time
+        if h <= 0:
+            return "(empty timeline)"
+        lines = []
+        name_w = max((len(d) for d in self.devices), default=4)
+        for device in self.devices:
+            row = ["."] * width
+            for iv in self.device_intervals(device):
+                a = int(iv.start / h * width)
+                b = int(iv.end / h * width)
+                b = max(b, a + 1) if iv.duration > 0 else b
+                for i in range(a, min(b, width)):
+                    row[i] = "#"
+            idle = self.idle_fraction(device, h)
+            lines.append(
+                f"{device:<{name_w}} |{''.join(row)}| idle {idle * 100:5.1f}%"
+            )
+        lines.append(f"{'':<{name_w}}  0{' ' * (width - 8)}{h:.3g} ns")
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Batch scheduler: picks the block size and drives hybrid generation.
+
+Combines the performance model (pick ``S`` near Figure 5's optimum for
+the requested ``N``) with the functional generator (actually produce the
+numbers).  This is the component an application embeds: it owns a
+:class:`~repro.core.parallel.ParallelExpanderPRNG`, an optionally
+asynchronous :class:`~repro.bitsource.buffered.BufferedFeed`, and reports
+both real outputs and the simulated platform timing for the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+from repro.bitsource.buffered import BufferedFeed
+from repro.bitsource.glibc import GlibcRandom
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.gpusim.calibration import PipelineCosts
+from repro.gpusim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+from repro.hybrid.throughput import optimal_batch_size
+from repro.utils.checks import check_positive
+
+__all__ = ["GenerationPlan", "HybridScheduler"]
+
+
+@dataclass(frozen=True)
+class GenerationPlan:
+    """A resolved decision on how to generate ``total_numbers``."""
+
+    total_numbers: int
+    batch_size: int
+    num_threads: int
+    iterations: int
+
+    @classmethod
+    def from_config(cls, config: PipelineConfig) -> "GenerationPlan":
+        return cls(
+            total_numbers=config.total_numbers,
+            batch_size=config.batch_size,
+            num_threads=config.num_threads,
+            iterations=config.iterations,
+        )
+
+
+class HybridScheduler:
+    """Plans and executes hybrid random-number generation.
+
+    Parameters
+    ----------
+    seed : int
+        Seed for the CPU feed.
+    costs : PipelineCosts, optional
+        Platform cost model used for planning/simulation.
+    bit_source : BitSource, optional
+        Feed override (default: glibc ``rand()``); wrapped in a
+        :class:`BufferedFeed` to model the CPU->GPU queue.
+    async_feed : bool
+        Produce feed batches on a real background thread.
+    max_threads : int
+        Cap on simultaneously simulated walker lanes (memory bound).
+    """
+
+    def __init__(
+        self,
+        seed: int = 1,
+        costs: Optional[PipelineCosts] = None,
+        bit_source: Optional[BitSource] = None,
+        async_feed: bool = False,
+        max_threads: int = 1 << 17,
+    ):
+        check_positive("max_threads", max_threads)
+        self.costs = costs or PipelineCosts()
+        raw = bit_source if bit_source is not None else GlibcRandom(seed or 1)
+        self.feed = BufferedFeed(
+            raw, batch_words=1 << 15, prefetch=2, async_producer=async_feed
+        )
+        self.max_threads = int(max_threads)
+        self._prng: Optional[ParallelExpanderPRNG] = None
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, total_numbers: int, batch_size: Optional[int] = None
+             ) -> GenerationPlan:
+        """Choose a batch size (model-optimal unless given) and lay out work."""
+        check_positive("total_numbers", total_numbers)
+        s = batch_size or optimal_batch_size(total_numbers, costs=self.costs)
+        config = PipelineConfig(
+            total_numbers=total_numbers, batch_size=s, costs=self.costs
+        )
+        return GenerationPlan.from_config(config)
+
+    def predict(self, plan: GenerationPlan) -> PipelineResult:
+        """Simulated platform timing for ``plan`` (the paper's testbed)."""
+        config = PipelineConfig(
+            total_numbers=plan.total_numbers,
+            batch_size=plan.batch_size,
+            costs=self.costs,
+        )
+        return simulate_pipeline(config)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def generate(self, plan: GenerationPlan) -> np.ndarray:
+        """Actually produce the numbers for ``plan`` (values, not timing).
+
+        Lane count is capped at ``max_threads``; more threads in the plan
+        than lanes simply means lanes are reused round-robin, which
+        cannot change the emitted stream's statistics.
+        """
+        lanes = min(plan.num_threads, self.max_threads)
+        if self._prng is None or self._prng.num_threads != lanes:
+            self._prng = ParallelExpanderPRNG(
+                num_threads=lanes, bit_source=self.feed
+            )
+        return self._prng.generate(plan.total_numbers)
+
+    def run(self, total_numbers: int, batch_size: Optional[int] = None):
+        """Plan, simulate, and generate; returns (values, plan, prediction)."""
+        plan = self.plan(total_numbers, batch_size)
+        prediction = self.predict(plan)
+        values = self.generate(plan)
+        return values, plan, prediction
+
+    def close(self) -> None:
+        """Stop the background feed thread, if any."""
+        self.feed.close()
+
+    def __enter__(self) -> "HybridScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

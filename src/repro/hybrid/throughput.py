@@ -1,0 +1,130 @@
+"""Closed-form timing of the hybrid pipeline and the baseline generators.
+
+The discrete-event simulator (:mod:`repro.gpusim.pipeline`) and this
+module compute the same quantity two ways; the test suite asserts they
+agree.  The closed form is the classic three-stage pipeline recurrence
+over iterations ``i = 1..S``::
+
+    f_i = f_{i-1} + F              (CPU feeds serially)
+    t_i = max(f_i, t_{i-1}) + X    (PCIe after its input and itself)
+    g_i = max(t_i, g_{i-1}) + G    (GPU after its input and itself)
+
+with ``g_0`` = the Algorithm-1 initialization pass.  Completion time is
+``g_S``; buffer depth >= 1 cannot change it (a full buffer only ever
+delays a producer, never the consumer that sets the critical path).
+
+Also provided: simulated generation times for the comparison generators
+of Figure 3 (GPU Mersenne Twister, CURAND) and Figure 6 (CPU-only hybrid
+vs glibc ``rand()``), using :class:`~repro.gpusim.calibration.BaselineCosts`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.gpusim.calibration import BaselineCosts, PipelineCosts
+from repro.gpusim.device import CpuSpec
+from repro.gpusim.pipeline import PipelineConfig
+from repro.utils.checks import check_positive
+
+__all__ = [
+    "hybrid_time_ns",
+    "stage_times_ns",
+    "mt_time_ns",
+    "curand_time_ns",
+    "cpu_hybrid_time_ns",
+    "glibc_rand_time_ns",
+    "optimal_batch_size",
+    "utilization_report",
+]
+
+
+def stage_times_ns(config: PipelineConfig) -> tuple:
+    """Per-iteration (feed, transfer, generate, init) times in ns."""
+    costs = config.costs
+    T = config.num_threads
+    feed = T * costs.feed_ns
+    transfer = T * costs.transfer_ns + costs.transfer_latency_ns
+    gen = T * costs.generate_ns_effective(T) + costs.launch_overhead_ns
+    init = (
+        T * costs.init_numbers_per_thread * costs.generate_ns_effective(T)
+        + costs.launch_overhead_ns
+    )
+    return feed, transfer, gen, init
+
+
+def hybrid_time_ns(config: PipelineConfig) -> float:
+    """Completion time of the hybrid pipeline via the exact recurrence."""
+    F, X, G, init = stage_times_ns(config)
+    f = t = 0.0
+    g = init
+    for _ in range(config.iterations):
+        f = f + F
+        t = max(f, t) + X
+        g = max(t, g) + G
+    return g
+
+
+def mt_time_ns(n: int, costs: Optional[BaselineCosts] = None) -> float:
+    """Simulated time for the SDK Mersenne Twister to emit ``n`` numbers."""
+    check_positive("n", n)
+    c = costs or BaselineCosts()
+    return c.mersenne_twister_setup_ns + n * c.mersenne_twister_ns
+
+
+def curand_time_ns(n: int, costs: Optional[BaselineCosts] = None) -> float:
+    """Simulated time for CURAND (device API) to emit ``n`` numbers."""
+    check_positive("n", n)
+    c = costs or BaselineCosts()
+    return c.curand_setup_ns + n * c.curand_ns
+
+
+def cpu_hybrid_time_ns(
+    n: int,
+    cpu: Optional[CpuSpec] = None,
+    costs: Optional[BaselineCosts] = None,
+) -> float:
+    """The generator run CPU-only with OpenMP across all cores (Figure 6)."""
+    check_positive("n", n)
+    c = costs or BaselineCosts()
+    cores = (cpu or CpuSpec.intel_i7_980()).num_cores
+    return n * c.cpu_hybrid_single_core_ns / cores
+
+
+def glibc_rand_time_ns(n: int, costs: Optional[BaselineCosts] = None) -> float:
+    """Serial glibc ``rand()`` loop (Figure 6's baseline)."""
+    check_positive("n", n)
+    c = costs or BaselineCosts()
+    return n * c.glibc_rand_ns
+
+
+def optimal_batch_size(
+    total_numbers: int,
+    candidates: Iterable[int] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+    costs: Optional[PipelineCosts] = None,
+) -> int:
+    """Batch size minimizing predicted completion time (Figure 5's optimum)."""
+    check_positive("total_numbers", total_numbers)
+    costs = costs or PipelineCosts()
+    best_s, best_t = None, math.inf
+    for s in candidates:
+        cfg = PipelineConfig(total_numbers=total_numbers, batch_size=s, costs=costs)
+        t = hybrid_time_ns(cfg)
+        if t < best_t:
+            best_s, best_t = s, t
+    return best_s
+
+
+def utilization_report(config: PipelineConfig) -> dict:
+    """Busy fractions per device over the pipeline's completion time."""
+    F, X, G, init = stage_times_ns(config)
+    total = hybrid_time_ns(config)
+    iters = config.iterations
+    return {
+        "total_ns": total,
+        "cpu_busy_fraction": iters * F / total,
+        "pcie_busy_fraction": iters * X / total,
+        "gpu_busy_fraction": (iters * G + init) / total,
+        "throughput_gnumbers_s": config.total_numbers / total,
+    }

@@ -1,0 +1,54 @@
+"""The paper's three work units and their device mapping (Section IV-A).
+
+The hybrid algorithm decomposes into FEED (produce raw bits), TRANSFER
+(ship them over PCIe) and GENERATE (run walks).  The paper maps FEED to
+the CPU and GENERATE to the GPU, leaving TRANSFER on the link; this
+module states that mapping as data so schedulers and reports share it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["WorkUnit", "DEVICE_MAPPING", "WorkItem"]
+
+
+class WorkUnit(enum.Enum):
+    """A pipeline stage of the hybrid generator."""
+
+    FEED = "FEED"
+    TRANSFER = "TRANSFER"
+    GENERATE = "GENERATE"
+
+
+#: The natural mapping of Section IV-A: massively parallel GENERATE on the
+#: GPU, serial bit production on the CPU.
+DEVICE_MAPPING = {
+    WorkUnit.FEED: "CPU",
+    WorkUnit.TRANSFER: "PCIe",
+    WorkUnit.GENERATE: "GPU",
+}
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One iteration's worth of one work unit."""
+
+    unit: WorkUnit
+    iteration: int
+    numbers: int
+
+    def __post_init__(self):
+        if self.iteration < 0:
+            raise ValueError(f"iteration must be non-negative, got {self.iteration}")
+        if self.numbers <= 0:
+            raise ValueError(f"numbers must be positive, got {self.numbers}")
+
+    @property
+    def device(self) -> str:
+        return DEVICE_MAPPING[self.unit]
+
+    @property
+    def label(self) -> str:
+        return f"{self.unit.value} {self.iteration}"

@@ -1,0 +1,33 @@
+"""Statistical quality suites: DIEHARD and TestU01-style Crush batteries."""
+
+from repro.quality.twolevel import (
+    TwoLevelResult,
+    proportion_band,
+    two_level_run,
+)
+from repro.quality.stats import (
+    PASS_HI,
+    PASS_LO,
+    BatteryResult,
+    TestResult,
+    binary_matrix_rank_probs,
+    chi2_pvalue,
+    fisher_combine,
+    ks_uniform,
+    normal_pvalue,
+)
+
+__all__ = [
+    "TwoLevelResult",
+    "proportion_band",
+    "two_level_run",
+    "PASS_HI",
+    "PASS_LO",
+    "BatteryResult",
+    "TestResult",
+    "binary_matrix_rank_probs",
+    "chi2_pvalue",
+    "fisher_combine",
+    "ks_uniform",
+    "normal_pvalue",
+]

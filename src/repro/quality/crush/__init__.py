@@ -1,0 +1,43 @@
+"""TestU01-style Crush batteries (SmallCrush / Crush / BigCrush)."""
+
+from repro.quality.crush.batteries import (
+    BATTERY_NAMES,
+    run_battery,
+    run_bigcrush,
+    run_crush,
+    run_smallcrush,
+)
+from repro.quality.crush.classic import (
+    autocorrelation_test,
+    collision_test,
+    coupon_collector_test,
+    gap_test,
+    hamming_indep_test,
+    hamming_weight_test,
+    longest_run_test,
+    max_of_t_test,
+    poker_test,
+    random_walk_test,
+    serial_pairs_test,
+    weight_distrib_test,
+)
+
+__all__ = [
+    "BATTERY_NAMES",
+    "run_battery",
+    "run_bigcrush",
+    "run_crush",
+    "run_smallcrush",
+    "autocorrelation_test",
+    "collision_test",
+    "coupon_collector_test",
+    "gap_test",
+    "hamming_indep_test",
+    "hamming_weight_test",
+    "longest_run_test",
+    "max_of_t_test",
+    "poker_test",
+    "random_walk_test",
+    "serial_pairs_test",
+    "weight_distrib_test",
+]

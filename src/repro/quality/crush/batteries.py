@@ -1,0 +1,188 @@
+"""SmallCrush / Crush / BigCrush batteries (Table III of the paper).
+
+Modeled on TestU01's tiered structure: three batteries of **15 named
+statistics each**, at sharply increasing sample sizes, so each row of the
+paper's Table III ("x/15 passed" per battery) is directly reproducible.
+Test selections mix the Knuth/TestU01 classics
+(:mod:`repro.quality.crush.classic`) with the heavier DIEHARD machinery
+(matrix ranks, monkey tests, squeeze); BigCrush adds the most
+structure-sensitive configurations (64x64 ranks, low-bit birthday
+windows, long autocorrelations).
+
+Sizes are scaled to pure-NumPy runtimes: SmallCrush tens of millions of
+bits, BigCrush around ten times more.  ``scale`` multiplies sizes for
+heavier runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.baselines.base import PRNG
+from repro.quality.crush.classic import (
+    autocorrelation_test,
+    collision_test,
+    coupon_collector_test,
+    gap_test,
+    hamming_indep_test,
+    hamming_weight_test,
+    longest_run_test,
+    max_of_t_test,
+    poker_test,
+    random_walk_test,
+    serial_pairs_test,
+    weight_distrib_test,
+)
+from repro.quality.diehard.birthday import birthday_spacings
+from repro.quality.diehard.monkey import bitstream_test, monkey_group
+from repro.quality.diehard.operm5 import operm5_test
+from repro.quality.diehard.ranks import binary_rank_test
+from repro.quality.diehard.squeeze import squeeze_test
+from repro.quality.diehard.sums_runs_craps import runs_test
+from repro.quality.stats import BatteryResult
+
+__all__ = ["run_smallcrush", "run_crush", "run_bigcrush", "run_battery",
+           "BATTERY_NAMES"]
+
+BATTERY_NAMES = ("SmallCrush", "Crush", "BigCrush")
+
+TestSpec = Tuple[str, Callable[[PRNG, float], object]]
+
+
+def _s(n: int, scale: float) -> int:
+    return max(1, int(n * scale))
+
+
+def _smallcrush_tests() -> List[TestSpec]:
+    return [
+        ("birthday spacings", lambda g, s: birthday_spacings(
+            g, n_samples=_s(120, s), bit_offsets=(0,))),
+        ("collision", lambda g, s: collision_test(g, n_balls=_s(2**16, s))),
+        ("gap", lambda g, s: gap_test(g, n=_s(500_000, s))),
+        ("coupon collector", lambda g, s: coupon_collector_test(
+            g, n_segments=_s(20_000, s))),
+        ("poker", lambda g, s: poker_test(g, n_hands=_s(50_000, s))),
+        ("max-of-t", lambda g, s: max_of_t_test(g, n_groups=_s(30_000, s))),
+        ("weight distribution", lambda g, s: weight_distrib_test(
+            g, n_blocks=_s(5_000, s))),
+        ("matrix rank 32x32", lambda g, s: binary_rank_test(
+            g, 32, 32, n_matrices=_s(1_000, s))),
+        ("hamming weight", lambda g, s: hamming_weight_test(
+            g, n_words=_s(200_000, s))),
+        ("hamming independence", lambda g, s: hamming_indep_test(
+            g, n_words=_s(200_000, s))),
+        ("random walk", lambda g, s: random_walk_test(g, n_walks=_s(20_000, s))),
+        ("autocorrelation", lambda g, s: autocorrelation_test(
+            g, n_bits=_s(1_000_000, s))),
+        ("serial pairs", lambda g, s: serial_pairs_test(
+            g, n_pairs=_s(500_000, s))),
+        ("runs", lambda g, s: runs_test(g, n=_s(50_000, s))),
+        ("longest run of ones", lambda g, s: longest_run_test(
+            g, n_blocks=_s(20_000, s))),
+    ]
+
+
+def _crush_tests() -> List[TestSpec]:
+    return [
+        ("birthday spacings (2 windows)", lambda g, s: birthday_spacings(
+            g, n_samples=_s(250, s), bit_offsets=(0, 8))),
+        ("collision", lambda g, s: collision_test(g, n_balls=_s(2**17, s))),
+        ("gap", lambda g, s: gap_test(g, n=_s(2_000_000, s), beta=0.0625)),
+        ("coupon collector", lambda g, s: coupon_collector_test(
+            g, d=6, n_segments=_s(60_000, s))),
+        ("poker", lambda g, s: poker_test(g, d=16, k=6, n_hands=_s(150_000, s))),
+        ("max-of-t", lambda g, s: max_of_t_test(
+            g, t=16, n_groups=_s(100_000, s))),
+        ("weight distribution", lambda g, s: weight_distrib_test(
+            g, n_blocks=_s(20_000, s))),
+        ("matrix rank 32x32", lambda g, s: binary_rank_test(
+            g, 32, 32, n_matrices=_s(4_000, s))),
+        ("hamming independence", lambda g, s: hamming_indep_test(
+            g, n_words=_s(1_000_000, s))),
+        ("random walk", lambda g, s: random_walk_test(
+            g, walk_len=256, n_walks=_s(60_000, s))),
+        ("autocorrelation", lambda g, s: autocorrelation_test(
+            g, n_bits=_s(8_000_000, s))),
+        ("serial pairs", lambda g, s: serial_pairs_test(
+            g, n_pairs=_s(2_000_000, s))),
+        ("operm5", lambda g, s: operm5_test(
+            g, n_groups=max(12_000, _s(120_000, s)))),
+        ("bitstream", lambda g, s: bitstream_test(g)),
+        ("squeeze", lambda g, s: squeeze_test(
+            g, n_reps=max(1_000, _s(100_000, s)))),
+    ]
+
+
+def _bigcrush_tests() -> List[TestSpec]:
+    return [
+        ("birthday spacings (low bits)", lambda g, s: birthday_spacings(
+            g, n_samples=_s(500, s), bit_offsets=(0, 4, 8))),
+        ("collision", lambda g, s: collision_test(
+            g, n_balls=_s(2**18, s), urn_bits=22)),
+        ("gap", lambda g, s: gap_test(
+            g, n=_s(8_000_000, s), beta=0.03125, max_gap=160)),
+        ("coupon collector", lambda g, s: coupon_collector_test(
+            g, d=8, n_segments=_s(150_000, s), tmax=64)),
+        ("poker", lambda g, s: poker_test(
+            g, d=32, k=8, n_hands=_s(300_000, s))),
+        ("max-of-t", lambda g, s: max_of_t_test(
+            g, t=24, n_groups=_s(300_000, s))),
+        ("weight distribution", lambda g, s: weight_distrib_test(
+            g, n_blocks=_s(60_000, s), beta=0.125)),
+        ("matrix rank 64x64", lambda g, s: binary_rank_test(
+            g, 64, 64, n_matrices=_s(2_000, s))),
+        ("hamming independence", lambda g, s: hamming_indep_test(
+            g, n_words=_s(4_000_000, s))),
+        ("random walk", lambda g, s: random_walk_test(
+            g, walk_len=512, n_walks=_s(150_000, s))),
+        ("autocorrelation", lambda g, s: autocorrelation_test(
+            g, n_bits=_s(30_000_000, s), lags=(1, 2, 8, 16, 32, 64))),
+        ("serial pairs", lambda g, s: serial_pairs_test(
+            g, cell_bits=10, n_pairs=_s(8_000_000, s))),
+        ("operm5", lambda g, s: operm5_test(
+            g, n_groups=max(12_000, _s(400_000, s)))),
+        ("monkey OPSO+OQSO+DNA", lambda g, s: monkey_group(g)),
+        ("squeeze", lambda g, s: squeeze_test(
+            g, n_reps=max(1_000, _s(300_000, s)))),
+    ]
+
+
+_BATTERIES = {
+    "SmallCrush": _smallcrush_tests,
+    "Crush": _crush_tests,
+    "BigCrush": _bigcrush_tests,
+}
+
+
+def run_battery(
+    name: str,
+    gen: PRNG,
+    scale: float = 1.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BatteryResult:
+    """Run one named battery against ``gen``."""
+    if name not in _BATTERIES:
+        raise KeyError(f"unknown battery {name!r}; known: {BATTERY_NAMES}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    battery = BatteryResult(generator=gen.name, battery=name)
+    for test_name, fn in _BATTERIES[name]():
+        if progress is not None:
+            progress(test_name)
+        battery.add(fn(gen, scale))
+    return battery
+
+
+def run_smallcrush(gen: PRNG, scale: float = 1.0, progress=None) -> BatteryResult:
+    """The 15-statistic SmallCrush battery."""
+    return run_battery("SmallCrush", gen, scale, progress)
+
+
+def run_crush(gen: PRNG, scale: float = 1.0, progress=None) -> BatteryResult:
+    """The 15-statistic Crush battery (heavier sizes)."""
+    return run_battery("Crush", gen, scale, progress)
+
+
+def run_bigcrush(gen: PRNG, scale: float = 1.0, progress=None) -> BatteryResult:
+    """The 15-statistic BigCrush battery (heaviest sizes)."""
+    return run_battery("BigCrush", gen, scale, progress)

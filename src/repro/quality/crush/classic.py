@@ -1,0 +1,388 @@
+"""Classical statistical tests used by the Crush batteries.
+
+These are the Knuth / TestU01 staples that complement the DIEHARD tests:
+collision, gap, coupon collector, poker, max-of-t, weight distribution,
+Hamming statistics, random walk, serial pairs, autocorrelation, and the
+NIST-style longest-run-of-ones.  Each reduces to a uniform p-value like
+the DIEHARD modules (chi-square upper tail or Phi(z)).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import scipy.stats as sps
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import (
+    TestResult,
+    chi2_pvalue,
+    fisher_combine,
+    ks_uniform,
+    normal_uniform_pvalue,
+)
+
+__all__ = [
+    "collision_test",
+    "gap_test",
+    "coupon_collector_test",
+    "poker_test",
+    "max_of_t_test",
+    "weight_distrib_test",
+    "hamming_weight_test",
+    "hamming_indep_test",
+    "random_walk_test",
+    "serial_pairs_test",
+    "autocorrelation_test",
+    "longest_run_test",
+]
+
+
+def _chi2_from_counts(observed: np.ndarray, probs: np.ndarray, n: int,
+                      pool_below: float = 5.0) -> tuple:
+    """Chi-square statistic and dof with sparse-cell pooling.
+
+    If pooling at the requested threshold would collapse everything into
+    a single cell (tiny test sizes), the threshold is relaxed so at least
+    two cells survive.
+    """
+    expected = probs * n
+    keep = expected >= pool_below
+    while keep.sum() < 2 and pool_below > 1e-6:
+        pool_below /= 4.0
+        keep = expected >= pool_below
+    if keep.sum() < 2:
+        keep = np.ones_like(keep)
+    if (~keep).any():
+        obs = np.concatenate([observed[keep], [observed[~keep].sum()]])
+        exp = np.concatenate([expected[keep], [expected[~keep].sum()]])
+    else:
+        obs, exp = observed.astype(float), expected
+    exp = np.maximum(exp, 1e-12)
+    stat = float(((obs - exp) ** 2 / exp).sum())
+    return stat, len(exp) - 1
+
+
+def collision_test(gen: PRNG, n_balls: int = 2**17, urn_bits: int = 20
+                   ) -> TestResult:
+    """Throw balls into 2**urn_bits urns; collision count is ~normal.
+
+    With ``n`` balls and ``k`` urns the number of collisions has mean
+    ``n - k(1 - (1 - 1/k)^n)`` and variance close to the mean for sparse
+    loadings (Knuth 3.3.2I).
+    """
+    k = 2**urn_bits
+    balls = gen.u32_array(n_balls) >> np.uint32(32 - urn_bits)
+    occupied = np.unique(balls).size
+    collisions = n_balls - occupied
+    mean = n_balls - k * (1.0 - (1.0 - 1.0 / k) ** n_balls)
+    var = mean * (1.0 - 2.0 * mean / n_balls) if mean > 0 else 1.0
+    var = max(var, mean * 0.5, 1.0)
+    z = (collisions - mean) / np.sqrt(var)
+    return TestResult(
+        name="collision",
+        p_value=normal_uniform_pvalue(z),
+        statistic=z,
+        detail=f"{collisions} collisions (exp {mean:.1f})",
+    )
+
+
+def gap_test(gen: PRNG, n: int = 2_000_000, alpha: float = 0.0,
+             beta: float = 0.125, max_gap: int = 64) -> TestResult:
+    """Gaps between visits to [alpha, beta) are geometric(p = beta - alpha)."""
+    p = beta - alpha
+    if not 0 < p < 1:
+        raise ValueError(f"interval ({alpha}, {beta}) must have length in (0,1)")
+    u = gen.uniform(n)
+    hits = np.nonzero((u >= alpha) & (u < beta))[0]
+    if hits.size < 100:
+        return TestResult("gap", p_value=0.0, detail="too few hits")
+    gaps = np.diff(hits) - 1
+    binned = np.minimum(gaps, max_gap)
+    observed = np.bincount(binned, minlength=max_gap + 1).astype(float)
+    lens = np.arange(max_gap + 1)
+    probs = p * (1 - p) ** lens
+    probs[-1] = (1 - p) ** max_gap  # tail
+    stat, dof = _chi2_from_counts(observed, probs, gaps.size)
+    return TestResult(
+        name="gap",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{gaps.size} gaps, interval length {p}",
+    )
+
+
+@lru_cache(maxsize=None)
+def _coupon_probs(d: int, tmax: int) -> tuple:
+    """P(T = t) for the coupon collector over d symbols, t = d..tmax.
+
+    DP over the number of distinct coupons seen.
+    """
+    # state[c] = P(c distinct coupons seen); absorbing at c == d.
+    probs = []
+    state = np.zeros(d + 1)
+    state[0] = 1.0
+    for _t in range(1, tmax + 1):
+        new = np.zeros(d + 1)
+        new[d] = state[d]  # absorbed mass persists
+        for c in range(d):
+            if state[c] == 0:
+                continue
+            new[c] += state[c] * (c / d)
+            new[c + 1] += state[c] * ((d - c) / d)
+        probs.append(new[d] - state[d])  # completed exactly at draw t
+        state = new
+    return tuple(probs)
+
+
+def _segment_lengths(symbols: np.ndarray, d: int, n_segments: int) -> np.ndarray:
+    """Coupon-collector segment lengths over a symbol array, vectorized.
+
+    ``next_occ[s][p]`` = first index >= p where symbol ``s`` occurs (suffix
+    minimum per symbol); the segment starting at ``p`` ends at the largest
+    of those first occurrences.
+    """
+    n = symbols.size
+    ends = np.zeros(n + 1, dtype=np.int64)
+    for sym in range(d):
+        arr = np.full(n + 1, n, dtype=np.int64)
+        idx = np.nonzero(symbols == sym)[0]
+        arr[idx] = idx
+        np.minimum.accumulate(arr[::-1], out=arr[::-1])
+        np.maximum(ends, arr, out=ends)
+    lengths = np.empty(n_segments, dtype=np.int64)
+    p = 0
+    for i in range(n_segments):
+        e = ends[p]
+        if e >= n:
+            return lengths[:i]  # ran out of symbols
+        lengths[i] = e - p + 1
+        p = e + 1
+    return lengths
+
+
+def coupon_collector_test(gen: PRNG, d: int = 5, n_segments: int = 50_000,
+                          tmax: int = 40) -> TestResult:
+    """Chi-square of coupon-collector segment lengths over d symbols."""
+    probs = np.asarray(_coupon_probs(d, tmax))
+    tail = 1.0 - probs.sum()
+    cell_probs = np.concatenate([probs[d - 1 :], [tail]])  # t = d..tmax, >tmax
+
+    # Mean segment length is d * H_d (~11.4 for d = 5); draw with margin
+    # and top up in the rare case the margin is consumed.
+    mean_len = float(d * np.sum(1.0 / np.arange(1, d + 1)))
+    lengths = np.empty(0, dtype=np.int64)
+    todo = n_segments
+    attempts = 0
+    while todo > 0 and attempts < 8:
+        draw = int(todo * mean_len * 1.1) + 50 * tmax
+        symbols = (gen.uniform(draw) * d).astype(np.int64)
+        got = _segment_lengths(symbols, d, todo)
+        lengths = np.concatenate([lengths, got])
+        todo = n_segments - lengths.size
+        attempts += 1
+    lengths = lengths[:n_segments]
+    binned = np.minimum(lengths, tmax + 1) - d
+    observed = np.bincount(binned, minlength=tmax + 2 - d).astype(float)
+    stat, dof = _chi2_from_counts(observed, cell_probs, lengths.size)
+    return TestResult(
+        name="coupon collector",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{lengths.size} segments, d={d}",
+    )
+
+
+@lru_cache(maxsize=None)
+def _stirling2(k: int, v: int) -> int:
+    if k == v == 0:
+        return 1
+    if k == 0 or v == 0:
+        return 0
+    return v * _stirling2(k - 1, v) + _stirling2(k - 1, v - 1)
+
+
+def poker_test(gen: PRNG, d: int = 8, k: int = 5, n_hands: int = 200_000
+               ) -> TestResult:
+    """Distinct-values-per-hand ("poker") chi-square (Knuth 3.3.2D)."""
+    vals = (gen.uniform(n_hands * k) * d).astype(np.int64).reshape(n_hands, k)
+    # Vectorized distinct count: sort rows, count value changes.
+    s = np.sort(vals, axis=1)
+    distinct = 1 + (np.diff(s, axis=1) != 0).sum(axis=1)
+    observed = np.bincount(distinct, minlength=k + 1)[1:].astype(float)
+    probs = np.empty(k)
+    for v in range(1, k + 1):
+        perm = 1.0
+        for i in range(v):
+            perm *= d - i
+        probs[v - 1] = perm * _stirling2(k, v) / d**k
+    stat, dof = _chi2_from_counts(observed, probs, n_hands)
+    return TestResult(
+        name="poker",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{n_hands} hands of {k} from {d} values",
+    )
+
+
+def max_of_t_test(gen: PRNG, t: int = 8, n_groups: int = 100_000) -> TestResult:
+    """max(U_1..U_t)**t should be uniform (Knuth 3.3.2F); KS-tested."""
+    u = gen.uniform(t * n_groups).reshape(n_groups, t)
+    x = u.max(axis=1) ** t
+    d, p = ks_uniform(x)
+    return TestResult(
+        name="max-of-t",
+        p_value=p,
+        statistic=d,
+        detail=f"{n_groups} groups of {t}",
+    )
+
+
+def weight_distrib_test(gen: PRNG, block: int = 256, n_blocks: int = 20_000,
+                        alpha: float = 0.0, beta: float = 0.25) -> TestResult:
+    """Hits per block in [alpha, beta) vs Binomial(block, beta - alpha)."""
+    p = beta - alpha
+    u = gen.uniform(block * n_blocks).reshape(n_blocks, block)
+    hits = ((u >= alpha) & (u < beta)).sum(axis=1)
+    lo = int(sps.binom.ppf(0.0005, block, p))
+    hi = int(sps.binom.ppf(0.9995, block, p))
+    binned = np.clip(hits, lo, hi) - lo
+    observed = np.bincount(binned, minlength=hi - lo + 1).astype(float)
+    cells = np.arange(lo, hi + 1)
+    probs = sps.binom.pmf(cells, block, p)
+    probs[0] = sps.binom.cdf(lo, block, p)
+    probs[-1] = sps.binom.sf(hi - 1, block, p)
+    stat, dof = _chi2_from_counts(observed, probs, n_blocks)
+    return TestResult(
+        name="weight distribution",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{n_blocks} blocks of {block}",
+    )
+
+
+_POPCOUNT32 = np.array([bin(v).count("1") for v in range(1 << 16)], dtype=np.int64)
+
+
+def _popcount_u32(words: np.ndarray) -> np.ndarray:
+    lo = words & np.uint32(0xFFFF)
+    hi = words >> np.uint32(16)
+    return _POPCOUNT32[lo] + _POPCOUNT32[hi]
+
+
+def hamming_weight_test(gen: PRNG, n_words: int = 500_000) -> TestResult:
+    """Popcounts of 32-bit words vs Binomial(32, 1/2)."""
+    w = _popcount_u32(gen.u32_array(n_words))
+    observed = np.bincount(w, minlength=33).astype(float)
+    probs = sps.binom.pmf(np.arange(33), 32, 0.5)
+    stat, dof = _chi2_from_counts(observed, probs, n_words)
+    return TestResult(
+        name="hamming weight",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{n_words} words",
+    )
+
+
+def hamming_indep_test(gen: PRNG, n_words: int = 500_000) -> TestResult:
+    """Correlation between successive words' Hamming weights (~N(0, 1/sqrt n))."""
+    w = _popcount_u32(gen.u32_array(n_words)).astype(np.float64)
+    a, b = w[:-1], w[1:]
+    r = np.corrcoef(a, b)[0, 1]
+    z = r * np.sqrt(a.size)
+    return TestResult(
+        name="hamming independence",
+        p_value=normal_uniform_pvalue(z),
+        statistic=z,
+        detail=f"corr={r:+.5f}",
+    )
+
+
+def random_walk_test(gen: PRNG, walk_len: int = 128, n_walks: int = 50_000
+                     ) -> TestResult:
+    """Final position of a +-1 bit walk vs the exact binomial law."""
+    bits = gen.bits_stream(walk_len * n_walks).reshape(n_walks, walk_len)
+    ones = bits.sum(axis=1).astype(np.int64)
+    # final position = 2 * ones - L; equivalent to testing `ones`.
+    lo = int(sps.binom.ppf(0.0005, walk_len, 0.5))
+    hi = int(sps.binom.ppf(0.9995, walk_len, 0.5))
+    binned = np.clip(ones, lo, hi) - lo
+    observed = np.bincount(binned, minlength=hi - lo + 1).astype(float)
+    cells = np.arange(lo, hi + 1)
+    probs = sps.binom.pmf(cells, walk_len, 0.5)
+    probs[0] = sps.binom.cdf(lo, walk_len, 0.5)
+    probs[-1] = sps.binom.sf(hi - 1, walk_len, 0.5)
+    stat, dof = _chi2_from_counts(observed, probs, n_walks)
+    return TestResult(
+        name="random walk",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{n_walks} walks of {walk_len} steps",
+    )
+
+
+def serial_pairs_test(gen: PRNG, cell_bits: int = 8, n_pairs: int = 2_000_000
+                      ) -> TestResult:
+    """2-D serial test: non-overlapping pairs of top cell_bits values."""
+    raw = gen.u32_array(2 * n_pairs)
+    cells = (raw >> np.uint32(32 - cell_bits)).astype(np.int64)
+    codes = cells[0::2] * (1 << cell_bits) + cells[1::2]
+    k = 1 << (2 * cell_bits)
+    observed = np.bincount(codes, minlength=k).astype(float)
+    expected = n_pairs / k
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    return TestResult(
+        name="serial pairs",
+        p_value=chi2_pvalue(stat, k - 1),
+        statistic=stat,
+        detail=f"{n_pairs} pairs, {k} cells",
+    )
+
+
+def autocorrelation_test(gen: PRNG, n_bits: int = 4_000_000,
+                         lags: tuple = (1, 2, 8, 16, 32)) -> TestResult:
+    """Bit-stream autocorrelation at several lags, Fisher-combined."""
+    bits = gen.bits_stream(n_bits).astype(np.int8)
+    ps = []
+    zs = []
+    for lag in lags:
+        matches = int((bits[:-lag] == bits[lag:]).sum())
+        n = n_bits - lag
+        z = (2.0 * matches - n) / np.sqrt(n)
+        zs.append(z)
+        ps.append(normal_uniform_pvalue(z))
+    return TestResult(
+        name="autocorrelation",
+        p_value=fisher_combine(ps),
+        statistic=float(np.max(np.abs(zs))),
+        detail=" ".join(f"lag{l}:z={z:+.2f}" for l, z in zip(lags, zs)),
+    )
+
+
+#: NIST SP800-22 longest-run-of-ones class probabilities for M=128 blocks
+#: (classes: longest run <=4, 5, 6, 7, 8, >=9).
+_LONGEST_RUN_PROBS = np.array(
+    [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124]
+)
+
+
+def longest_run_test(gen: PRNG, n_blocks: int = 50_000) -> TestResult:
+    """Longest run of ones in 128-bit blocks vs the NIST class table."""
+    M = 128
+    bits = gen.bits_stream(M * n_blocks).reshape(n_blocks, M)
+    # Longest run per block, vectorized: cumulative run lengths.
+    run = np.zeros(n_blocks, dtype=np.int64)
+    longest = np.zeros(n_blocks, dtype=np.int64)
+    for j in range(M):
+        run = (run + 1) * bits[:, j]
+        np.maximum(longest, run, out=longest)
+    classes = np.clip(longest, 4, 9) - 4
+    observed = np.bincount(classes, minlength=6).astype(float)
+    stat, dof = _chi2_from_counts(observed, _LONGEST_RUN_PROBS, n_blocks)
+    return TestResult(
+        name="longest run of ones",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{n_blocks} blocks of {M} bits",
+    )

@@ -1,0 +1,53 @@
+"""DIEHARD battery of statistical tests (Marsaglia), scaled re-implementation."""
+
+from repro.quality.diehard.battery import DIEHARD_TEST_NAMES, run_diehard
+from repro.quality.diehard.birthday import birthday_spacings
+from repro.quality.diehard.count1s import (
+    count_the_ones_bytes,
+    count_the_ones_stream,
+)
+from repro.quality.diehard.geometry import minimum_distance, parking_lot, spheres_3d
+from repro.quality.diehard.monkey import (
+    bitstream_test,
+    dna_test,
+    monkey_group,
+    opso_test,
+    oqso_test,
+)
+from repro.quality.diehard.operm5 import operm5_test, permutation_index
+from repro.quality.diehard.ranks import (
+    binary_rank_test,
+    gf2_rank_batch,
+    rank_test_group,
+)
+from repro.quality.diehard.squeeze import squeeze_test
+from repro.quality.diehard.sums_runs_craps import (
+    craps_test,
+    overlapping_sums,
+    runs_test,
+)
+
+__all__ = [
+    "DIEHARD_TEST_NAMES",
+    "run_diehard",
+    "birthday_spacings",
+    "count_the_ones_bytes",
+    "count_the_ones_stream",
+    "minimum_distance",
+    "parking_lot",
+    "spheres_3d",
+    "bitstream_test",
+    "dna_test",
+    "monkey_group",
+    "opso_test",
+    "oqso_test",
+    "operm5_test",
+    "permutation_index",
+    "binary_rank_test",
+    "gf2_rank_batch",
+    "rank_test_group",
+    "squeeze_test",
+    "craps_test",
+    "overlapping_sums",
+    "runs_test",
+]

@@ -1,0 +1,114 @@
+"""The 15-test DIEHARD battery (Table II of the paper).
+
+Test list and grouping follow Marsaglia's distribution: the two big
+matrix-rank sizes form one entry and the OPSO/OQSO/DNA monkey trio forms
+one entry, giving exactly 15 entries:
+
+ 1. birthday spacings            9. count-the-1s (stream)
+ 2. overlapping 5-permutation   10. count-the-1s (specific bytes)
+ 3. binary rank 31x31 & 32x32   11. parking lot
+ 4. binary rank 6x8             12. minimum distance
+ 5. bitstream                   13. 3-D spheres
+ 6. monkey OPSO+OQSO+DNA        14. squeeze
+ 7. overlapping sums            15. craps
+ 8. runs
+
+Sample sizes are scaled relative to the originals (documented per test
+module) so a full battery runs in minutes in pure NumPy while still
+flunking structurally weak generators.  ``scale`` multiplies the default
+sizes for heavier runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.baselines.base import PRNG
+from repro.quality.diehard.birthday import birthday_spacings
+from repro.quality.diehard.count1s import count_the_ones_bytes, count_the_ones_stream
+from repro.quality.diehard.geometry import minimum_distance, parking_lot, spheres_3d
+from repro.quality.diehard.monkey import bitstream_test, monkey_group
+from repro.quality.diehard.operm5 import operm5_test
+from repro.quality.diehard.ranks import rank_test_group
+from repro.quality.diehard.squeeze import squeeze_test
+from repro.quality.diehard.sums_runs_craps import (
+    craps_test,
+    overlapping_sums,
+    runs_test,
+)
+from repro.quality.stats import BatteryResult
+
+__all__ = ["run_diehard", "DIEHARD_TEST_NAMES"]
+
+DIEHARD_TEST_NAMES = [
+    "birthday spacings",
+    "overlapping 5-permutation",
+    "binary rank 31x31 & 32x32",
+    "binary rank 6x8",
+    "bitstream",
+    "monkey OPSO+OQSO+DNA",
+    "overlapping sums",
+    "runs",
+    "count-the-1s stream",
+    "count-the-1s bytes",
+    "parking lot",
+    "minimum distance",
+    "3D spheres",
+    "squeeze",
+    "craps",
+]
+
+
+def run_diehard(
+    gen: PRNG,
+    scale: float = 1.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BatteryResult:
+    """Run all 15 DIEHARD entries against ``gen``.
+
+    Parameters
+    ----------
+    gen : PRNG
+        The generator under test (consumed; reseed before reuse).
+    scale : float
+        Multiplier on per-test sample sizes (1.0 = defaults).
+    progress : callable, optional
+        Called with each test name before it runs.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+
+    def s(n: int) -> int:
+        return max(1, int(n * scale))
+
+    battery = BatteryResult(generator=gen.name, battery="DIEHARD")
+
+    def run(name: str, fn: Callable) -> None:
+        if progress is not None:
+            progress(name)
+        battery.add(fn())
+
+    run("birthday spacings", lambda: birthday_spacings(gen, n_samples=s(250)))
+    run("operm5", lambda: operm5_test(gen, n_groups=s(120_000)))
+
+    if progress is not None:
+        progress("binary ranks")
+    big, small = rank_test_group(gen, n_matrices=s(2000))
+    battery.add(big)
+    battery.add(small)
+
+    run("bitstream", lambda: bitstream_test(gen))
+    run("monkey", lambda: monkey_group(gen))
+    run("overlapping sums", lambda: overlapping_sums(gen, n_sums=s(2000)))
+    run("runs", lambda: runs_test(gen, n=s(100_000)))
+    run("count-the-1s stream",
+        lambda: count_the_ones_stream(gen, n_bytes=s(256_000)))
+    run("count-the-1s bytes",
+        lambda: count_the_ones_bytes(gen, n_words=s(256_000)))
+    run("parking lot", lambda: parking_lot(gen, n_rounds=max(2, s(5))))
+    run("minimum distance", lambda: minimum_distance(gen, n_rounds=s(25)))
+    run("3D spheres", lambda: spheres_3d(gen, n_rounds=s(25)))
+    run("squeeze", lambda: squeeze_test(gen, n_reps=s(100_000)))
+    run("craps", lambda: craps_test(gen, n_games=s(200_000)))
+
+    return battery

@@ -1,0 +1,100 @@
+"""DIEHARD tests 7-8: count-the-1s (stream and specific-bytes variants).
+
+Each byte's popcount is mapped to a letter::
+
+    <= 2 ones -> A, 3 -> B, 4 -> C, 5 -> D, >= 6 -> E
+
+with probabilities (37, 56, 70, 56, 37)/256.  Overlapping 5-letter words
+are counted and the statistic is the difference of the 5-letter and
+4-letter chi-squares ("Q5 - Q4"), which is asymptotically chi-square with
+``5^4 * 4 = 2500`` degrees of freedom.
+
+The *stream* variant uses successive bytes of the output stream; the
+*specific bytes* variant uses one chosen byte of each 32-bit word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import TestResult, chi2_pvalue
+
+__all__ = ["count_the_ones_stream", "count_the_ones_bytes"]
+
+# Letter for each possible byte popcount 0..8.
+_POPCOUNT_LETTER = np.array([0, 0, 0, 1, 2, 3, 4, 4, 4], dtype=np.int64)
+_LETTER_PROBS = np.array([37, 56, 70, 56, 37], dtype=np.float64) / 256.0
+_BYTE_POPCOUNT = np.array([bin(b).count("1") for b in range(256)], dtype=np.int64)
+
+
+def _q5_minus_q4(letters: np.ndarray) -> tuple:
+    """The Q5 - Q4 statistic over an overlapping letter stream."""
+    n5 = letters.size - 4
+    # Codes of overlapping 5- and 4-letter words, base 5.
+    code5 = (
+        letters[0:n5] * 625
+        + letters[1 : n5 + 1] * 125
+        + letters[2 : n5 + 2] * 25
+        + letters[3 : n5 + 3] * 5
+        + letters[4 : n5 + 4]
+    )
+    code4 = (
+        letters[0 : n5 + 1] * 125
+        + letters[1 : n5 + 2] * 25
+        + letters[2 : n5 + 3] * 5
+        + letters[3 : n5 + 4]
+    )
+    counts5 = np.bincount(code5, minlength=5**5).astype(np.float64)
+    counts4 = np.bincount(code4, minlength=5**4).astype(np.float64)
+
+    # Expected cell probabilities are products of letter probabilities.
+    idx5 = np.arange(5**5)
+    p5 = np.ones(5**5)
+    for j in range(5):
+        p5 *= _LETTER_PROBS[(idx5 // 5**j) % 5]
+    idx4 = np.arange(5**4)
+    p4 = np.ones(5**4)
+    for j in range(4):
+        p4 *= _LETTER_PROBS[(idx4 // 5**j) % 5]
+
+    e5 = p5 * n5
+    e4 = p4 * (n5 + 1)
+    q5 = ((counts5 - e5) ** 2 / e5).sum()
+    q4 = ((counts4 - e4) ** 2 / e4).sum()
+    stat = float(q5 - q4)
+    dof = 5**4 * 4  # 3125 - 625 = 2500
+    return stat, dof
+
+
+def count_the_ones_stream(gen: PRNG, n_bytes: int = 256_000) -> TestResult:
+    """Count-the-1s on a stream of successive output bytes."""
+    if n_bytes < 5:
+        raise ValueError(f"need at least 5 bytes, got {n_bytes}")
+    data = gen.bytes_stream(n_bytes)
+    letters = _POPCOUNT_LETTER[_BYTE_POPCOUNT[data]]
+    stat, dof = _q5_minus_q4(letters)
+    z = (stat - dof) / np.sqrt(2.0 * dof)
+    return TestResult(
+        name="count-the-1s stream",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=z,
+        detail=f"Q5-Q4={stat:.0f} dof={dof}",
+    )
+
+
+def count_the_ones_bytes(gen: PRNG, n_words: int = 256_000, byte_index: int = 3
+                         ) -> TestResult:
+    """Count-the-1s on one specific byte of each 32-bit output word."""
+    if not 0 <= byte_index < 4:
+        raise ValueError(f"byte_index must be in 0..3, got {byte_index}")
+    words = gen.u32_array(n_words)
+    data = ((words >> np.uint32(8 * byte_index)) & np.uint32(0xFF)).astype(np.int64)
+    letters = _POPCOUNT_LETTER[_BYTE_POPCOUNT[data]]
+    stat, dof = _q5_minus_q4(letters)
+    return TestResult(
+        name="count-the-1s bytes",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=(stat - dof) / np.sqrt(2.0 * dof),
+        detail=f"byte {byte_index}, Q5-Q4={stat:.0f}",
+    )

@@ -1,0 +1,106 @@
+"""DIEHARD tests 5-6: the "monkey at a typewriter" missing-word tests.
+
+A stream of overlapping k-bit "words" is typed by a monkey; the number of
+20-bit words never seen after 2**21 keystrokes is asymptotically normal
+with known mean and standard deviation:
+
+* **bitstream**: letters are single bits, words are 20 bits overlapping
+  by 19;  missing ~ N(141909, 428).
+* **OPSO**: two 10-bit letters per word;        missing ~ N(141909, 290).
+* **OQSO**: four 5-bit letters per word;        missing ~ N(141909, 295).
+* **DNA**:  ten 2-bit letters per word;         missing ~ N(141909, 339).
+
+DIEHARD counts OPSO/OQSO/DNA as a single test entry; bitstream stands
+alone.  Letters are taken from the *high* bits of consecutive 32-bit
+outputs, as in the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import TestResult, fisher_combine, normal_uniform_pvalue
+
+__all__ = ["bitstream_test", "opso_test", "oqso_test", "dna_test", "monkey_group"]
+
+_N_WORDS = 2**21
+_MEAN_MISSING = 141_909.0
+
+
+def _missing_count(words: np.ndarray, word_bits: int) -> int:
+    """How many of the 2**word_bits possible words never occur."""
+    seen = np.zeros(2**word_bits, dtype=bool)
+    seen[words] = True
+    return int((~seen).sum())
+
+
+def _overlapping_words(letters: np.ndarray, letter_bits: int, letters_per_word: int
+                       ) -> np.ndarray:
+    """Overlapping fixed-length words over a letter stream (sliding by 1)."""
+    word_bits = letter_bits * letters_per_word
+    mask = (1 << word_bits) - 1
+    n = letters.size - letters_per_word + 1
+    word = np.zeros(letters.size, dtype=np.int64)
+    acc = np.zeros(letters.size, dtype=np.int64)
+    # Build the first window then slide: word_i = (word_{i-1} << b | L_i).
+    # Vectorized via shifted adds: word_i = sum_j L_{i+j} << ((k-1-j) b).
+    for j in range(letters_per_word):
+        shift = (letters_per_word - 1 - j) * letter_bits
+        acc[: n] += letters[j : j + n].astype(np.int64) << shift
+    word = acc[:n] & mask
+    return word
+
+
+def _monkey_statistic(name: str, missing: float, sigma: float) -> TestResult:
+    z = (missing - _MEAN_MISSING) / sigma
+    return TestResult(
+        name=name,
+        p_value=normal_uniform_pvalue(z),
+        statistic=z,
+        detail=f"missing={int(missing)} (exp {int(_MEAN_MISSING)})",
+    )
+
+
+def bitstream_test(gen: PRNG) -> TestResult:
+    """Overlapping 20-bit words from the raw bit stream."""
+    bits = gen.bits_stream(_N_WORDS + 19)
+    words = _overlapping_words(bits, 1, 20)
+    missing = _missing_count(words, 20)
+    return _monkey_statistic("bitstream", missing, 428.0)
+
+
+def _letter_monkey(gen: PRNG, name: str, letter_bits: int, letters_per_word: int,
+                   sigma: float) -> TestResult:
+    n_letters = _N_WORDS + letters_per_word - 1
+    raw = gen.u32_array(n_letters)
+    letters = (raw >> np.uint32(32 - letter_bits)).astype(np.int64)
+    words = _overlapping_words(letters, letter_bits, letters_per_word)
+    missing = _missing_count(words, letter_bits * letters_per_word)
+    return _monkey_statistic(name, missing, sigma)
+
+
+def opso_test(gen: PRNG) -> TestResult:
+    """Overlapping-Pairs-Sparse-Occupancy: 2 x 10-bit letters."""
+    return _letter_monkey(gen, "OPSO", 10, 2, 290.0)
+
+
+def oqso_test(gen: PRNG) -> TestResult:
+    """Overlapping-Quadruples-Sparse-Occupancy: 4 x 5-bit letters."""
+    return _letter_monkey(gen, "OQSO", 5, 4, 295.0)
+
+
+def dna_test(gen: PRNG) -> TestResult:
+    """DNA: 10 x 2-bit letters."""
+    return _letter_monkey(gen, "DNA", 2, 10, 339.0)
+
+
+def monkey_group(gen: PRNG) -> TestResult:
+    """DIEHARD's single "OPSO/OQSO/DNA" table entry (Fisher-combined)."""
+    parts = [opso_test(gen), oqso_test(gen), dna_test(gen)]
+    return TestResult(
+        name="monkey OPSO+OQSO+DNA",
+        p_value=fisher_combine([p.p_value for p in parts]),
+        statistic=float(np.mean([p.statistic for p in parts])),
+        detail=" ".join(f"{p.name}={p.p_value:.3f}" for p in parts),
+    )

@@ -1,0 +1,130 @@
+"""DIEHARD test 3: ranks of binary matrices over GF(2).
+
+Builds batches of random bit matrices from the generator's output and
+compares the empirical rank distribution with the exact probabilities
+(:func:`repro.quality.stats.binary_matrix_rank_probs`).  DIEHARD counts
+the 31x31/32x32 pair as a single test and the 6x8 byte-matrix variant as
+another; both groupings are preserved by
+:func:`binary_rank_test` + :func:`rank_test_group`.
+
+Rank computation is Gaussian elimination on *packed rows* (one integer
+per row), vectorized across the whole batch of matrices at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import (
+    TestResult,
+    binary_matrix_rank_probs,
+    chi2_pvalue,
+    fisher_combine,
+)
+
+__all__ = ["gf2_rank_batch", "binary_rank_test", "rank_test_group"]
+
+
+def gf2_rank_batch(matrices: np.ndarray, cols: int) -> np.ndarray:
+    """Ranks over GF(2) of many matrices at once.
+
+    Parameters
+    ----------
+    matrices : uint64 array, shape (batch, rows)
+        Each row is a bit-packed matrix row (low ``cols`` bits used).
+    cols : int
+        Number of columns (<= 64).
+
+    Returns
+    -------
+    int array of shape (batch,) -- the GF(2) ranks.
+    """
+    if not 1 <= cols <= 64:
+        raise ValueError(f"cols must be in 1..64, got {cols}")
+    m = matrices.astype(np.uint64).copy()
+    batch, rows = m.shape
+    rank = np.zeros(batch, dtype=np.int64)
+    # Eliminate column by column.  `rank` doubles as the pivot row cursor.
+    row_idx = np.arange(rows)
+    for c in range(cols):
+        bit = np.uint64(1) << np.uint64(c)
+        has_bit = (m & bit) != 0  # (batch, rows)
+        # Candidate pivot rows: index >= current rank and bit set.
+        candidates = has_bit & (row_idx[None, :] >= rank[:, None])
+        pivot_exists = candidates.any(axis=1)
+        pivot_row = np.argmax(candidates, axis=1)  # first candidate per matrix
+
+        sel = pivot_exists
+        if not sel.any():
+            continue
+        bsel = np.nonzero(sel)[0]
+        # Swap pivot row into position `rank`.
+        pr = pivot_row[bsel]
+        rk = rank[bsel]
+        tmp = m[bsel, pr].copy()
+        m[bsel, pr] = m[bsel, rk]
+        m[bsel, rk] = tmp
+        # XOR the pivot row into every other row that has the bit set.
+        pivot_vals = m[bsel, rk]  # (nsel,)
+        has_bit_sel = (m[bsel] & bit) != 0
+        has_bit_sel[np.arange(bsel.size), rk] = False
+        m[bsel] ^= has_bit_sel * pivot_vals[:, None]
+        rank[bsel] += 1
+        if (rank >= rows).all():
+            break
+    return rank
+
+
+def _matrices_from_words(gen: PRNG, n_matrices: int, rows: int, cols: int
+                         ) -> np.ndarray:
+    """Pack generator output into (n_matrices, rows) bit-row matrices."""
+    if cols <= 32:
+        words = gen.u32_array(n_matrices * rows).astype(np.uint64)
+        words &= np.uint64((1 << cols) - 1)
+    else:
+        words = gen.u64_array(n_matrices * rows)
+        words &= np.uint64((1 << cols) - 1) if cols < 64 else np.uint64(2**64 - 1)
+    return words.reshape(n_matrices, rows)
+
+
+def binary_rank_test(
+    gen: PRNG, rows: int, cols: int, n_matrices: int = 2000
+) -> TestResult:
+    """Chi-square of the empirical rank distribution for one matrix shape."""
+    rmax = min(rows, cols)
+    min_rank = rmax - 3  # pool everything below the top 3 ranks
+    probs = binary_matrix_rank_probs(rows, cols, min_rank)
+    mats = _matrices_from_words(gen, n_matrices, rows, cols)
+    ranks = gf2_rank_batch(mats, cols)
+    binned = np.maximum(ranks, min_rank) - min_rank
+    observed = np.bincount(binned, minlength=len(probs)).astype(float)
+    expected = probs * n_matrices
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    p = chi2_pvalue(stat, len(probs) - 1)
+    return TestResult(
+        name=f"binary rank {rows}x{cols}",
+        p_value=p,
+        statistic=stat,
+        detail=f"{n_matrices} matrices",
+    )
+
+
+def rank_test_group(gen: PRNG, n_matrices: int = 2000) -> tuple:
+    """DIEHARD's two rank entries: (31x31 + 32x32 combined, 6x8)."""
+    r31 = binary_rank_test(gen, 31, 31, n_matrices)
+    r32 = binary_rank_test(gen, 32, 32, n_matrices)
+    big = TestResult(
+        name="binary rank 31x31 & 32x32",
+        p_value=fisher_combine([r31.p_value, r32.p_value]),
+        statistic=r32.statistic,
+        detail=f"p31={r31.p_value:.3f} p32={r32.p_value:.3f}",
+    )
+    small = binary_rank_test(gen, 6, 8, max(n_matrices * 20, 20000))
+    small = TestResult(
+        name="binary rank 6x8",
+        p_value=small.p_value,
+        statistic=small.statistic,
+        detail=small.detail,
+    )
+    return big, small

@@ -1,0 +1,79 @@
+"""DIEHARD test 12: the squeeze test.
+
+Starting from ``k = 2**31``, iterate ``k <- ceil(k * U)`` with fresh
+uniforms U until ``k == 1``, and record how many iterations that took
+(capped at 48).  The iteration-count distribution has no friendly closed
+form; DIEHARD ships a hard-coded table.  Here the expected distribution
+is obtained once per process from a large reference simulation driven by
+NumPy's PCG64 (an excellent generator far outside the families under
+test), making this a two-sample chi-square with well-controlled reference
+noise.  The whole test is vectorized: all replicas squeeze in lockstep
+with a shrinking active mask.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import TestResult, chi2_pvalue
+
+__all__ = ["squeeze_test"]
+
+_MAX_ITERS = 48
+_MIN_BIN = 6  # DIEHARD pools iterations <= 6
+_START = float(2**31)
+
+
+def _squeeze_counts(uniform_fn, n_reps: int) -> np.ndarray:
+    """Iteration-count histogram over bins [<=6, 7, 8, ..., >=48]."""
+    k = np.full(n_reps, _START)
+    iters = np.zeros(n_reps, dtype=np.int64)
+    active = k > 1.0
+    while active.any():
+        n_active = int(active.sum())
+        u = uniform_fn(n_active)
+        k_active = np.ceil(k[active] * u)
+        k_active = np.maximum(k_active, 1.0)
+        iters_active = iters[active] + 1
+        k[active] = k_active
+        iters[active] = iters_active
+        # Anything still > 1 after 48 draws is recorded in the last bin.
+        still = k > 1.0
+        still &= iters < _MAX_ITERS
+        active = still
+    binned = np.clip(iters, _MIN_BIN, _MAX_ITERS) - _MIN_BIN
+    return np.bincount(binned, minlength=_MAX_ITERS - _MIN_BIN + 1)
+
+
+@lru_cache(maxsize=1)
+def _reference_probs(n_ref: int = 2_000_000) -> tuple:
+    """Cell probabilities estimated once from PCG64 (cached)."""
+    rng = np.random.Generator(np.random.PCG64(0xD1E4A4D))
+    counts = _squeeze_counts(lambda n: rng.random(n), n_ref)
+    return tuple(counts / counts.sum())
+
+
+def squeeze_test(gen: PRNG, n_reps: int = 100_000) -> TestResult:
+    """Chi-square of squeeze iteration counts against the reference table."""
+    if n_reps < 1000:
+        raise ValueError(f"n_reps too small for a chi-square: {n_reps}")
+    probs = np.asarray(_reference_probs())
+    observed = _squeeze_counts(lambda n: gen.uniform(n), n_reps).astype(float)
+    expected = probs * n_reps
+    # Pool sparse cells.
+    keep = expected >= 5.0
+    obs = np.concatenate([observed[keep], [observed[~keep].sum()]]) \
+        if (~keep).any() else observed
+    exp = np.concatenate([expected[keep], [expected[~keep].sum()]]) \
+        if (~keep).any() else expected
+    stat = float(((obs - exp) ** 2 / exp).sum())
+    dof = len(exp) - 1
+    return TestResult(
+        name="squeeze",
+        p_value=chi2_pvalue(stat, dof),
+        statistic=stat,
+        detail=f"{n_reps} squeezes, {dof} dof",
+    )

@@ -1,0 +1,137 @@
+"""DIEHARD tests 13-15: overlapping sums, runs, and craps.
+
+* **overlapping sums** -- sums of 100 consecutive uniforms are
+  approximately normal; DIEHARD de-correlates overlapping windows with
+  the known covariance.  This implementation uses *non-overlapping*
+  windows (independent by construction), standardizes them and KS-tests
+  against the normal CDF -- statistically equivalent discrimination,
+  simpler math (documented deviation).
+* **runs** -- runs-up and runs-down counts over a uniform sequence; the
+  total number of ascending/descending runs is ~ N((2n-1)/3,
+  sqrt((16n-29)/90)) (Knuth 3.3.2).
+* **craps** -- play ``n_games`` games of craps with throws from the
+  generator; wins are Binomial(n, 244/495) and the throws-per-game
+  distribution has computable geometric-mixture cell probabilities.
+  Both statistics are Fisher-combined into one entry, as in DIEHARD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats as sps
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import (
+    TestResult,
+    chi2_pvalue,
+    fisher_combine,
+    normal_uniform_pvalue,
+)
+
+__all__ = ["overlapping_sums", "runs_test", "craps_test"]
+
+
+def overlapping_sums(gen: PRNG, window: int = 100, n_sums: int = 2000
+                     ) -> TestResult:
+    """KS of standardized window sums against the normal distribution."""
+    u = gen.uniform(window * n_sums).reshape(n_sums, window)
+    sums = u.sum(axis=1)
+    z = (sums - window * 0.5) / np.sqrt(window / 12.0)
+    res = sps.kstest(z, "norm")
+    return TestResult(
+        name="overlapping sums",
+        p_value=float(res.pvalue),
+        statistic=float(res.statistic),
+        detail=f"{n_sums} sums of {window}",
+    )
+
+
+def runs_test(gen: PRNG, n: int = 100_000) -> TestResult:
+    """Total runs up+down versus the Knuth normal approximation."""
+    if n < 1000:
+        raise ValueError(f"need at least 1000 values, got {n}")
+    u = gen.uniform(n)
+    signs = np.sign(np.diff(u))
+    # Ties (equal successive values) are virtually impossible with doubles;
+    # drop them defensively anyway.
+    signs = signs[signs != 0]
+    m = signs.size + 1
+    runs = 1 + int((np.diff(signs) != 0).sum())
+    mean = (2 * m - 1) / 3.0
+    var = (16 * m - 29) / 90.0
+    z = (runs - mean) / np.sqrt(var)
+    return TestResult(
+        name="runs",
+        p_value=normal_uniform_pvalue(z),
+        statistic=z,
+        detail=f"{runs} runs over {m} values",
+    )
+
+
+#: P(win) for craps; classical result 244/495.
+_CRAPS_WIN = 244.0 / 495.0
+
+
+def _play_craps(gen: PRNG, n_games: int) -> tuple:
+    """Vectorized craps: returns (wins, throws-per-game array)."""
+    def roll(count: int) -> np.ndarray:
+        # Two dice from one uniform each, as DIEHARD does.
+        a = (gen.uniform(count) * 6).astype(np.int64) + 1
+        b = (gen.uniform(count) * 6).astype(np.int64) + 1
+        return a + b
+
+    first = roll(n_games)
+    wins = (first == 7) | (first == 11)
+    losses = (first == 2) | (first == 3) | (first == 12)
+    throws = np.ones(n_games, dtype=np.int64)
+    active = ~(wins | losses)
+    point = first.copy()
+    while active.any():
+        idx = np.nonzero(active)[0]
+        r = roll(idx.size)
+        throws[idx] += 1
+        made = r == point[idx]
+        seven = r == 7
+        wins[idx[made]] = True
+        active[idx[made | seven]] = False
+    return int(wins.sum()), throws
+
+
+def craps_test(gen: PRNG, n_games: int = 200_000) -> TestResult:
+    """Wins z-test combined with a chi-square on throws per game."""
+    if n_games < 1000:
+        raise ValueError(f"need at least 1000 games, got {n_games}")
+    nwins, throws = _play_craps(gen, n_games)
+    z = (nwins - n_games * _CRAPS_WIN) / np.sqrt(
+        n_games * _CRAPS_WIN * (1 - _CRAPS_WIN)
+    )
+    p_wins = normal_uniform_pvalue(z)
+
+    # Throws-per-game cell probabilities: game ends on throw 1 with
+    # probability 12/36; otherwise a point p in {4,5,6,8,9,10} is rolled
+    # and each later throw ends it with prob (P(p) + 6/36).
+    probs = [12.0 / 36.0]
+    point_probs = {4: 3 / 36, 5: 4 / 36, 6: 5 / 36, 8: 5 / 36, 9: 4 / 36, 10: 3 / 36}
+    max_t = 21
+    for t in range(2, max_t + 1):
+        pt = 0.0
+        for pp in point_probs.values():
+            end = pp + 6.0 / 36.0
+            pt += pp * (1 - end) ** (t - 2) * end
+        probs.append(pt)
+    probs = np.asarray(probs)
+    tail = 1.0 - probs.sum()
+    probs = np.concatenate([probs, [tail]])  # ">= max_t+1 throws"
+
+    binned = np.clip(throws, 1, max_t + 1) - 1
+    observed = np.bincount(binned, minlength=max_t + 1).astype(float)
+    expected = probs * n_games
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    p_throws = chi2_pvalue(stat, max_t)
+
+    return TestResult(
+        name="craps",
+        p_value=fisher_combine([p_wins, p_throws]),
+        statistic=z,
+        detail=f"wins p={p_wins:.3f} throws p={p_throws:.3f}",
+    )

@@ -1,0 +1,49 @@
+"""NIST SP800-22 statistical test suite (15 tests)."""
+
+from repro.quality.nist.advanced import (
+    approximate_entropy_test,
+    linear_complexity_test,
+    maurer_universal_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    serial_test_nist,
+)
+from repro.quality.nist.basic import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test_nist,
+    runs_test_nist,
+)
+from repro.quality.nist.battery import (
+    DEFAULT_STREAM_BITS,
+    NIST_TEST_NAMES,
+    run_nist,
+)
+from repro.quality.nist.spectral_templates import (
+    dft_spectral_test,
+    matrix_rank_test_nist,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+
+__all__ = [
+    "approximate_entropy_test",
+    "linear_complexity_test",
+    "maurer_universal_test",
+    "random_excursions_test",
+    "random_excursions_variant_test",
+    "serial_test_nist",
+    "block_frequency_test",
+    "cumulative_sums_test",
+    "frequency_test",
+    "longest_run_test_nist",
+    "runs_test_nist",
+    "DEFAULT_STREAM_BITS",
+    "NIST_TEST_NAMES",
+    "run_nist",
+    "dft_spectral_test",
+    "matrix_rank_test_nist",
+    "non_overlapping_template_test",
+    "overlapping_template_test",
+]

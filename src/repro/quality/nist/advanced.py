@@ -1,0 +1,269 @@
+"""NIST SP800-22 tests 9-12, 14-15: Maurer's universal test, linear
+complexity, serial, approximate entropy, and the random-excursions pair.
+
+The linear-complexity test runs Berlekamp-Massey *batched across blocks*
+(one vectorized update per bit position over all blocks at once), which
+keeps the O(M^2)-per-block algorithm tractable in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats as sps
+
+from repro.quality.nist.helpers import (
+    bits_to_pm1,
+    erfc_pvalue,
+    igamc_pvalue,
+    sidak_min,
+)
+from repro.quality.stats import TestResult
+
+__all__ = [
+    "maurer_universal_test",
+    "linear_complexity_test",
+    "serial_test_nist",
+    "approximate_entropy_test",
+    "random_excursions_test",
+    "random_excursions_variant_test",
+]
+
+# Maurer test constants for block length L: (expected value, variance).
+_MAURER_CONSTANTS = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+}
+
+
+def maurer_universal_test(bits: np.ndarray, L: int = 7) -> TestResult:
+    """Test 9: Maurer's "universal statistical" compressibility test."""
+    if L not in _MAURER_CONSTANTS:
+        raise ValueError(f"unsupported block length {L}; pick from 6..8")
+    Q = 10 * 2**L
+    n_blocks = bits.size // L
+    K = n_blocks - Q
+    if K < 1000:
+        raise ValueError(
+            f"universal test needs >= {(Q + 1000) * L} bits, got {bits.size}"
+        )
+    codes = np.zeros(n_blocks, dtype=np.int64)
+    chopped = bits[: n_blocks * L].reshape(n_blocks, L)
+    for j in range(L):
+        codes = (codes << 1) | chopped[:, j].astype(np.int64)
+
+    last_seen = np.zeros(2**L, dtype=np.int64)
+    # Initialization segment.
+    for i in range(Q):
+        last_seen[codes[i]] = i + 1
+    # Test segment: distance to previous occurrence of each block value.
+    total = 0.0
+    fn_terms = np.empty(K)
+    for i in range(Q, n_blocks):
+        c = codes[i]
+        fn_terms[i - Q] = np.log2(i + 1 - last_seen[c])
+        last_seen[c] = i + 1
+    fn = fn_terms.mean()
+    expected, variance = _MAURER_CONSTANTS[L]
+    c_factor = 0.7 - 0.8 / L + (4 + 32 / L) * K ** (-3 / L) / 15
+    sigma = c_factor * np.sqrt(variance / K)
+    z = (fn - expected) / sigma
+    return TestResult(
+        name="Maurer universal",
+        p_value=erfc_pvalue(z),
+        statistic=z,
+        detail=f"fn={fn:.4f} expected {expected:.4f}",
+    )
+
+
+def _berlekamp_massey_batch(blocks: np.ndarray) -> np.ndarray:
+    """Linear complexity of each row of a (nblocks, M) bit matrix.
+
+    Vectorized Berlekamp-Massey: the per-bit update is performed for all
+    blocks simultaneously with boolean masks.
+    """
+    nb, M = blocks.shape
+    C = np.zeros((nb, M + 1), dtype=np.uint8)
+    B = np.zeros((nb, M + 1), dtype=np.uint8)
+    C[:, 0] = 1
+    B[:, 0] = 1
+    L = np.zeros(nb, dtype=np.int64)
+    m = np.full(nb, -1, dtype=np.int64)
+
+    for n in range(M):
+        # Discrepancy d = s_n + sum_{i=1..L} c_i s_{n-i}  (mod 2), done for
+        # all rows at once: dot C[:, :n+1] with the reversed bit window.
+        window = blocks[:, : n + 1][:, ::-1]  # s_n, s_{n-1}, ..., s_0
+        d = (C[:, : n + 1] & window).sum(axis=1) & 1
+        upd = d == 1
+        if upd.any():
+            T = C[upd].copy()
+            shift = n - m[upd]  # >= 1
+            # C ^= B << shift, rows with different shifts handled per
+            # unique shift value (few distinct values in practice).
+            rows = np.nonzero(upd)[0]
+            for s in np.unique(shift):
+                sel = rows[shift == s]
+                C[sel, s:] ^= B[sel, : M + 1 - s]
+            grow = upd & (2 * L <= n)
+            if grow.any():
+                g = np.nonzero(grow)[0]
+                B[g] = T[(grow[upd]).nonzero()[0]]
+                m[g] = n
+                L[g] = n + 1 - L[g]
+    return L
+
+
+def linear_complexity_test(bits: np.ndarray, M: int = 500) -> TestResult:
+    """Test 10: Berlekamp-Massey linear complexity of M-bit blocks."""
+    nblocks = bits.size // M
+    if nblocks < 50:
+        raise ValueError(f"need >= 50 blocks of {M}, got {nblocks}")
+    blocks = bits[: nblocks * M].reshape(nblocks, M)
+    L = _berlekamp_massey_batch(blocks)
+    mu = M / 2.0 + (9.0 + (-1.0) ** (M + 1)) / 36.0 - (M / 3.0 + 2.0 / 9.0) / 2.0**M
+    t = (-1.0) ** M * (L - mu) + 2.0 / 9.0
+    # NIST class probabilities for T in (-inf,-2.5], ..., (2.5, inf).
+    probs = np.array([0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833])
+    edges = np.array([-2.5, -1.5, -0.5, 0.5, 1.5, 2.5])
+    classes = np.searchsorted(edges, t, side="left")
+    observed = np.bincount(classes, minlength=7).astype(float)
+    expected = probs * nblocks
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    return TestResult(
+        name="linear complexity",
+        p_value=igamc_pvalue(6 / 2.0, stat / 2.0),
+        statistic=stat,
+        detail=f"{nblocks} blocks of {M}, mean L={L.mean():.1f}",
+    )
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    """NIST psi^2_m statistic over circularly-extended m-bit windows."""
+    if m == 0:
+        return 0.0
+    n = bits.size
+    ext = np.concatenate([bits, bits[: m - 1]])
+    codes = np.zeros(n, dtype=np.int64)
+    for j in range(m):
+        codes = (codes << 1) | ext[j : j + n].astype(np.int64)
+    counts = np.bincount(codes, minlength=2**m).astype(np.float64)
+    return float(2.0**m / n * (counts**2).sum() - n)
+
+
+def serial_test_nist(bits: np.ndarray, m: int = 5) -> TestResult:
+    """Test 11: generalized serial test (delta psi^2 statistics)."""
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    psi_m = _psi_squared(bits, m)
+    psi_m1 = _psi_squared(bits, m - 1)
+    psi_m2 = _psi_squared(bits, m - 2)
+    d1 = psi_m - psi_m1
+    d2 = psi_m - 2 * psi_m1 + psi_m2
+    p1 = igamc_pvalue(2 ** (m - 2), d1 / 2.0)
+    p2 = igamc_pvalue(2 ** (m - 3) if m > 2 else 0.5, d2 / 2.0)
+    return TestResult(
+        name="serial (NIST)",
+        p_value=sidak_min([p1, p2]),
+        statistic=d1,
+        detail=f"m={m} p1={p1:.3f} p2={p2:.3f}",
+    )
+
+
+def approximate_entropy_test(bits: np.ndarray, m: int = 5) -> TestResult:
+    """Test 12: approximate entropy ApEn(m) against ln 2."""
+    n = bits.size
+
+    def phi(mm: int) -> float:
+        if mm == 0:
+            return 0.0
+        ext = np.concatenate([bits, bits[: mm - 1]])
+        codes = np.zeros(n, dtype=np.int64)
+        for j in range(mm):
+            codes = (codes << 1) | ext[j : j + n].astype(np.int64)
+        counts = np.bincount(codes, minlength=2**mm).astype(np.float64)
+        probs = counts[counts > 0] / n
+        return float((probs * np.log(probs)).sum())
+
+    apen = phi(m) - phi(m + 1)
+    stat = 2.0 * n * (np.log(2.0) - apen)
+    return TestResult(
+        name="approximate entropy",
+        p_value=igamc_pvalue(2 ** (m - 1), stat / 2.0),
+        statistic=stat,
+        detail=f"ApEn={apen:.6f}",
+    )
+
+
+_EXCURSION_STATES = np.array([-4, -3, -2, -1, 1, 2, 3, 4])
+
+
+def _cycles(bits: np.ndarray):
+    """Cumulative +-1 sum split into zero-crossing cycles."""
+    s = np.concatenate([[0], np.cumsum(bits_to_pm1(bits)).astype(np.int64), [0]])
+    zeros = np.nonzero(s == 0)[0]
+    return s, zeros
+
+
+def random_excursions_test(bits: np.ndarray) -> TestResult:
+    """Test 14: visits per cycle to states x in {-4..-1, 1..4}."""
+    s, zeros = _cycles(bits)
+    J = zeros.size - 1
+    if J < 100:
+        return TestResult(
+            name="random excursions",
+            p_value=0.5,
+            statistic=float(J),
+            detail=f"only {J} cycles; test inconclusive (neutral p)",
+        )
+    # pi_k(x): probability of k visits to state x within a cycle.
+    ps = []
+    for x in _EXCURSION_STATES:
+        ax = abs(int(x))
+        # Count visits per cycle, vectorized over cycle boundaries.
+        visits = np.zeros(J, dtype=np.int64)
+        hits = np.nonzero(s == x)[0]
+        if hits.size:
+            cyc = np.searchsorted(zeros, hits, side="right") - 1
+            np.add.at(visits, cyc, 1)
+        counts = np.bincount(np.minimum(visits, 5), minlength=6).astype(float)
+        pi0 = 1.0 - 1.0 / (2.0 * ax)
+        pik = [pi0]
+        for k in range(1, 5):
+            pik.append(1.0 / (4.0 * ax * ax) * (1 - 1 / (2 * ax)) ** (k - 1))
+        pik.append(1.0 / (2.0 * ax) * (1 - 1 / (2 * ax)) ** 4)
+        expected = np.array(pik) * J
+        stat = float(((counts - expected) ** 2 / expected).sum())
+        ps.append(igamc_pvalue(5 / 2.0, stat / 2.0))
+    return TestResult(
+        name="random excursions",
+        p_value=sidak_min(ps),
+        statistic=float(J),
+        detail=f"{J} cycles, min state-p {min(ps):.3f}",
+    )
+
+
+def random_excursions_variant_test(bits: np.ndarray) -> TestResult:
+    """Test 15: total visits to states -9..9 vs the cycle count."""
+    s, zeros = _cycles(bits)
+    J = zeros.size - 1
+    if J < 100:
+        return TestResult(
+            name="random excursions variant",
+            p_value=0.5,
+            statistic=float(J),
+            detail=f"only {J} cycles; test inconclusive (neutral p)",
+        )
+    ps = []
+    for x in range(-9, 10):
+        if x == 0:
+            continue
+        xi = float((s == x).sum())
+        denom = np.sqrt(2.0 * J * (4.0 * abs(x) - 2.0))
+        ps.append(erfc_pvalue((xi - J) / denom * np.sqrt(2.0)))
+    return TestResult(
+        name="random excursions variant",
+        p_value=sidak_min(ps),
+        statistic=float(J),
+        detail=f"{J} cycles, min state-p {min(ps):.3f}",
+    )

@@ -1,0 +1,100 @@
+"""The 15-test NIST SP800-22 battery.
+
+A third battery alongside DIEHARD and the Crush tiers, using the NIST
+suite's exact statistics (several verified against the publication's
+worked examples).  All tests run on a single bit stream drawn once from
+the generator, as the SP800-22 methodology prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.quality.nist.advanced import (
+    approximate_entropy_test,
+    linear_complexity_test,
+    maurer_universal_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    serial_test_nist,
+)
+from repro.quality.nist.basic import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test_nist,
+    runs_test_nist,
+)
+from repro.quality.nist.spectral_templates import (
+    dft_spectral_test,
+    matrix_rank_test_nist,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from repro.quality.stats import BatteryResult
+
+__all__ = ["run_nist", "NIST_TEST_NAMES", "DEFAULT_STREAM_BITS"]
+
+#: Default bit-stream length (SP800-22 recommends >= 10**6).
+DEFAULT_STREAM_BITS = 1_000_000
+
+NIST_TEST_NAMES = [
+    "frequency (monobit)",
+    "block frequency",
+    "runs (NIST)",
+    "longest run (NIST)",
+    "binary matrix rank (NIST)",
+    "DFT spectral",
+    "non-overlapping template",
+    "overlapping template",
+    "Maurer universal",
+    "linear complexity",
+    "serial (NIST)",
+    "approximate entropy",
+    "cumulative sums",
+    "random excursions",
+    "random excursions variant",
+]
+
+
+def run_nist(
+    gen: PRNG,
+    n_bits: int = DEFAULT_STREAM_BITS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BatteryResult:
+    """Run all 15 SP800-22 tests on one stream from ``gen``."""
+    if n_bits < 150_000:
+        raise ValueError(
+            f"NIST battery needs >= 150000 bits (Maurer), got {n_bits}"
+        )
+    bits = gen.bits_stream(n_bits)
+    battery = BatteryResult(generator=gen.name, battery="NIST SP800-22")
+
+    tests = [
+        ("frequency (monobit)", lambda: frequency_test(bits)),
+        ("block frequency", lambda: block_frequency_test(bits)),
+        ("runs (NIST)", lambda: runs_test_nist(bits)),
+        ("longest run (NIST)", lambda: longest_run_test_nist(bits)),
+        ("binary matrix rank (NIST)", lambda: matrix_rank_test_nist(bits)),
+        ("DFT spectral", lambda: dft_spectral_test(bits)),
+        ("non-overlapping template",
+         lambda: non_overlapping_template_test(bits)),
+        ("overlapping template", lambda: overlapping_template_test(bits)),
+        ("Maurer universal", lambda: maurer_universal_test(bits)),
+        ("linear complexity",
+         lambda: linear_complexity_test(bits[: 500 * max(50, n_bits // 10000)])),
+        ("serial (NIST)", lambda: serial_test_nist(bits)),
+        ("approximate entropy", lambda: approximate_entropy_test(bits)),
+        ("cumulative sums", lambda: cumulative_sums_test(bits)),
+        ("random excursions", lambda: random_excursions_test(bits)),
+        ("random excursions variant",
+         lambda: random_excursions_variant_test(bits)),
+    ]
+    for name, fn in tests:
+        if progress is not None:
+            progress(name)
+        battery.add(fn())
+    return battery

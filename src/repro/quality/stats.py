@@ -1,0 +1,181 @@
+"""Statistical plumbing shared by the DIEHARD and Crush batteries.
+
+Every individual test reduces its observations to a **p-value**; the
+paper's pass criterion (Section IV-B) is ``0.01 < p < 0.99``, and a
+battery is summarized by the count of passed tests plus a
+Kolmogorov-Smirnov statistic over the collected p-values (Table II's
+``KS-Test D`` column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+import scipy.stats as sps
+
+from repro.utils.tables import format_table
+
+__all__ = [
+    "TestResult",
+    "BatteryResult",
+    "chi2_pvalue",
+    "normal_pvalue",
+    "normal_uniform_pvalue",
+    "ks_uniform",
+    "fisher_combine",
+    "binary_matrix_rank_probs",
+    "PASS_LO",
+    "PASS_HI",
+]
+
+#: The paper's pass interval for a single test's p-value.
+PASS_LO = 0.01
+PASS_HI = 0.99
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test."""
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    name: str
+    p_value: float
+    statistic: float = float("nan")
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """DIEHARD criterion: p must not be extreme on either side."""
+        return PASS_LO < self.p_value < PASS_HI
+
+
+@dataclass
+class BatteryResult:
+    """Aggregated outcome of a battery of tests for one generator."""
+
+    generator: str
+    battery: str
+    results: List[TestResult] = field(default_factory=list)
+
+    def add(self, result: TestResult) -> None:
+        self.results.append(result)
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_passed(self) -> int:
+        return sum(r.passed for r in self.results)
+
+    @property
+    def pass_string(self) -> str:
+        """Table II/III style "x/15"."""
+        return f"{self.num_passed}/{self.num_tests}"
+
+    @property
+    def p_values(self) -> np.ndarray:
+        return np.array([r.p_value for r in self.results])
+
+    @property
+    def ks_d(self) -> float:
+        """KS distance of the collected p-values from U(0, 1).
+
+        This is the paper's final verification step: for a good generator
+        the per-test p-values themselves look uniform.
+        """
+        if not self.results:
+            return float("nan")
+        return float(sps.kstest(self.p_values, "uniform").statistic)
+
+    @property
+    def ks_pvalue(self) -> float:
+        if not self.results:
+            return float("nan")
+        return float(sps.kstest(self.p_values, "uniform").pvalue)
+
+    def summary_table(self) -> str:
+        rows = [
+            [r.name, f"{r.p_value:.4f}", "pass" if r.passed else "FAIL", r.detail]
+            for r in self.results
+        ]
+        title = f"{self.battery} -- {self.generator}: {self.pass_string} passed, KS D = {self.ks_d:.4f}"
+        return format_table(["test", "p-value", "verdict", "detail"], rows, title)
+
+
+# ----------------------------------------------------------------------
+# p-value helpers
+# ----------------------------------------------------------------------
+
+
+def chi2_pvalue(statistic: float, dof: float) -> float:
+    """Upper-tail chi-square p-value."""
+    if dof <= 0:
+        raise ValueError(f"dof must be positive, got {dof}")
+    return float(sps.chi2.sf(statistic, dof))
+
+
+def normal_pvalue(z: float, two_sided: bool = True) -> float:
+    """p-value of a standard-normal statistic."""
+    if two_sided:
+        return float(2.0 * sps.norm.sf(abs(z)))
+    return float(sps.norm.sf(z))
+
+
+def normal_uniform_pvalue(z: float) -> float:
+    """DIEHARD-convention p-value: Phi(z), uniform on (0, 1) under H0.
+
+    With the pass band ``0.01 < p < 0.99`` this rejects extreme z of
+    either sign, and -- unlike a two-sided p -- stays uniform so the
+    battery-level KS over p-values is meaningful.
+    """
+    return float(sps.norm.cdf(z))
+
+
+def ks_uniform(values: Sequence[float]) -> tuple:
+    """(D, p) of a KS test of ``values`` against U(0, 1)."""
+    res = sps.kstest(np.asarray(values, dtype=np.float64), "uniform")
+    return float(res.statistic), float(res.pvalue)
+
+
+def fisher_combine(p_values: Sequence[float]) -> float:
+    """Fisher's method: combine independent p-values into one.
+
+    Used for DIEHARD's grouped tests (the two matrix-rank sizes count as
+    one test; OPSO/OQSO/DNA count as one "monkey" test).
+    """
+    ps = np.clip(np.asarray(p_values, dtype=np.float64), 1e-300, 1.0)
+    if ps.size == 0:
+        raise ValueError("no p-values to combine")
+    stat = -2.0 * np.log(ps).sum()
+    return chi2_pvalue(stat, 2 * ps.size)
+
+
+def binary_matrix_rank_probs(rows: int, cols: int, min_rank: int) -> np.ndarray:
+    """P(rank = r) for a uniform random GF(2) matrix, r = min_rank..min(rows, cols).
+
+    The classical formula::
+
+        P(r) = 2^{r(rows+cols-r) - rows*cols}
+               * prod_{i=0}^{r-1} (1 - 2^{i-rows})(1 - 2^{i-cols}) / (1 - 2^{i-r})
+
+    The first entry of the returned vector absorbs all ranks < ``min_rank``
+    so the probabilities sum to one.
+    """
+    rmax = min(rows, cols)
+    if not 0 <= min_rank <= rmax:
+        raise ValueError(f"min_rank must be in 0..{rmax}, got {min_rank}")
+    probs = []
+    for r in range(0, rmax + 1):
+        log2p = r * (rows + cols - r) - rows * cols
+        prod = 1.0
+        for i in range(r):
+            prod *= (1 - 2.0 ** (i - rows)) * (1 - 2.0 ** (i - cols))
+            prod /= 1 - 2.0 ** (i - r)
+        probs.append(2.0**log2p * prod)
+    probs = np.asarray(probs)
+    head = probs[: min_rank + 1].sum()
+    return np.concatenate([[head], probs[min_rank + 1 :]])

@@ -1,0 +1,142 @@
+"""Two-level statistical testing (the NIST SP800-22 §4 methodology).
+
+A single battery run gives one p-value per test; the standard way to
+harden the verdict is to run the battery over ``k`` independent streams
+and, per test, examine
+
+1. the **proportion of passing streams** against the binomial confidence
+   band around ``1 - alpha``, and
+2. the **uniformity of the k p-values** (chi-square over ten bins, as
+   SP800-22 prescribes).
+
+This module applies that procedure to *any* battery in the repository
+(DIEHARD, the Crush tiers, NIST), reseeding the generator per stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.baselines.base import PRNG
+from repro.quality.stats import BatteryResult, chi2_pvalue
+from repro.utils.checks import check_positive
+from repro.utils.tables import format_table
+
+__all__ = ["TwoLevelResult", "two_level_run", "proportion_band"]
+
+#: Per-test significance used by the pass band (NIST default).
+ALPHA = 0.01
+
+
+def proportion_band(k: int, alpha: float = ALPHA) -> tuple:
+    """NIST's acceptable range for the passing proportion over k streams."""
+    check_positive("k", k)
+    p = 1.0 - alpha
+    half = 3.0 * np.sqrt(p * (1 - p) / k)
+    return max(0.0, p - half), min(1.0, p + half)
+
+
+@dataclass
+class TestVerdict:
+    """Two-level verdict for one named test."""
+
+    name: str
+    proportion: float
+    proportion_ok: bool
+    uniformity_p: float
+
+    @property
+    def passed(self) -> bool:
+        return self.proportion_ok and self.uniformity_p >= 1e-4  # NIST cut
+
+
+@dataclass
+class TwoLevelResult:
+    """Aggregated two-level outcome across k streams."""
+
+    generator: str
+    battery: str
+    streams: int
+    verdicts: List[TestVerdict] = field(default_factory=list)
+    per_test_pvalues: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def num_passed(self) -> int:
+        return sum(v.passed for v in self.verdicts)
+
+    @property
+    def pass_string(self) -> str:
+        return f"{self.num_passed}/{len(self.verdicts)}"
+
+    def summary_table(self) -> str:
+        lo, hi = proportion_band(self.streams)
+        rows = [
+            [
+                v.name,
+                f"{v.proportion:.3f}",
+                f"{v.uniformity_p:.4f}",
+                "pass" if v.passed else "FAIL",
+            ]
+            for v in self.verdicts
+        ]
+        title = (
+            f"Two-level {self.battery} -- {self.generator}: "
+            f"{self.pass_string} over {self.streams} streams "
+            f"(proportion band [{lo:.3f}, {hi:.3f}])"
+        )
+        return format_table(
+            ["test", "proportion", "uniformity p", "verdict"], rows, title
+        )
+
+
+def _uniformity_p(pvalues: np.ndarray) -> float:
+    """SP800-22 uniformity check: chi-square over ten equal bins."""
+    counts = np.histogram(pvalues, bins=10, range=(0.0, 1.0))[0]
+    expected = pvalues.size / 10.0
+    stat = float(((counts - expected) ** 2 / expected).sum())
+    return chi2_pvalue(stat, 9)
+
+
+def two_level_run(
+    gen: PRNG,
+    battery_fn: Callable[[PRNG], BatteryResult],
+    streams: int = 20,
+    base_seed: int = 1,
+) -> TwoLevelResult:
+    """Run ``battery_fn`` over ``streams`` reseedings of ``gen``.
+
+    ``battery_fn`` takes the (reseeded) generator and returns a
+    :class:`BatteryResult`; e.g. ``lambda g: run_nist(g, n_bits=200_000)``.
+    """
+    check_positive("streams", streams)
+    per_test: Dict[str, List[float]] = {}
+    battery_name = "?"
+    for i in range(streams):
+        gen.reseed(base_seed + 7919 * i)
+        result = battery_fn(gen)
+        battery_name = result.battery
+        for r in result.results:
+            per_test.setdefault(r.name, []).append(r.p_value)
+
+    out = TwoLevelResult(
+        generator=gen.name,
+        battery=battery_name,
+        streams=streams,
+        per_test_pvalues=per_test,
+    )
+    lo, _hi = proportion_band(streams)
+    for name, ps in per_test.items():
+        arr = np.asarray(ps)
+        proportion = float((arr >= ALPHA).mean())
+        out.verdicts.append(
+            TestVerdict(
+                name=name,
+                proportion=proportion,
+                proportion_ok=proportion >= lo,
+                uniformity_p=_uniformity_p(arr),
+            )
+        )
+    return out

@@ -1,0 +1,35 @@
+"""Shared utilities: bit manipulation, validation, and text tables."""
+
+from repro.utils.bits import (
+    bits_to_uint64,
+    extract_3bit_chunks,
+    hamming_weight_u64,
+    pack_u32_pairs,
+    rotl32,
+    rotl64,
+    uint64_to_bits,
+    unpack_u64,
+)
+from repro.utils.checks import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bits_to_uint64",
+    "extract_3bit_chunks",
+    "hamming_weight_u64",
+    "pack_u32_pairs",
+    "rotl32",
+    "rotl64",
+    "uint64_to_bits",
+    "unpack_u64",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+    "format_table",
+]

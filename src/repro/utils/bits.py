@@ -1,0 +1,140 @@
+"""Bit-level helpers used throughout the PRNG core and quality suites.
+
+Everything here is vectorized over NumPy arrays; scalar inputs are accepted
+and handled through NumPy broadcasting.  All operations are defined on
+unsigned integer dtypes with explicit wraparound semantics (the natural
+behaviour of fixed-width GPU registers that the paper's CUDA kernels rely
+on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rotl32",
+    "rotl64",
+    "pack_u32_pairs",
+    "unpack_u64",
+    "uint64_to_bits",
+    "bits_to_uint64",
+    "extract_3bit_chunks",
+    "hamming_weight_u64",
+    "bytes_from_u64",
+    "u01_from_u64",
+    "u01_from_u32",
+]
+
+_U32 = np.uint32
+_U64 = np.uint64
+
+
+def rotl32(x, r: int):
+    """Rotate 32-bit value(s) ``x`` left by ``r`` bits."""
+    x = np.asarray(x, dtype=_U32)
+    r = int(r) % 32
+    if r == 0:
+        return x.copy()
+    return (x << _U32(r)) | (x >> _U32(32 - r))
+
+
+def rotl64(x, r: int):
+    """Rotate 64-bit value(s) ``x`` left by ``r`` bits."""
+    x = np.asarray(x, dtype=_U64)
+    r = int(r) % 64
+    if r == 0:
+        return x.copy()
+    return (x << _U64(r)) | (x >> _U64(64 - r))
+
+
+def pack_u32_pairs(hi, lo):
+    """Pack two 32-bit arrays into one 64-bit array: ``(hi << 32) | lo``.
+
+    This is how a Gabber-Galil vertex ``(x, y)`` becomes the 64-bit random
+    number emitted by the generator (Section III-B of the paper).
+    """
+    hi = np.asarray(hi, dtype=_U64)
+    lo = np.asarray(lo, dtype=_U64)
+    return (hi << _U64(32)) | (lo & _U64(0xFFFFFFFF))
+
+
+def unpack_u64(v):
+    """Split 64-bit value(s) into ``(hi, lo)`` 32-bit halves."""
+    v = np.asarray(v, dtype=_U64)
+    hi = (v >> _U64(32)).astype(_U32)
+    lo = (v & _U64(0xFFFFFFFF)).astype(_U32)
+    return hi, lo
+
+
+def uint64_to_bits(values) -> np.ndarray:
+    """Expand 64-bit value(s) into a flat MSB-first bit array (uint8)."""
+    values = np.atleast_1d(np.asarray(values, dtype=_U64))
+    # View as 8 big-endian bytes per value, then unpack bits.
+    as_bytes = values.astype(">u8").view(np.uint8)
+    return np.unpackbits(as_bytes)
+
+
+def bits_to_uint64(bits) -> np.ndarray:
+    """Pack a flat MSB-first bit array (multiple of 64 long) into uint64s."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 64 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 64")
+    packed = np.packbits(bits)
+    return packed.view(">u8").astype(_U64)
+
+
+def extract_3bit_chunks(words, chunks_per_word: int = 21) -> np.ndarray:
+    """Slice each 64-bit word into consecutive 3-bit chunks (values 0..7).
+
+    This mirrors line 5 of Algorithm 1 in the paper:
+    ``b(u) = (int)(bin(t) & (111 << (i*3)))`` -- each walk step consumes the
+    next 3 bits of the feed word.  A 64-bit word yields at most 21 full
+    chunks (63 bits); the last bit is discarded.
+
+    Parameters
+    ----------
+    words : array_like of uint64
+    chunks_per_word : int
+        How many 3-bit chunks to take from each word (1..21).
+
+    Returns
+    -------
+    np.ndarray of uint8, shape ``(len(words), chunks_per_word)``
+    """
+    if not 1 <= chunks_per_word <= 21:
+        raise ValueError("chunks_per_word must be in 1..21")
+    words = np.atleast_1d(np.asarray(words, dtype=_U64))
+    shifts = (np.arange(chunks_per_word, dtype=_U64) * _U64(3))
+    return ((words[:, None] >> shifts[None, :]) & _U64(0x7)).astype(np.uint8)
+
+
+def hamming_weight_u64(values) -> np.ndarray:
+    """Population count of 64-bit value(s), vectorized."""
+    v = np.atleast_1d(np.asarray(values, dtype=_U64))
+    # Classic SWAR popcount on uint64.
+    m1 = _U64(0x5555555555555555)
+    m2 = _U64(0x3333333333333333)
+    m4 = _U64(0x0F0F0F0F0F0F0F0F)
+    h01 = _U64(0x0101010101010101)
+    v = v - ((v >> _U64(1)) & m1)
+    v = (v & m2) + ((v >> _U64(2)) & m2)
+    v = (v + (v >> _U64(4))) & m4
+    return ((v * h01) >> _U64(56)).astype(np.uint8)
+
+
+def bytes_from_u64(values) -> np.ndarray:
+    """Flatten 64-bit value(s) into a little-endian uint8 byte stream."""
+    values = np.atleast_1d(np.asarray(values, dtype=_U64))
+    return values.astype("<u8").view(np.uint8)
+
+
+def u01_from_u64(values) -> np.ndarray:
+    """Map 64-bit integers to floats uniform in [0, 1) using the top 53 bits."""
+    values = np.atleast_1d(np.asarray(values, dtype=_U64))
+    return (values >> _U64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+
+
+def u01_from_u32(values) -> np.ndarray:
+    """Map 32-bit integers to floats uniform in [0, 1)."""
+    values = np.atleast_1d(np.asarray(values, dtype=_U32))
+    return values.astype(np.float64) * (1.0 / 4294967296.0)

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports results as tables (Table I-III) and figures (Fig. 3-8).
+Benchmarks print reproductions of those as monospaced tables; this module
+keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospaced table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+    title: str | None = None,
+) -> str:
+    """Render one x-column plus several named y-columns (a 'figure' as text)."""
+    headers = [x_label, *series.keys()]
+    columns = [xs, *series.values()]
+    n = len(xs)
+    for name, col in series.items():
+        if len(col) != n:
+            raise ValueError(f"series {name!r} has {len(col)} points, expected {n}")
+    rows = [[col[i] for col in columns] for i in range(n)]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.expander import GabberGalilExpander
+
+
+@pytest.fixture
+def small_graph():
+    """A Gabber-Galil graph small enough for exhaustive checks."""
+    return GabberGalilExpander(m=7)
+
+
+@pytest.fixture
+def native_graph():
+    """The paper's graph: m = 2**32, 64-bit vertex ids."""
+    return GabberGalilExpander()
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for test-local randomness."""
+    return np.random.Generator(np.random.PCG64(12345))

@@ -1,0 +1,114 @@
+"""Tests for expander-walk probability amplification."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource import SplitMix64Source
+from repro.core.amplification import (
+    AmplificationResult,
+    amplify,
+    independent_bit_cost,
+    walk_seeds,
+)
+
+
+class TestWalkSeeds:
+    def test_count_and_dtype(self):
+        seeds, bits = walk_seeds(10, source=SplitMix64Source(1))
+        assert seeds.dtype == np.uint64 and seeds.size == 10
+        assert bits > 0
+
+    def test_bit_cost_beats_independent(self):
+        """b + O(k) bits instead of 64k."""
+        k = 50
+        _, bits = walk_seeds(k, source=SplitMix64Source(2))
+        # Expect ~64 + k * 3 * 8/7 ~ 235 bits << 3200.
+        assert bits < independent_bit_cost(k) / 5
+
+    def test_bit_cost_scales_linearly_in_k(self):
+        _, b10 = walk_seeds(10, source=SplitMix64Source(3))
+        _, b100 = walk_seeds(100, source=SplitMix64Source(3))
+        per_seed = (b100 - b10) / 90
+        assert 3.0 <= per_seed <= 4.5  # ~3 * 8/7 bits per adjacent step
+
+    def test_seeds_mostly_distinct(self):
+        """Neighbour 0 is the identity, so ~1/7 of adjacent positions
+        repeat; everything else must be distinct."""
+        seeds, _ = walk_seeds(100, source=SplitMix64Source(4))
+        uniq = np.unique(seeds).size
+        assert 75 <= uniq <= 100
+
+    def test_spaced_seeds_distinct(self):
+        seeds, _ = walk_seeds(100, source=SplitMix64Source(4), steps_between=8)
+        assert np.unique(seeds).size == 100
+
+    def test_steps_between_increases_cost(self):
+        _, b1 = walk_seeds(20, source=SplitMix64Source(5), steps_between=1)
+        _, b4 = walk_seeds(20, source=SplitMix64Source(5), steps_between=4)
+        assert b4 > 2 * b1
+
+    def test_deterministic(self):
+        s1, _ = walk_seeds(5, source=SplitMix64Source(6))
+        s2, _ = walk_seeds(5, source=SplitMix64Source(6))
+        assert np.array_equal(s1, s2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            walk_seeds(0)
+        with pytest.raises(ValueError):
+            walk_seeds(5, steps_between=0)
+
+
+class TestAmplify:
+    def test_majority_amplifies_biased_predicate(self):
+        """A predicate true for 75% of seeds majority-votes to True."""
+        res = amplify(
+            lambda s: (s & 0b11) != 0,  # true w.p. 3/4 on uniform seeds
+            k=101,
+            source=SplitMix64Source(7),
+        )
+        assert res.decision is True
+        assert res.votes_true > 60
+
+    def test_any_mode_finds_rare_witness(self):
+        """One-sided: any single witness decides."""
+        res = amplify(
+            lambda s: (s & 0xFF) == 0,  # true w.p. 1/256
+            k=2000,
+            source=SplitMix64Source(8),
+            mode="any",
+        )
+        assert res.decision is True  # ~8 expected witnesses
+
+    def test_any_mode_no_witness(self):
+        res = amplify(lambda s: False, k=50, source=SplitMix64Source(9),
+                      mode="any")
+        assert res.decision is False
+        assert res.votes_true == 0
+
+    def test_error_decays_with_k(self):
+        """Walk amplification drives the majority-vote error down in k."""
+        def noisy(s):  # true w.p. ~0.7
+            return (int(s) % 10) < 7
+
+        wrong_small = 0
+        wrong_large = 0
+        for trial in range(60):
+            src = SplitMix64Source(1000 + trial)
+            if not amplify(noisy, k=5, source=src).decision:
+                wrong_small += 1
+            src = SplitMix64Source(2000 + trial)
+            if not amplify(noisy, k=41, source=src).decision:
+                wrong_large += 1
+        assert wrong_large <= wrong_small
+        assert wrong_large <= 2
+
+    def test_bit_savings_reported(self):
+        res = amplify(lambda s: True, k=30, source=SplitMix64Source(10))
+        assert isinstance(res, AmplificationResult)
+        assert res.bit_savings > 0.7
+        assert res.bits_independent == 30 * 64
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            amplify(lambda s: True, k=3, mode="bogus")

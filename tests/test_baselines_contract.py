@@ -1,0 +1,78 @@
+"""Contract tests: every registered generator honours the PRNG interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import available_generators, make_generator
+
+ALL = available_generators()
+
+
+@pytest.fixture(params=ALL)
+def gen(request):
+    return make_generator(request.param, seed=17)
+
+
+class TestContract:
+    def test_registry_contains_paper_generators(self):
+        for name in [
+            "Hybrid PRNG",
+            "Mersenne Twister",
+            "CURAND",
+            "CUDPP RAND",
+            "glibc rand()",
+        ]:
+            assert name in ALL
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown generator"):
+            make_generator("nope")
+
+    def test_u32_dtype_and_count(self, gen):
+        out = gen.u32_array(257)
+        assert out.dtype == np.uint32 and out.size == 257
+
+    def test_u64_dtype_and_count(self, gen):
+        out = gen.u64_array(33)
+        assert out.dtype == np.uint64 and out.size == 33
+
+    def test_uniform_bounds(self, gen):
+        u = gen.uniform(2000)
+        assert (u >= 0).all() and (u < 1).all()
+
+    def test_uniform53_bounds(self, gen):
+        u = gen.uniform53(500)
+        assert (u >= 0).all() and (u < 1).all()
+
+    def test_bytes_stream(self, gen):
+        b = gen.bytes_stream(1001)
+        assert b.dtype == np.uint8 and b.size == 1001
+
+    def test_bits_stream(self, gen):
+        bits = gen.bits_stream(999)
+        assert bits.size == 999
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_reseed_reproduces(self, gen):
+        first = gen.u32_array(64).copy()
+        gen.u32_array(512)
+        gen.reseed(17)
+        assert np.array_equal(gen.u32_array(64), first)
+
+    def test_determinism_across_instances(self):
+        for name in ALL:
+            a = make_generator(name, seed=23).u32_array(128)
+            b = make_generator(name, seed=23).u32_array(128)
+            assert np.array_equal(a, b), name
+
+    def test_rough_uniformity(self, gen):
+        u = gen.uniform(20_000)
+        assert abs(u.mean() - 0.5) < 0.02
+        assert abs(u.var() - 1 / 12) < 0.02
+
+    def test_name_is_set(self, gen):
+        assert gen.name and gen.name != "prng"
+
+    def test_negative_count_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen.u32_array(-1)

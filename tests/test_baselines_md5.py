@@ -1,0 +1,88 @@
+"""Tests for the MD5 compression function and the CUDPP-style PRNG."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.md5_rand import Md5Rand, md5_compress, md5_hex
+
+RFC1321_VECTORS = {
+    b"": "d41d8cd98f00b204e9800998ecf8427e",
+    b"a": "0cc175b9c0f1b6a831c399e269772661",
+    b"abc": "900150983cd24fb0d6963f7d28e17f72",
+    b"message digest": "f96b697d7cb7938d525a2f31aaf161d0",
+    b"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789":
+        "d174ab98d277d9f5a5611c2c9f419d9f",
+    b"1234567890" * 8: "57edf4a22be3c955ac49da2e2107b67a",
+}
+
+
+class TestMd5KnownAnswers:
+    @pytest.mark.parametrize("msg,digest", RFC1321_VECTORS.items())
+    def test_rfc1321(self, msg, digest):
+        assert md5_hex(msg) == digest
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=60)
+    def test_matches_hashlib(self, data):
+        assert md5_hex(data) == hashlib.md5(data).hexdigest()
+
+    def test_compress_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            md5_compress(np.zeros((4, 15), dtype=np.uint32))
+
+    def test_compress_vectorization_consistent(self):
+        """Hashing n blocks at once equals hashing them one by one."""
+        rng = np.random.Generator(np.random.PCG64(3))
+        blocks = rng.integers(0, 2**32, size=(16, 16), dtype=np.uint32)
+        batched = md5_compress(blocks)
+        single = np.concatenate(
+            [md5_compress(blocks[i : i + 1]) for i in range(16)]
+        )
+        assert np.array_equal(batched, single)
+
+
+class TestMd5Rand:
+    def test_deterministic(self):
+        assert np.array_equal(
+            Md5Rand(seed=5).u32_array(100), Md5Rand(seed=5).u32_array(100)
+        )
+
+    def test_seed_sensitivity(self):
+        assert not np.array_equal(
+            Md5Rand(seed=5).u32_array(100), Md5Rand(seed=6).u32_array(100)
+        )
+
+    def test_reseed(self):
+        g = Md5Rand(seed=5)
+        first = g.u32_array(12).copy()
+        g.u32_array(1000)
+        g.reseed(5)
+        assert np.array_equal(g.u32_array(12), first)
+
+    def test_partial_digest_requests(self):
+        """Partial digests are buffered: request splitting is invisible."""
+        a = Md5Rand(seed=9)
+        b = Md5Rand(seed=9)
+        x = np.concatenate([a.u32_array(3), a.u32_array(5), a.u32_array(9)])
+        y = b.u32_array(17)
+        assert np.array_equal(x, y)
+
+    def test_uniformity_sane(self):
+        u = Md5Rand(seed=2).uniform(100_000)
+        assert abs(u.mean() - 0.5) < 0.005
+
+    def test_bit_balance(self):
+        bits = Md5Rand(seed=2).bits_stream(200_000)
+        assert abs(bits.mean() - 0.5) < 0.005
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            Md5Rand(lanes=0)
+
+    def test_zero_request(self):
+        assert Md5Rand(seed=1).u32_array(0).size == 0

@@ -1,0 +1,81 @@
+"""Tests for the multiply-with-carry generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mwc import (
+    GOOD_MULTIPLIERS,
+    Mwc,
+    _is_prime,
+    is_safeprime_multiplier,
+)
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 97, 2**31 - 1, 4294967291])
+    def test_primes(self, p):
+        assert _is_prime(p)
+
+    @pytest.mark.parametrize("c", [0, 1, 4, 100, 2**31, 561, 41041])
+    def test_composites_and_carmichael(self, c):
+        assert not _is_prime(c)
+
+    def test_all_table_multipliers_safeprime(self):
+        for a in GOOD_MULTIPLIERS:
+            assert is_safeprime_multiplier(a), a
+
+    def test_bad_multiplier_detected(self):
+        assert not is_safeprime_multiplier(4294967296 // 2)
+
+
+class TestRecurrence:
+    def test_matches_scalar_reference(self):
+        """Vectorized MWC equals a pure-Python MWC step for lane 0."""
+        g = Mwc(seed=7, lanes=1)
+        a = int(g._a[0])
+        x = int(g._x[0])
+        ref = []
+        for _ in range(200):
+            x = (x & 0xFFFFFFFF) * a + (x >> 32)
+            ref.append(x & 0xFFFFFFFF)
+        ours = [int(v) for v in g.u32_array(200)]
+        assert ours == ref
+
+    def test_state_never_zero(self):
+        g = Mwc(seed=0, lanes=64)
+        g.u32_array(1000)
+        assert (g._x != 0).all()
+
+
+class TestLanesAndBehaviour:
+    def test_lane_multipliers_cycle_table(self):
+        g = Mwc(seed=1, lanes=10)
+        assert int(g._a[8]) == GOOD_MULTIPLIERS[0]
+        assert int(g._a[9]) == GOOD_MULTIPLIERS[1]
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            Mwc(seed=5, lanes=4).u32_array(100), Mwc(seed=5, lanes=4).u32_array(100)
+        )
+
+    def test_reseed(self):
+        g = Mwc(seed=5, lanes=4)
+        first = g.u32_array(8).copy()
+        g.u32_array(500)
+        g.reseed(5)
+        assert np.array_equal(g.u32_array(8), first)
+
+    def test_lanes_distinct(self):
+        g = Mwc(seed=5, lanes=6)
+        block = g.u32_array(6 * 50).reshape(50, 6)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert not np.array_equal(block[:, i], block[:, j])
+
+    def test_uniformity_sane(self):
+        u = Mwc(seed=2, lanes=16).uniform(100_000)
+        assert abs(u.mean() - 0.5) < 0.005
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            Mwc(lanes=0)

@@ -1,0 +1,86 @@
+"""Tests for the XORWOW (CURAND) implementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.xorwow import MARSAGLIA_INITIAL_STATE, Xorwow
+
+
+def xorwow_reference_steps(n):
+    """Independent pure-Python implementation of Marsaglia's xorwow."""
+    x, y, z, w, v, d = MARSAGLIA_INITIAL_STATE
+    out = []
+    mask = 0xFFFFFFFF
+    for _ in range(n):
+        t = (x ^ (x >> 2)) & mask
+        x, y, z, w = y, z, w, v
+        v = ((v ^ (v << 4)) ^ (t ^ (t << 1))) & mask
+        d = (d + 362437) & mask
+        out.append((v + d) & mask)
+    return out
+
+
+class TestRecurrence:
+    def test_matches_independent_reference(self):
+        g = Xorwow(lanes=1, marsaglia_init=True)
+        ours = [g.next_u32() for _ in range(500)]
+        assert ours == xorwow_reference_steps(500)
+
+    def test_marsaglia_init_requires_single_lane(self):
+        with pytest.raises(ValueError, match="lanes == 1"):
+            Xorwow(lanes=2, marsaglia_init=True)
+
+
+class TestLanes:
+    def test_lane_interleaving(self):
+        """Multi-lane output is lane-major per round."""
+        g = Xorwow(seed=3, lanes=4)
+        block = g.u32_array(8)
+        # Reconstruct: each round yields 4 outputs, rounds are consecutive.
+        g2 = Xorwow(seed=3, lanes=4)
+        r1 = g2._step()
+        r2 = g2._step()
+        assert np.array_equal(block, np.concatenate([r1, r2]))
+
+    def test_lanes_are_distinct_streams(self):
+        g = Xorwow(seed=3, lanes=8)
+        block = g.u32_array(8 * 100).reshape(100, 8)
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert not np.array_equal(block[:, i], block[:, j])
+
+    def test_partial_round(self):
+        g = Xorwow(seed=3, lanes=16)
+        assert g.u32_array(5).size == 5
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            Xorwow(lanes=0)
+
+
+class TestBehaviour:
+    def test_deterministic(self):
+        assert np.array_equal(
+            Xorwow(seed=9, lanes=4).u32_array(100),
+            Xorwow(seed=9, lanes=4).u32_array(100),
+        )
+
+    def test_reseed(self):
+        g = Xorwow(seed=9, lanes=4)
+        first = g.u32_array(10).copy()
+        g.u32_array(1000)
+        g.reseed(9)
+        assert np.array_equal(g.u32_array(10), first)
+
+    def test_seed_sensitivity(self):
+        assert not np.array_equal(
+            Xorwow(seed=1, lanes=2).u32_array(50),
+            Xorwow(seed=2, lanes=2).u32_array(50),
+        )
+
+    def test_uniformity_sane(self):
+        u = Xorwow(seed=5, lanes=32).uniform(100_000)
+        assert abs(u.mean() - 0.5) < 0.005
+
+    def test_is_on_demand(self):
+        assert Xorwow(seed=1).on_demand is True

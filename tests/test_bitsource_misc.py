@@ -1,0 +1,122 @@
+"""Tests for counter/NumPy/OS bit sources and the shared BitSource API."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource import (
+    NumpyBitSource,
+    OsEntropySource,
+    RawCounterSource,
+    SplitMix64Source,
+    splitmix64,
+)
+
+
+class TestSplitMix64:
+    def test_reference_values(self):
+        """Known answers from the public-domain splitmix64.c, seed 0."""
+        src = SplitMix64Source(0)
+        got = [int(v) for v in src.words64(3)]
+        assert got == [
+            0xE220A8397B1DCDAF,
+            0x6E789E6AA1B965F4,
+            0x06C45D188009454F,
+        ]
+
+    def test_hash_equals_first_stream_output(self):
+        """splitmix64(x) is the first draw of a stream seeded at x."""
+        x = 0xDEADBEEFCAFEF00D
+        assert int(splitmix64(np.uint64(x))[()]) == int(
+            SplitMix64Source(x).words64(1)[0]
+        )
+
+    def test_sequence_continuation(self):
+        a = SplitMix64Source(0)
+        w1 = a.words64(3)
+        b = SplitMix64Source(0)
+        w2 = np.concatenate([b.words64(1), b.words64(2)])
+        assert np.array_equal(w1, w2)
+
+    def test_reseed(self):
+        s = SplitMix64Source(5)
+        first = s.words64(1)[0]
+        s.words64(100)
+        s.reseed(5)
+        assert s.words64(1)[0] == first
+
+    def test_distinct_seeds(self):
+        assert SplitMix64Source(1).words64(1)[0] != SplitMix64Source(2).words64(1)[0]
+
+    def test_bit_balance(self):
+        bits = SplitMix64Source(3).bits(100_000)
+        assert abs(bits.mean() - 0.5) < 0.01
+
+
+class TestRawCounter:
+    def test_emits_counter(self):
+        s = RawCounterSource(10)
+        assert list(s.words64(3)) == [11, 12, 13]
+
+    def test_is_terrible_but_deterministic(self):
+        a, b = RawCounterSource(0), RawCounterSource(0)
+        assert np.array_equal(a.words64(10), b.words64(10))
+
+
+class TestNumpySource:
+    def test_deterministic(self):
+        assert np.array_equal(
+            NumpyBitSource(9).words64(20), NumpyBitSource(9).words64(20)
+        )
+
+    def test_reseed(self):
+        s = NumpyBitSource(4)
+        w = s.words64(5).copy()
+        s.words64(50)
+        s.reseed(4)
+        assert np.array_equal(s.words64(5), w)
+
+
+class TestOsEntropy:
+    def test_produces_words(self):
+        s = OsEntropySource()
+        w = s.words64(16)
+        assert w.dtype == np.uint64 and w.size == 16
+
+    def test_zero_words(self):
+        assert OsEntropySource().words64(0).size == 0
+
+    def test_calls_differ(self):
+        s = OsEntropySource()
+        # 128 bits of OS entropy colliding is impossible in practice.
+        assert not np.array_equal(s.words64(2), s.words64(2))
+
+    def test_reseed_is_noop(self):
+        OsEntropySource().reseed(1)  # must not raise
+
+
+class TestSharedDerivedApi:
+    @pytest.mark.parametrize(
+        "source", [SplitMix64Source(1), RawCounterSource(1), NumpyBitSource(1)]
+    )
+    def test_bits_length_and_values(self, source):
+        bits = source.bits(130)
+        assert bits.size == 130
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_chunks3_matches_manual_slicing(self):
+        src = SplitMix64Source(8)
+        chunks = src.chunks3(45)
+        src2 = SplitMix64Source(8)
+        words = src2.words64(3)
+        manual = []
+        for w in words:
+            for i in range(21):
+                manual.append((int(w) >> (3 * i)) & 7)
+        assert list(chunks) == manual[:45]
+
+    def test_zero_chunks(self):
+        assert SplitMix64Source(1).chunks3(0).size == 0
+
+    def test_uniform_bounds(self):
+        u = SplitMix64Source(2).uniform(500)
+        assert (u >= 0).all() and (u < 1).all()

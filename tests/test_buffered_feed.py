@@ -1,0 +1,89 @@
+"""Tests for the buffered/asynchronous CPU->GPU feed model."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource.buffered import BufferedFeed
+from repro.bitsource.counter import SplitMix64Source
+
+
+class TestValueTransparency:
+    def test_values_equal_unbuffered(self):
+        direct = SplitMix64Source(3).words64(1000)
+        feed = BufferedFeed(SplitMix64Source(3), batch_words=64)
+        buffered = feed.words64(1000)
+        assert np.array_equal(direct, buffered)
+
+    def test_split_requests_preserve_stream(self):
+        direct = SplitMix64Source(3).words64(300)
+        feed = BufferedFeed(SplitMix64Source(3), batch_words=128)
+        got = np.concatenate([feed.words64(7), feed.words64(200), feed.words64(93)])
+        assert np.array_equal(direct, got)
+
+    def test_chunks3_passthrough(self):
+        direct = SplitMix64Source(4).chunks3(500)
+        feed = BufferedFeed(SplitMix64Source(4), batch_words=32)
+        assert np.array_equal(direct, feed.chunks3(500))
+
+
+class TestStats:
+    def test_sync_counts(self):
+        feed = BufferedFeed(SplitMix64Source(1), batch_words=100)
+        feed.words64(250)
+        snap = feed.stats.snapshot()
+        assert snap["words_consumed"] == 250
+        assert snap["refills"] == 3
+        assert snap["words_produced"] == 300
+        # In synchronous mode every refill is a demand stall.
+        assert snap["stalls"] == 3
+
+    def test_pending_words(self):
+        feed = BufferedFeed(SplitMix64Source(1), batch_words=100)
+        feed.words64(30)
+        assert feed.pending_words == 70
+
+
+class TestAsyncProducer:
+    def test_async_values_identical(self):
+        direct = SplitMix64Source(5).words64(2000)
+        with BufferedFeed(
+            SplitMix64Source(5), batch_words=128, prefetch=3, async_producer=True
+        ) as feed:
+            got = feed.words64(2000)
+        assert np.array_equal(direct, got)
+
+    def test_close_is_idempotent(self):
+        feed = BufferedFeed(
+            SplitMix64Source(5), batch_words=64, async_producer=True
+        )
+        feed.close()
+        feed.close()
+
+    def test_reseed_async_rejected(self):
+        with BufferedFeed(
+            SplitMix64Source(5), batch_words=64, async_producer=True
+        ) as feed:
+            with pytest.raises(RuntimeError, match="async"):
+                feed.reseed(1)
+
+
+class TestReseed:
+    def test_sync_reseed_restarts_stream(self):
+        feed = BufferedFeed(SplitMix64Source(5), batch_words=64)
+        first = feed.words64(10).copy()
+        feed.words64(100)
+        feed.reseed(5)
+        assert np.array_equal(feed.words64(10), first)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BufferedFeed(SplitMix64Source(1), batch_words=0)
+        with pytest.raises(ValueError):
+            BufferedFeed(SplitMix64Source(1), prefetch=0)
+
+    def test_negative_request(self):
+        feed = BufferedFeed(SplitMix64Source(1))
+        with pytest.raises(ValueError):
+            feed.words64(-1)

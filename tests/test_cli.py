@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.n == 10 and args.format == "hex"
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quality", "--generator", "nope"])
+
+
+class TestGenerate:
+    def test_hex_output(self, capsys):
+        assert main(["generate", "-n", "3", "--threads", "64"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(line.startswith("0x") and len(line) == 18 for line in lines)
+
+    def test_int_output(self, capsys):
+        main(["generate", "-n", "2", "--format", "int", "--threads", "64"])
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert 0 <= int(line) < 2**64
+
+    def test_float_output(self, capsys):
+        main(["generate", "-n", "5", "--format", "float", "--threads", "64"])
+        vals = [float(v) for v in capsys.readouterr().out.split()]
+        assert all(0 <= v < 1 for v in vals)
+
+    def test_deterministic_by_seed(self, capsys):
+        main(["generate", "-n", "2", "--seed", "9", "--threads", "64"])
+        first = capsys.readouterr().out
+        main(["generate", "-n", "2", "--seed", "9", "--threads", "64"])
+        assert capsys.readouterr().out == first
+
+
+class TestPlatform:
+    def test_reports_throughput(self, capsys):
+        assert main(["platform", "-n", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "GNumbers/s" in out and "GPU idle" in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which", ["fig3", "fig5", "fig6"])
+    def test_prints_table(self, which, capsys):
+        assert main(["figures", which]) == 0
+        assert "Figure" in capsys.readouterr().out
+
+
+class TestQuality:
+    def test_smallcrush_on_fast_generator(self, capsys):
+        rc = main([
+            "quality", "--generator", "Mersenne Twister",
+            "--battery", "smallcrush", "--scale", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert "SmallCrush" in out
+        assert rc in (0, 1)

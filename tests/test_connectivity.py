@@ -1,0 +1,119 @@
+"""Tests for random-mate connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.connectivity import CCResult, connected_components, random_graph_edges
+from repro.apps.listranking.hybrid import OnDemandBits
+from repro.bitsource import SplitMix64Source
+from repro.core.parallel import ParallelExpanderPRNG
+
+
+def np_bits(seed=0):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return lambda k: (rng.random(k) < 0.5).astype(np.uint8)
+
+
+def reference_labels(n, edges):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(map(tuple, edges))
+    labels = np.empty(n, dtype=np.int64)
+    for comp in nx.connected_components(g):
+        rep = min(comp)
+        for v in comp:
+            labels[v] = rep
+    return labels
+
+
+def same_partition(a, b):
+    """Two labelings describe the same partition."""
+    seen = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if x in seen:
+            if seen[x] != y:
+                return False
+        else:
+            seen[x] = y
+    return len(set(seen.values())) == len(seen)
+
+
+class TestCorrectness:
+    def test_path_graph(self):
+        edges = np.array([[i, i + 1] for i in range(9)])
+        res = connected_components(10, edges, np_bits(1))
+        assert res.num_components == 1
+
+    def test_disjoint_cliques(self):
+        edges = []
+        for base in (0, 5, 10):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    edges.append([base + i, base + j])
+        res = connected_components(15, np.array(edges), np_bits(2))
+        assert res.num_components == 3
+        assert same_partition(res.labels, reference_labels(15, edges))
+
+    def test_isolated_vertices(self):
+        res = connected_components(7, np.empty((0, 2), dtype=np.int64),
+                                   np_bits(3))
+        assert res.num_components == 7
+        assert res.rounds == 0
+
+    def test_self_loops_ignored(self):
+        edges = np.array([[0, 0], [1, 1], [0, 1]])
+        res = connected_components(3, edges, np_bits(4))
+        assert res.num_components == 2
+
+    @given(
+        st.integers(min_value=2, max_value=120),
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, n, m, seed):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        edges = random_graph_edges(n, m, rng)
+        res = connected_components(n, edges, np_bits(seed + 1))
+        ref = reference_labels(n, edges)
+        assert same_partition(res.labels, ref)
+
+    def test_labels_are_roots(self):
+        rng = np.random.Generator(np.random.PCG64(8))
+        edges = random_graph_edges(50, 80, rng)
+        res = connected_components(50, edges, np_bits(9))
+        # Every label must label itself (be a representative).
+        assert np.array_equal(res.labels[res.labels], res.labels)
+
+
+class TestOnDemandUsage:
+    def test_with_hybrid_prng(self):
+        prng = ParallelExpanderPRNG(num_threads=512,
+                                    bit_source=SplitMix64Source(7))
+        provider = OnDemandBits(prng)
+        rng = np.random.Generator(np.random.PCG64(10))
+        edges = random_graph_edges(2000, 3000, rng)
+        res = connected_components(2000, edges, provider)
+        assert same_partition(res.labels, reference_labels(2000, edges))
+        assert provider.bits_produced == res.total_bits
+
+    def test_bits_demand_shrinks(self):
+        rng = np.random.Generator(np.random.PCG64(11))
+        edges = random_graph_edges(5000, 20_000, rng)
+        res = connected_components(5000, edges, np_bits(12))
+        assert res.rounds >= 2
+        assert res.bits_requested[-1] <= res.bits_requested[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            connected_components(0, np.empty((0, 2)), np_bits(1))
+        with pytest.raises(ValueError, match="out of range"):
+            connected_components(3, np.array([[0, 5]]), np_bits(1))
+
+    def test_result_type(self):
+        res = connected_components(4, np.array([[0, 1]]), np_bits(1))
+        assert isinstance(res, CCResult)
+        assert res.total_bits == sum(res.bits_requested)

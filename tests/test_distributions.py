@@ -1,0 +1,157 @@
+"""Tests for the derived-distribution layer."""
+
+import numpy as np
+import pytest
+import scipy.stats as sps
+
+from repro.baselines.mt19937 import MT19937
+from repro.core.distributions import (
+    binomial,
+    choice_index,
+    exponential,
+    geometric,
+    normal,
+    poisson,
+    shuffle,
+)
+
+
+def gen():
+    return MT19937(31415)
+
+
+class TestNormal:
+    def test_moments(self):
+        x = normal(gen(), 200_000)
+        assert abs(x.mean()) < 0.01
+        assert abs(x.std() - 1.0) < 0.01
+
+    def test_location_scale(self):
+        x = normal(gen(), 100_000, mean=5.0, std=2.0)
+        assert x.mean() == pytest.approx(5.0, abs=0.03)
+        assert x.std() == pytest.approx(2.0, abs=0.03)
+
+    def test_normality_ks(self):
+        x = normal(gen(), 50_000)
+        assert sps.kstest(x, "norm").pvalue > 0.01
+
+    def test_odd_count(self):
+        assert normal(gen(), 7).size == 7
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            normal(gen(), 10, std=-1)
+
+
+class TestExponential:
+    def test_mean(self):
+        x = exponential(gen(), 200_000, rate=2.0)
+        assert x.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_distribution_ks(self):
+        x = exponential(gen(), 50_000, rate=1.0)
+        assert sps.kstest(x, "expon").pvalue > 0.01
+
+    def test_all_positive(self):
+        assert (exponential(gen(), 10_000) > 0).all()
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential(gen(), 10, rate=0)
+
+
+class TestGeometric:
+    def test_mean(self):
+        x = geometric(gen(), 200_000, p=0.25)
+        assert x.mean() == pytest.approx(4.0, abs=0.05)
+
+    def test_support(self):
+        x = geometric(gen(), 10_000, p=0.5)
+        assert x.min() >= 1
+
+    def test_p_one(self):
+        assert (geometric(gen(), 100, p=1.0) == 1).all()
+
+    def test_p_zero_rejected(self):
+        with pytest.raises(ValueError):
+            geometric(gen(), 10, p=0.0)
+
+
+class TestPoisson:
+    @pytest.mark.parametrize("lam", [0.5, 3.0, 12.0])
+    def test_small_lambda_exact_method(self, lam):
+        x = poisson(gen(), 150_000, lam)
+        assert x.mean() == pytest.approx(lam, rel=0.02)
+        assert x.var() == pytest.approx(lam, rel=0.05)
+
+    def test_large_lambda_approximation(self):
+        x = poisson(gen(), 100_000, 100.0)
+        assert x.mean() == pytest.approx(100.0, rel=0.01)
+        assert (x >= 0).all()
+
+    def test_pmf_chi2(self):
+        lam = 2.0
+        x = poisson(gen(), 100_000, lam)
+        kmax = 9
+        observed = np.bincount(np.minimum(x, kmax), minlength=kmax + 1)
+        probs = sps.poisson.pmf(np.arange(kmax + 1), lam)
+        probs[-1] = 1 - probs[:-1].sum()
+        stat = ((observed - probs * x.size) ** 2 / (probs * x.size)).sum()
+        assert sps.chi2.sf(stat, kmax) > 0.001
+
+
+class TestBinomial:
+    def test_moments(self):
+        x = binomial(gen(), 50_000, trials=20, p=0.3)
+        assert x.mean() == pytest.approx(6.0, abs=0.05)
+        assert x.var() == pytest.approx(20 * 0.3 * 0.7, rel=0.05)
+
+    def test_bounds(self):
+        x = binomial(gen(), 10_000, trials=10, p=0.5)
+        assert x.min() >= 0 and x.max() <= 10
+
+
+class TestShuffle:
+    def test_is_permutation(self):
+        items = np.arange(100)
+        out = shuffle(gen(), items)
+        assert sorted(out) == list(range(100))
+        assert not np.array_equal(out, items)  # astronomically unlikely
+
+    def test_input_not_mutated(self):
+        items = np.arange(50)
+        shuffle(gen(), items)
+        assert np.array_equal(items, np.arange(50))
+
+    def test_uniformity_small(self):
+        """All 6 permutations of 3 items appear with equal frequency."""
+        counts = {}
+        g = gen()
+        for _ in range(12_000):
+            key = tuple(shuffle(g, np.arange(3)))
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == 6
+        expected = 12_000 / 6
+        stat = sum((c - expected) ** 2 / expected for c in counts.values())
+        assert sps.chi2.sf(stat, 5) > 0.001
+
+    def test_trivial_sizes(self):
+        assert shuffle(gen(), np.array([7])).tolist() == [7]
+        assert shuffle(gen(), np.array([])).size == 0
+
+
+class TestChoice:
+    def test_respects_weights(self):
+        idx = choice_index(gen(), 100_000, np.array([1.0, 3.0]))
+        frac = (idx == 1).mean()
+        assert frac == pytest.approx(0.75, abs=0.01)
+
+    def test_zero_weight_never_chosen(self):
+        idx = choice_index(gen(), 10_000, np.array([1.0, 0.0, 1.0]))
+        assert not (idx == 1).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choice_index(gen(), 10, np.array([]))
+        with pytest.raises(ValueError):
+            choice_index(gen(), 10, np.array([-1.0, 2.0]))

@@ -1,0 +1,77 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are loaded by file path (the examples directory is not a
+package) and driven with reduced workloads where their ``main`` accepts
+a size argument.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_examples_directory_contents(self):
+        names = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart",
+            "list_ranking",
+            "photon_migration",
+            "quality_report",
+            "monte_carlo_pi",
+            "amplification",
+        } <= names
+
+    def test_list_ranking_small(self, capsys):
+        load("list_ranking").main(5_000)
+        out = capsys.readouterr().out
+        assert "correct" in out and "on-demand improvement" in out
+
+    def test_photon_migration_small(self, capsys):
+        load("photon_migration").main(3_000)
+        out = capsys.readouterr().out
+        assert "energy balance error" in out and "speedup" in out
+
+    def test_quality_report_fast_generator(self, capsys):
+        load("quality_report").main("Mersenne Twister", 0.1)
+        out = capsys.readouterr().out
+        assert "DIEHARD" in out and "SmallCrush" in out
+
+    def test_quality_report_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            load("quality_report").main("definitely-not-a-generator")
+
+    def test_connected_components_small(self, capsys):
+        load("connected_components").main(2_000, 3_000)
+        out = capsys.readouterr().out
+        assert "union-find cross-check" in out and "OK" in out
+
+    def test_amplification(self, capsys):
+        load("amplification").main()
+        out = capsys.readouterr().out
+        assert "probably prime" in out
+        assert "checkpoint resume exact: True" in out
+
+    def test_monte_carlo_components(self):
+        """Drive the pi example's pieces at reduced precision."""
+        mod = load("monte_carlo_pi")
+        from repro.baselines import HybridPRNG
+
+        gen = HybridPRNG(seed=7, num_threads=1 << 14)
+        pi_hat, sem, total = mod.estimate_pi(gen, target_sem=8e-3)
+        assert abs(pi_hat - 3.14159) < 6 * sem
+        val = mod.gaussian_integral(gen, n=50_000)
+        assert 0.4 < val < 0.52

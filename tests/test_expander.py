@@ -1,0 +1,174 @@
+"""Tests for the Gabber-Galil expander construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expander import (
+    DEGREE,
+    EDGE_EXPANSION_LOWER_BOUND,
+    GabberGalilExpander,
+)
+
+coords32 = st.integers(min_value=0, max_value=2**32 - 1)
+ks = st.integers(min_value=0, max_value=6)
+small_ms = st.integers(min_value=2, max_value=64)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        g = GabberGalilExpander()
+        assert g.m == 2**32
+        assert g.degree == DEGREE == 7
+        assert g.bits_per_vertex == 64
+
+    def test_num_vertices(self):
+        assert GabberGalilExpander(m=5).num_vertices == 25
+
+    @pytest.mark.parametrize("bad", [0, 1, -3, 2**33])
+    def test_rejects_bad_m(self, bad):
+        with pytest.raises(ValueError):
+            GabberGalilExpander(m=bad)
+
+    def test_equality_and_hash(self):
+        assert GabberGalilExpander(m=5) == GabberGalilExpander(m=5)
+        assert GabberGalilExpander(m=5) != GabberGalilExpander(m=7)
+        assert hash(GabberGalilExpander(m=5)) == hash(GabberGalilExpander(m=5))
+
+    def test_expansion_constant_value(self):
+        assert EDGE_EXPANSION_LOWER_BOUND == pytest.approx((2 - 3**0.5) / 2)
+
+
+class TestNeighborMaps:
+    def test_paper_definition_small(self):
+        """Spot-check all 7 maps against the paper's formulas, m = 10."""
+        g = GabberGalilExpander(m=10)
+        x, y = 3, 4
+        expect = [
+            (3, 4),          # (x, y)
+            (3, (2 * 3 + 4) % 10),       # (x, 2x+y)
+            (3, (2 * 3 + 4 + 1) % 10),   # (x, 2x+y+1)
+            (3, (2 * 3 + 4 + 2) % 10),   # (x, 2x+y+2)
+            ((3 + 2 * 4) % 10, 4),       # (x+2y, y)
+            ((3 + 2 * 4 + 1) % 10, 4),   # (x+2y+1, y)
+            ((3 + 2 * 4 + 2) % 10, 4),   # (x+2y+2, y)
+        ]
+        assert g.neighbors(x, y) == expect
+
+    def test_degree_is_seven(self, small_graph):
+        assert len(small_graph.neighbors(2, 3)) == 7
+
+    def test_k_out_of_range(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.neighbor(0, 0, 7)
+        with pytest.raises(ValueError):
+            small_graph.neighbor_arrays(
+                np.array([0]), np.array([0]), np.array([-1])
+            )
+
+    @given(coords32, coords32, ks)
+    @settings(max_examples=60)
+    def test_native_matches_explicit_mod(self, x, y, k):
+        """uint32 wraparound path equals explicit mod-2**32 arithmetic."""
+        g = GabberGalilExpander()
+        nx, ny = g.neighbor(x, y, k)
+        m = 2**32
+        if k == 0:
+            ex, ey = x, y
+        elif k <= 3:
+            ex, ey = x, (2 * x + y + (k - 1)) % m
+        else:
+            ex, ey = (x + 2 * y + (k - 4)) % m, y
+        assert (nx, ny) == (ex, ey)
+
+    @given(small_ms, ks)
+    @settings(max_examples=40)
+    def test_each_map_is_bijection(self, m, k):
+        """Every neighbour map permutes the whole vertex set Z_m x Z_m."""
+        g = GabberGalilExpander(m=m)
+        xs, ys = np.divmod(np.arange(m * m, dtype=np.int64), m)
+        nx, ny = g.neighbor_arrays(xs, ys, np.full(m * m, k))
+        ids = nx.astype(np.int64) * m + ny.astype(np.int64)
+        assert np.unique(ids).size == m * m
+
+    @given(small_ms, ks, st.data())
+    @settings(max_examples=40)
+    def test_inverse_neighbor(self, m, k, data):
+        g = GabberGalilExpander(m=m)
+        x = data.draw(st.integers(min_value=0, max_value=m - 1))
+        y = data.draw(st.integers(min_value=0, max_value=m - 1))
+        nx, ny = g.neighbor(x, y, k)
+        px, py = g.inverse_neighbor_arrays(
+            np.array([nx], dtype=np.uint64), np.array([ny], dtype=np.uint64),
+            np.array([k]),
+        )
+        assert (int(px[0]), int(py[0])) == (x, y)
+
+    @given(coords32, coords32, ks)
+    @settings(max_examples=60)
+    def test_inverse_neighbor_native(self, x, y, k):
+        g = GabberGalilExpander()
+        nx, ny = g.neighbor(x, y, k)
+        px, py = g.inverse_neighbor_arrays(
+            np.array([nx], dtype=np.uint32), np.array([ny], dtype=np.uint32),
+            np.array([k]),
+        )
+        assert (int(px[0]), int(py[0])) == (x, y)
+
+
+class TestPacking:
+    @given(coords32, coords32)
+    def test_pack_unpack_roundtrip_native(self, x, y):
+        g = GabberGalilExpander()
+        vid = g.pack(np.uint64(x), np.uint64(y))
+        ux, uy = g.unpack(vid)
+        assert (int(ux), int(uy)) == (x, y)
+
+    @given(small_ms, st.data())
+    @settings(max_examples=30)
+    def test_pack_unpack_roundtrip_general(self, m, data):
+        g = GabberGalilExpander(m=m)
+        x = data.draw(st.integers(min_value=0, max_value=m - 1))
+        y = data.draw(st.integers(min_value=0, max_value=m - 1))
+        vid = g.pack(np.uint64(x), np.uint64(y))
+        ux, uy = g.unpack(vid)
+        assert (int(ux), int(uy)) == (x, y)
+
+    def test_pack_is_injective_small(self, small_graph):
+        m = small_graph.m
+        xs, ys = np.divmod(np.arange(m * m, dtype=np.int64), m)
+        ids = small_graph.pack(xs.astype(np.uint64), ys.astype(np.uint64))
+        assert np.unique(ids).size == m * m
+
+
+class TestComposedAffine:
+    @given(
+        small_ms,
+        st.lists(ks, min_size=0, max_size=20),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_composition_matches_stepwise(self, m, walk, data):
+        g = GabberGalilExpander(m=m)
+        x = data.draw(st.integers(min_value=0, max_value=m - 1))
+        y = data.draw(st.integers(min_value=0, max_value=m - 1))
+        cx, cy = x, y
+        for k in walk:
+            cx, cy = g.neighbor(cx, cy, k)
+        A, b = g.composed_affine(walk)
+        ax, ay = g.apply_affine(A, b, x, y)
+        assert (ax, ay) == (cx, cy)
+
+    def test_identity_walk(self):
+        g = GabberGalilExpander(m=11)
+        A, b = g.composed_affine([0, 0, 0])
+        assert A.tolist() == [[1, 0], [0, 1]]
+        assert b.tolist() == [0, 0]
+
+    def test_determinant_is_one(self):
+        """All maps are unimodular, so any composition has det == 1 mod m."""
+        g = GabberGalilExpander(m=101)
+        A, _ = g.composed_affine([1, 4, 2, 6, 3, 5])
+        det = (A[0, 0] * A[1, 1] - A[0, 1] * A[1, 0]) % 101
+        assert det == 1

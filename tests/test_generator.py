@@ -1,0 +1,109 @@
+"""Tests for the single-stream on-demand generator (Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource.counter import SplitMix64Source
+from repro.core.expander import GabberGalilExpander
+from repro.core.generator import DEFAULT_WALK_LENGTH, ExpanderWalkPRNG
+
+
+class TestInitialization:
+    def test_default_parameters(self):
+        p = ExpanderWalkPRNG(seed=1)
+        assert p.walk_length == DEFAULT_WALK_LENGTH == 64
+        assert p.graph.m == 2**32
+        assert p.source.name == "glibc-rand"
+
+    def test_initialize_consumes_feed(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(3))
+        # Algorithm 1: a 64-step mixing walk happens up front.
+        assert p.bits_consumed >= 3 * 64
+
+    def test_rejects_bad_walk_length(self):
+        with pytest.raises(ValueError):
+            ExpanderWalkPRNG(walk_length=0)
+
+    def test_custom_graph(self):
+        g = GabberGalilExpander(m=97)
+        p = ExpanderWalkPRNG(graph=g, bit_source=SplitMix64Source(1))
+        v = p.get_next_rand()
+        assert 0 <= v < 97 * 97
+
+
+class TestOnDemand:
+    def test_values_are_64bit(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(5))
+        vals = [p.get_next_rand() for _ in range(20)]
+        assert all(0 <= v < 2**64 for v in vals)
+
+    def test_deterministic(self):
+        a = ExpanderWalkPRNG(bit_source=SplitMix64Source(9))
+        b = ExpanderWalkPRNG(bit_source=SplitMix64Source(9))
+        assert [a.get_next_rand() for _ in range(10)] == [
+            b.get_next_rand() for _ in range(10)
+        ]
+
+    def test_seeds_differ(self):
+        a = ExpanderWalkPRNG(bit_source=SplitMix64Source(1))
+        b = ExpanderWalkPRNG(bit_source=SplitMix64Source(2))
+        assert a.get_next_rand() != b.get_next_rand()
+
+    def test_next_batch_matches_scalar(self):
+        a = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        b = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        batch = a.next_batch(8)
+        scalars = [b.get_next_rand() for _ in range(8)]
+        assert list(batch) == scalars
+
+    def test_counts_numbers(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        p.get_next_rand()
+        p.next_batch(5)
+        assert p.numbers_generated == 6
+
+    def test_reinitialize_resets(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        p.get_next_rand()
+        p.initialize()
+        assert p.numbers_generated == 0
+
+    def test_negative_batch_rejected(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        with pytest.raises(ValueError):
+            p.next_batch(-1)
+
+    def test_position_tracks_walk(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        pos0 = p.position
+        p.get_next_rand()
+        assert p.position != pos0
+
+
+class TestDistributions:
+    def test_random_scalar(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        v = p.random()
+        assert isinstance(v, float) and 0 <= v < 1
+
+    def test_random_vector(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        u = p.random(50)
+        assert u.shape == (50,)
+        assert (u >= 0).all() and (u < 1).all()
+
+    def test_randint_range(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        vals = [p.randint(10, 20) for _ in range(50)]
+        assert all(10 <= v < 20 for v in vals)
+        assert len(set(vals)) > 3
+
+    def test_randint_empty_range(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(4))
+        with pytest.raises(ValueError):
+            p.randint(5, 5)
+
+    def test_rough_uniformity(self):
+        p = ExpanderWalkPRNG(bit_source=SplitMix64Source(11))
+        u = p.random(400)
+        assert abs(u.mean() - 0.5) < 0.06

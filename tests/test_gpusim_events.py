@@ -1,0 +1,186 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.gpusim.events import Environment, SimulationError
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5)
+            yield env.timeout(2.5)
+
+        env.process(proc())
+        assert env.run() == 7.5
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_allowed(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0)
+
+        env.process(proc())
+        assert env.run() == 0.0
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(100)
+
+        env.process(proc())
+        assert env.run(until=10) == 10
+        assert env.run() == 100
+
+
+class TestOrdering:
+    def test_simultaneous_events_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(name):
+            yield env.timeout(1)
+            order.append(name)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_interleaving(self):
+        env = Environment()
+        trace = []
+
+        def fast():
+            for i in range(3):
+                yield env.timeout(1)
+                trace.append(("fast", env.now))
+
+        def slow():
+            for i in range(2):
+                yield env.timeout(1.5)
+                trace.append(("slow", env.now))
+
+        env.run_all([fast(), slow()])
+        assert trace == [
+            ("fast", 1),
+            ("slow", 1.5),
+            ("fast", 2),
+            ("slow", 3.0),
+            ("fast", 3),
+        ] or trace == [
+            ("fast", 1),
+            ("slow", 1.5),
+            ("fast", 2),
+            ("fast", 3),
+            ("slow", 3.0),
+        ]
+
+
+class TestProcesses:
+    def test_waiting_on_process_completion(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(4)
+            log.append("child done")
+            return 42
+
+        def parent():
+            result = yield env.process(child())
+            log.append(("parent saw", result, env.now))
+
+        env.process(parent())
+        env.run()
+        assert log == ["child done", ("parent saw", 42, 4)]
+
+    def test_yielding_garbage_raises(self):
+        env = Environment()
+
+        def proc():
+            yield "not an event"
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="yielded"):
+            env.run()
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = env.store()
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, env.now))
+
+        env.run_all([producer(), consumer()])
+        assert [g[0] for g in got] == [0, 1, 2]
+
+    def test_bounded_capacity_blocks_producer(self):
+        env = Environment()
+        store = env.store(capacity=1)
+        times = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                times.append(env.now)
+
+        def consumer():
+            for _ in range(3):
+                yield env.timeout(10)
+                yield store.get()
+
+        env.run_all([producer(), consumer()])
+        # First put immediate; each later put waits for a get at t=10k.
+        assert times == [0, 10, 20]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = env.store()
+        when = []
+
+        def consumer():
+            yield store.get()
+            when.append(env.now)
+
+        def producer():
+            yield env.timeout(7)
+            yield store.put("x")
+
+        env.run_all([consumer(), producer()])
+        assert when == [7]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.store(capacity=0)
+
+    def test_level(self):
+        env = Environment()
+        store = env.store()
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+
+        env.process(producer())
+        env.run()
+        assert store.level == 2

@@ -1,0 +1,136 @@
+"""Tests for device specs, kernel/PCIe cost models and calibration."""
+
+import pytest
+
+from repro.gpusim.calibration import (
+    PAPER_THROUGHPUT_GN_S,
+    BaselineCosts,
+    PipelineCosts,
+)
+from repro.gpusim.device import CpuSpec, GpuSpec, HybridPlatform, PcieLink
+from repro.gpusim.kernel import KernelCostModel
+from repro.gpusim.pcie import TransferModel, bits_per_number
+
+
+class TestDeviceSpecs:
+    def test_tesla_c1060(self):
+        gpu = GpuSpec.tesla_c1060()
+        assert gpu.num_sms == 30
+        assert gpu.total_cores == 240  # Section II
+        assert gpu.warp_size == 32
+        assert gpu.max_resident_threads == 30 * 1024
+
+    def test_i7_980(self):
+        cpu = CpuSpec.intel_i7_980()
+        assert cpu.num_cores == 6
+        assert cpu.clock_ghz == pytest.approx(3.4)
+
+    def test_pcie2(self):
+        link = PcieLink.pcie2_x16()
+        assert link.bandwidth_gb_s == 8.0  # Section II
+
+    def test_transfer_time_scales(self):
+        link = PcieLink.pcie2_x16()
+        t1 = link.transfer_time_us(1e6)
+        t2 = link.transfer_time_us(2e6)
+        assert t2 > t1
+        assert t2 - t1 == pytest.approx(1e6 / 8e3)
+
+    def test_transfer_negative_bytes(self):
+        with pytest.raises(ValueError):
+            PcieLink.pcie2_x16().transfer_time_us(-1)
+
+    def test_platform_bundle(self):
+        p = HybridPlatform.paper_platform()
+        assert p.gpu.name.startswith("Nvidia")
+        assert p.cpu.name.startswith("Intel")
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", 0, 8, 32, 1.0, 1024, 4.0)
+        with pytest.raises(ValueError):
+            CpuSpec("x", -1, 3.0, 10.0)
+        with pytest.raises(ValueError):
+            PcieLink(0, 1)
+
+
+class TestCalibration:
+    def test_feed_rate_matches_headline_throughput(self):
+        """FEED (the bottleneck) must yield 0.07 GNumbers/s."""
+        costs = PipelineCosts()
+        assert 1.0 / costs.feed_ns == pytest.approx(PAPER_THROUGHPUT_GN_S)
+
+    def test_figure4_ratios_preserved(self):
+        costs = PipelineCosts()
+        assert costs.feed_ns / costs.transfer_ns == pytest.approx(81.2 / 6.2)
+        assert costs.generate_ns / costs.feed_ns == pytest.approx(0.8)
+
+    def test_occupancy_clamps_at_one(self):
+        costs = PipelineCosts()
+        assert costs.occupancy(10**9) == 1.0
+        assert 0 < costs.occupancy(100) < 1
+
+    def test_occupancy_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PipelineCosts().occupancy(0)
+
+    def test_effective_generate_cost_inflates(self):
+        costs = PipelineCosts()
+        low = costs.generate_ns_effective(costs.full_occupancy_threads)
+        high = costs.generate_ns_effective(costs.full_occupancy_threads // 4)
+        assert high == pytest.approx(4 * low)
+
+    def test_baselines_are_slower(self):
+        b = BaselineCosts()
+        c = PipelineCosts()
+        assert b.mersenne_twister_ns > c.feed_ns
+        assert b.curand_ns > c.feed_ns
+
+
+class TestKernelModel:
+    def test_agrees_with_calibration_at_full_occupancy(self):
+        """First-principles kernel model ~ calibrated generate_ns."""
+        model = KernelCostModel(GpuSpec.tesla_c1060())
+        per_number = model.number_time_ns(GpuSpec.tesla_c1060().max_resident_threads)
+        assert per_number == pytest.approx(PipelineCosts().generate_ns, rel=0.02)
+
+    def test_occupancy_penalty(self):
+        model = KernelCostModel(GpuSpec.tesla_c1060())
+        full = model.number_time_ns(30 * 1024)
+        half = model.number_time_ns(15 * 1024)
+        assert half == pytest.approx(2 * full)
+
+    def test_kernel_time_composition(self):
+        model = KernelCostModel(GpuSpec.tesla_c1060())
+        t = model.kernel_time_ns(threads=30 * 1024, numbers_per_thread=10)
+        expected = model.launch_overhead_ns + 30 * 1024 * 10 * model.number_time_ns(
+            30 * 1024
+        )
+        assert t == pytest.approx(expected)
+
+    def test_validation(self):
+        model = KernelCostModel(GpuSpec.tesla_c1060())
+        with pytest.raises(ValueError):
+            model.number_time_ns(0)
+        with pytest.raises(ValueError):
+            model.kernel_time_ns(10, 0)
+
+
+class TestTransferModel:
+    def test_bits_per_number(self):
+        assert bits_per_number(64, "mod") == 192
+        assert bits_per_number(64, "reject") == pytest.approx(192 * 8 / 7)
+
+    def test_bytes_per_number(self):
+        tm = TransferModel(PcieLink.pcie2_x16(), policy="mod")
+        assert tm.bytes_per_number == pytest.approx(24.0)
+
+    def test_batch_time_includes_latency(self):
+        tm = TransferModel(PcieLink.pcie2_x16())
+        small = tm.batch_time_ns(1)
+        assert small > PcieLink.pcie2_x16().latency_us * 1e3 * 0.99
+
+    def test_per_number_bandwidth_cost(self):
+        tm = TransferModel(PcieLink.pcie2_x16(), policy="mod")
+        # 24 bytes at 8 GB/s = 3 ns.
+        assert tm.per_number_ns() == pytest.approx(3.0)

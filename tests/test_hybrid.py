@@ -1,0 +1,115 @@
+"""Tests for hybrid work units, throughput model and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource.counter import SplitMix64Source
+from repro.gpusim.calibration import BaselineCosts
+from repro.hybrid.scheduler import GenerationPlan, HybridScheduler
+from repro.hybrid.throughput import (
+    cpu_hybrid_time_ns,
+    curand_time_ns,
+    glibc_rand_time_ns,
+    hybrid_time_ns,
+    mt_time_ns,
+)
+from repro.gpusim.pipeline import PipelineConfig
+from repro.hybrid.workunits import DEVICE_MAPPING, WorkItem, WorkUnit
+
+
+class TestWorkUnits:
+    def test_mapping(self):
+        assert DEVICE_MAPPING[WorkUnit.FEED] == "CPU"
+        assert DEVICE_MAPPING[WorkUnit.GENERATE] == "GPU"
+        assert DEVICE_MAPPING[WorkUnit.TRANSFER] == "PCIe"
+
+    def test_work_item(self):
+        item = WorkItem(WorkUnit.FEED, iteration=3, numbers=100)
+        assert item.device == "CPU"
+        assert item.label == "FEED 3"
+
+    def test_work_item_validation(self):
+        with pytest.raises(ValueError):
+            WorkItem(WorkUnit.FEED, iteration=-1, numbers=1)
+        with pytest.raises(ValueError):
+            WorkItem(WorkUnit.FEED, iteration=0, numbers=0)
+
+
+class TestBaselineTimes:
+    def test_hybrid_beats_mt_by_about_2x(self):
+        """Figure 3's headline: hybrid ~2x faster at large N."""
+        n = 100_000_000
+        h = hybrid_time_ns(PipelineConfig(total_numbers=n, batch_size=100))
+        assert 1.7 < mt_time_ns(n) / h < 2.3
+        assert 1.6 < curand_time_ns(n) / h < 2.3
+
+    def test_setup_dominates_small_n(self):
+        """Batch MT pays a big setup; crossover behaviour at small N."""
+        c = BaselineCosts()
+        assert mt_time_ns(1000) > 0.9 * c.mersenne_twister_setup_ns
+
+    def test_cpu_hybrid_beats_serial_rand(self):
+        """Figure 6: the multicore CPU variant outruns glibc rand()."""
+        n = 50_000_000
+        assert cpu_hybrid_time_ns(n) < glibc_rand_time_ns(n)
+
+    def test_times_scale_linearly(self):
+        assert mt_time_ns(2 * 10**8) - mt_time_ns(10**8) == pytest.approx(
+            10**8 * BaselineCosts().mersenne_twister_ns
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mt_time_ns(0)
+        with pytest.raises(ValueError):
+            cpu_hybrid_time_ns(-5)
+
+
+class TestScheduler:
+    def test_plan_uses_model_optimum(self):
+        with HybridScheduler(seed=3) as sched:
+            plan = sched.plan(10**7)
+            assert plan.batch_size == 100
+
+    def test_plan_respects_override(self):
+        with HybridScheduler(seed=3) as sched:
+            plan = sched.plan(10**6, batch_size=7)
+            assert plan.batch_size == 7
+
+    def test_predict_returns_simulation(self):
+        with HybridScheduler(seed=3) as sched:
+            plan = sched.plan(10**6)
+            pred = sched.predict(plan)
+            assert pred.total_ns > 0
+            assert pred.timeline.busy_time("CPU") > 0
+
+    def test_generate_produces_values(self):
+        with HybridScheduler(
+            seed=3, bit_source=SplitMix64Source(3), max_threads=1024
+        ) as sched:
+            plan = sched.plan(5000, batch_size=100)
+            vals = sched.generate(plan)
+            assert vals.dtype == np.uint64 and vals.size == 5000
+
+    def test_run_end_to_end(self):
+        with HybridScheduler(
+            seed=3, bit_source=SplitMix64Source(4), max_threads=512
+        ) as sched:
+            vals, plan, pred = sched.run(2000, batch_size=50)
+            assert vals.size == 2000
+            assert isinstance(plan, GenerationPlan)
+            assert pred.throughput_gnumbers_s > 0
+
+    def test_async_feed_works(self):
+        with HybridScheduler(
+            seed=5, bit_source=SplitMix64Source(5), async_feed=True,
+            max_threads=256,
+        ) as sched:
+            vals = sched.generate(sched.plan(1000, batch_size=10))
+            assert vals.size == 1000
+
+    def test_plan_from_config(self):
+        cfg = PipelineConfig(total_numbers=1000, batch_size=10)
+        plan = GenerationPlan.from_config(cfg)
+        assert plan.num_threads == 100
+        assert plan.iterations == 10

@@ -1,0 +1,73 @@
+"""Tests for the HybridPRNG adapter (buffering, determinism, interface)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.bitsource import SplitMix64Source
+
+
+def make(seed=5, threads=256):
+    return HybridPRNG(
+        seed=seed, num_threads=threads, bit_source=SplitMix64Source(seed)
+    )
+
+
+class TestBuffering:
+    def test_small_requests_concatenate_to_stream(self):
+        a = make()
+        b = make()
+        whole = a.u64_array(1000)
+        parts = np.concatenate([b.u64_array(k) for k in (1, 7, 99, 400, 493)])
+        assert np.array_equal(whole, parts)
+
+    def test_buffer_survives_u32_mixing(self):
+        a = make()
+        b = make()
+        w = a.u64_array(10)
+        # 20 u32 values == the same 10 u64 words split in halves.
+        halves = b.u32_array(20).astype(np.uint64)
+        rebuilt = (halves[0::2] << np.uint64(32)) | halves[1::2]
+        assert np.array_equal(w, rebuilt)
+
+    def test_small_request_does_not_burn_a_round_each(self):
+        gen = make(threads=256)
+        gen.u64_array(1)
+        produced_after_first = gen.generator.numbers_generated
+        for _ in range(100):
+            gen.u64_array(1)
+        # 101 numbers served from a single 256-lane round.
+        assert gen.generator.numbers_generated == produced_after_first
+
+    def test_reseed_clears_buffer(self):
+        gen = make()
+        first = gen.u64_array(50).copy()
+        gen.u64_array(999)
+        gen.reseed(5)
+        assert np.array_equal(gen.u64_array(50), first)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make().u64_array(-1)
+        with pytest.raises(ValueError):
+            make().u32_array(-1)
+
+
+class TestSemantics:
+    def test_name_and_on_demand(self):
+        gen = make()
+        assert gen.name == "Hybrid PRNG"
+        assert gen.on_demand is True
+
+    def test_default_feed_is_glibc(self):
+        gen = HybridPRNG(seed=1, num_threads=64)
+        assert gen.generator.source.name == "glibc-rand"
+
+    def test_walk_length_parameter(self):
+        gen = HybridPRNG(seed=1, num_threads=64, walk_length=16)
+        assert gen.generator.walk_length == 16
+
+    def test_uniform_interface(self):
+        u = make().uniform(5000)
+        assert (u >= 0).all() and (u < 1).all()
+        assert abs(u.mean() - 0.5) < 0.03

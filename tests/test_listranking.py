@@ -1,0 +1,255 @@
+"""Tests for the list-ranking application (linked lists, FIS, 3 phases)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.listranking import (
+    FIS_REMOVAL_FRACTION,
+    LinkedList,
+    NIL,
+    OnDemandBits,
+    PregeneratedBits,
+    ordered_list,
+    phase1_times_ms,
+    random_list,
+    rank_list_hybrid,
+    reduce_list,
+    select_fis,
+    serial_ranks,
+    survivor_profile,
+    wyllie_ranks,
+)
+from repro.apps.listranking.helman_jaja import helman_jaja_weighted_ranks
+from repro.bitsource import SplitMix64Source
+from repro.core.parallel import ParallelExpanderPRNG
+
+
+def np_rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def np_bits(seed=0):
+    rng = np_rng(seed)
+    return lambda k: (rng.random(k) < 0.5).astype(np.uint8)
+
+
+class TestLinkedList:
+    def test_ordered_list_structure(self):
+        lst = ordered_list(5)
+        assert lst.head == 0 and lst.tail == 4
+        lst.validate()
+
+    def test_random_list_valid(self):
+        lst = random_list(100, np_rng(1))
+        lst.validate()
+        assert lst.num_nodes == 100
+
+    def test_pred_inverts_succ(self):
+        lst = random_list(50, np_rng(2))
+        pred = lst.pred
+        for v in range(50):
+            s = lst.succ[v]
+            if s != NIL:
+                assert pred[s] == v
+        assert pred[lst.head] == NIL
+
+    def test_to_order_roundtrip(self):
+        lst = random_list(30, np_rng(3))
+        order = lst.to_order()
+        assert order[0] == lst.head
+        assert sorted(order) == list(range(30))
+
+    def test_serial_ranks_ordered(self):
+        lst = ordered_list(6)
+        assert list(serial_ranks(lst)) == [5, 4, 3, 2, 1, 0]
+
+    def test_validate_catches_cycle(self):
+        lst = LinkedList(succ=np.array([1, 2, 0, NIL]), head=3)
+        with pytest.raises(ValueError):
+            lst.validate()
+
+    def test_validate_catches_two_tails(self):
+        lst = LinkedList(succ=np.array([NIL, NIL, 1]), head=2)
+        with pytest.raises(ValueError):
+            lst.validate()
+
+    def test_bad_head(self):
+        with pytest.raises(ValueError):
+            LinkedList(succ=np.array([NIL]), head=5)
+
+
+class TestWyllie:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 1000])
+    def test_matches_serial(self, n):
+        lst = random_list(n, np_rng(n))
+        assert np.array_equal(wyllie_ranks(lst), serial_ranks(lst))
+
+    def test_ordered(self):
+        lst = ordered_list(257)
+        assert np.array_equal(wyllie_ranks(lst), serial_ranks(lst))
+
+
+class TestFis:
+    def test_no_adjacent_members(self):
+        lst = random_list(2000, np_rng(5))
+        active = np.arange(2000)
+        bits = np_bits(6)(2000)
+        mask = select_fis(active, lst.succ, lst.pred, bits)
+        members = set(active[mask].tolist())
+        for v in members:
+            s = lst.succ[v]
+            assert s not in members
+
+    def test_excludes_head_and_tail(self):
+        lst = ordered_list(10)
+        active = np.arange(10)
+        bits = np.ones(10, dtype=np.uint8)
+        mask = select_fis(active, lst.succ, lst.pred, bits)
+        assert not mask[lst.head]
+        # all bits 1 means nobody is selected anyway (neighbours chose 1)
+        assert mask.sum() == 0
+
+    def test_expected_fraction(self):
+        lst = random_list(100_000, np_rng(7))
+        active = np.arange(100_000)
+        bits = np_bits(8)(100_000)
+        mask = select_fis(active, lst.succ, lst.pred, bits)
+        frac = mask.mean()
+        assert abs(frac - FIS_REMOVAL_FRACTION) < 0.01
+
+    def test_bit_count_mismatch(self):
+        lst = ordered_list(5)
+        with pytest.raises(ValueError):
+            select_fis(np.arange(5), lst.succ, lst.pred, np.zeros(3, np.uint8))
+
+
+class TestReduce:
+    def test_reaches_target(self):
+        n = 20_000
+        lst = random_list(n, np_rng(9))
+        active, succ, pred, wsucc, trace = reduce_list(lst, np_bits(10))
+        assert active.size <= max(2, int(n / np.log2(n)))
+        assert trace.total_removed == n - active.size
+
+    def test_weights_conserved(self):
+        """Total weight along the reduced chain equals n - 1."""
+        n = 5000
+        lst = random_list(n, np_rng(11))
+        active, succ, pred, wsucc, trace = reduce_list(lst, np_bits(12))
+        total = 0
+        v = active[pred[active] == NIL][0]
+        while succ[v] != NIL:
+            total += wsucc[v]
+            v = succ[v]
+        assert total == n - 1
+
+    def test_bits_requested_decreasing(self):
+        lst = random_list(30_000, np_rng(13))
+        _, _, _, _, trace = reduce_list(lst, np_bits(14))
+        reqs = trace.bits_requested
+        assert reqs[0] == 30_000
+        assert reqs[-1] < reqs[0]
+
+    def test_target_fraction_validation(self):
+        lst = ordered_list(100)
+        with pytest.raises(ValueError):
+            reduce_list(lst, np_bits(1), target_fraction=2.0)
+
+
+class TestHelmanJaja:
+    def test_unweighted_chain(self):
+        lst = ordered_list(100)
+        wsucc = np.where(lst.succ != NIL, 1, 0).astype(np.int64)
+        ranks = helman_jaja_weighted_ranks(
+            np.arange(100), lst.succ, wsucc, head=0, num_splitters=8
+        )
+        assert np.array_equal(ranks, serial_ranks(lst))
+
+    def test_weighted_chain(self):
+        # Chain 0 -> 1 -> 2 with weights 5, 7: ranks 12, 7, 0.
+        succ = np.array([1, 2, NIL])
+        wsucc = np.array([5, 7, 0])
+        ranks = helman_jaja_weighted_ranks(
+            np.arange(3), succ, wsucc, head=0, num_splitters=2
+        )
+        assert list(ranks) == [12, 7, 0]
+
+    def test_single_node(self):
+        ranks = helman_jaja_weighted_ranks(
+            np.array([0]), np.array([NIL]), np.array([0]), head=0
+        )
+        assert ranks[0] == 0
+
+    @given(st.integers(min_value=2, max_value=400), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_random_lists_any_splitter_count(self, n, k):
+        lst = random_list(n, np_rng(n * 31 + k))
+        wsucc = np.where(lst.succ != NIL, 1, 0).astype(np.int64)
+        ranks = helman_jaja_weighted_ranks(
+            np.arange(n), lst.succ, wsucc, head=lst.head, num_splitters=k,
+            rng=np_rng(k),
+        )
+        assert np.array_equal(ranks, serial_ranks(lst))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            helman_jaja_weighted_ranks(
+                np.empty(0, dtype=np.int64), np.array([NIL]), np.array([0]), head=0
+            )
+
+
+class TestHybridRanking:
+    @pytest.mark.parametrize("n", [10, 100, 5000, 50_000])
+    def test_matches_serial(self, n):
+        lst = random_list(n, np_rng(n + 1))
+        res = rank_list_hybrid(lst, np_bits(n))
+        assert np.array_equal(res.ranks, serial_ranks(lst))
+
+    def test_with_hybrid_prng_bits(self):
+        lst = random_list(3000, np_rng(20))
+        prng = ParallelExpanderPRNG(num_threads=512, bit_source=SplitMix64Source(3))
+        provider = OnDemandBits(prng)
+        res = rank_list_hybrid(lst, provider)
+        assert np.array_equal(res.ranks, serial_ranks(lst))
+        assert provider.bits_produced == res.trace.total_bits
+
+    def test_pregenerated_waste_positive(self):
+        lst = random_list(20_000, np_rng(21))
+        src = np_rng(22)
+        provider = PregeneratedBits(lambda k: src.random(k), initial_bound=20_000)
+        res = rank_list_hybrid(lst, provider)
+        assert np.array_equal(res.ranks, serial_ranks(lst))
+        assert provider.waste > 0
+
+    def test_pregenerated_validation(self):
+        with pytest.raises(ValueError):
+            PregeneratedBits(lambda k: np.zeros(k), 100, shrink_factor=0)
+
+
+class TestTimingModel:
+    def test_survivor_profile_decays(self):
+        prof = survivor_profile(1_000_000)
+        assert prof[0] == 1_000_000
+        assert prof[-1] < prof[0] / 10
+
+    def test_profile_from_trace(self):
+        lst = random_list(10_000, np_rng(30))
+        _, _, _, _, trace = reduce_list(lst, np_bits(31))
+        prof = survivor_profile(10_000, trace=trace)
+        assert prof == trace.bits_requested
+
+    def test_ondemand_beats_pregenerated_by_about_40pc(self):
+        t = phase1_times_ms(128_000_000)
+        improvement = 1 - t["Hybrid (our PRNG)"] / t["Hybrid (glibc rand)"]
+        assert 0.30 < improvement < 0.55
+
+    def test_hybrid_beats_pure_gpu(self):
+        t = phase1_times_ms(64_000_000)
+        assert t["Hybrid (our PRNG)"] < t["Pure GPU MT"]
+
+    def test_times_scale_with_n(self):
+        small = phase1_times_ms(1_000_000)["Hybrid (our PRNG)"]
+        large = phase1_times_ms(8_000_000)["Hybrid (our PRNG)"]
+        assert 4 < large / small < 16

@@ -1,0 +1,119 @@
+"""Tests for the many-walker parallel generator."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource.counter import SplitMix64Source
+from repro.core.parallel import ParallelExpanderPRNG
+
+
+def make(threads=256, seed=7, **kw):
+    return ParallelExpanderPRNG(
+        num_threads=threads, bit_source=SplitMix64Source(seed), **kw
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ParallelExpanderPRNG(num_threads=0)
+
+    def test_initial_positions_distinct(self):
+        p = make(512)
+        ids = p.engine.outputs(p.state)
+        # 512 random 64-bit start points collide with probability ~2**-46.
+        assert np.unique(ids).size == 512
+
+
+class TestGeneration:
+    def test_count_and_dtype(self):
+        p = make()
+        vals = p.generate(1000)
+        assert vals.dtype == np.uint64 and vals.size == 1000
+
+    def test_deterministic(self):
+        assert np.array_equal(make(seed=3).generate(500), make(seed=3).generate(500))
+
+    def test_seed_sensitivity(self):
+        assert not np.array_equal(
+            make(seed=3).generate(100), make(seed=4).generate(100)
+        )
+
+    def test_batch_size_does_not_change_values(self):
+        a = make(seed=5).generate(700)
+        b = make(seed=5).generate(700, batch_size=10)
+        assert np.array_equal(a, b)
+
+    def test_non_multiple_of_threads(self):
+        p = make(threads=64)
+        vals = p.generate(100)  # not a multiple of 64
+        assert vals.size == 100
+
+    def test_next_round_size(self):
+        p = make(threads=96)
+        assert p.next_round().size == 96
+
+    def test_rounds_iterator(self):
+        p = make(threads=32)
+        chunks = list(p.rounds(3))
+        assert len(chunks) == 3
+        assert all(c.size == 32 for c in chunks)
+
+    def test_successive_rounds_differ(self):
+        p = make(threads=32)
+        r1, r2 = p.next_round(), p.next_round()
+        assert not np.array_equal(r1, r2)
+
+    def test_numbers_counted(self):
+        p = make(threads=32)
+        p.generate(100)
+        # generate() rounds up to whole thread-rounds internally.
+        assert p.numbers_generated == 128
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make().generate(-1)
+
+
+class TestDistributions:
+    def test_random_range(self):
+        u = make(seed=2).random(5000)
+        assert (u >= 0).all() and (u < 1).all()
+        assert abs(u.mean() - 0.5) < 0.02
+
+    def test_integers_range_and_coverage(self):
+        vals = make(seed=2).integers(5, 15, 2000)
+        assert vals.min() >= 5 and vals.max() < 15
+        assert np.unique(vals).size == 10
+
+    def test_integers_empty_range(self):
+        with pytest.raises(ValueError):
+            make().integers(3, 3, 10)
+
+    def test_random_bits_balanced(self):
+        bits = make(seed=6).random_bits(80_000)
+        assert bits.size == 80_000
+        assert abs(bits.mean() - 0.5) < 0.01
+
+    def test_bit_positions_unbiased(self):
+        """Every one of the 64 output bit positions should be ~50/50."""
+        p = make(threads=512, seed=8)
+        vals = p.generate(8192)
+        bits = np.unpackbits(vals.astype(">u8").view(np.uint8)).reshape(-1, 64)
+        rates = bits.mean(axis=0)
+        assert rates.min() > 0.45 and rates.max() < 0.55
+
+
+class TestStatisticalSanity:
+    def test_no_duplicate_outputs_in_small_sample(self):
+        """64-bit outputs should essentially never collide in 10**4 draws."""
+        vals = make(threads=1024, seed=13).generate(10_000)
+        assert np.unique(vals).size == 10_000
+
+    def test_byte_histogram_flat(self):
+        vals = make(threads=1024, seed=14).generate(50_000)
+        counts = np.bincount(vals.view(np.uint8), minlength=256)
+        expected = vals.size * 8 / 256
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        # 255 dof: mean 255, std ~22.6; 400 is a ~6.4 sigma allowance.
+        assert chi2 < 400

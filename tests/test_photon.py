@@ -1,0 +1,244 @@
+"""Tests for the photon-migration application: physics and conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.photon import (
+    Layer,
+    MCPhotonMigration,
+    PhotonCosts,
+    Tally,
+    TissueModel,
+    fresnel_reflectance,
+    hg_cos_theta,
+    photon_times_ms,
+    roulette_survival,
+    sample_step,
+    spin,
+    three_layer_skin,
+)
+from repro.baselines.mt19937 import MT19937
+
+
+def uniforms(n, seed=1):
+    return np.random.Generator(np.random.PCG64(seed)).random(n)
+
+
+class TestLayers:
+    def test_layer_validation(self):
+        with pytest.raises(ValueError):
+            Layer(n=0.5, mua=1, mus=1, g=0, thickness=1)
+        with pytest.raises(ValueError):
+            Layer(n=1.4, mua=-1, mus=1, g=0, thickness=1)
+        with pytest.raises(ValueError):
+            Layer(n=1.4, mua=1, mus=1, g=1.5, thickness=1)
+        with pytest.raises(ValueError):
+            Layer(n=1.4, mua=1, mus=1, g=0, thickness=0)
+
+    def test_mut_and_albedo(self):
+        layer = Layer(n=1.4, mua=2.0, mus=8.0, g=0.9, thickness=1)
+        assert layer.mut == 10.0
+        assert layer.albedo == pytest.approx(0.8)
+
+    def test_model_boundaries(self):
+        model = three_layer_skin()
+        b = model.boundaries
+        assert b[0] == 0
+        assert b[-1] == pytest.approx(model.total_thickness)
+        assert (np.diff(b) > 0).all()
+
+    def test_specular_formula(self):
+        model = three_layer_skin()
+        n2 = model.layers[0].n
+        expect = ((1 - n2) / (1 + n2)) ** 2
+        assert model.specular_reflectance() == pytest.approx(expect)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            TissueModel(layers=())
+
+
+class TestPhysics:
+    def test_step_mean(self):
+        """E[-ln U / mut] = 1 / mut."""
+        s = sample_step(uniforms(200_000), np.array(10.0))
+        assert s.mean() == pytest.approx(0.1, rel=0.02)
+
+    def test_step_handles_zero_uniform(self):
+        s = sample_step(np.array([0.0]), np.array(1.0))
+        assert np.isfinite(s[0])
+
+    def test_hg_isotropic(self):
+        c = hg_cos_theta(uniforms(100_000), np.array(0.0))
+        assert abs(c.mean()) < 0.01
+        assert (c >= -1).all() and (c <= 1).all()
+
+    @pytest.mark.parametrize("g", [0.5, 0.9, -0.4])
+    def test_hg_mean_equals_g(self, g):
+        """The HG phase function has E[cos theta] = g."""
+        c = hg_cos_theta(uniforms(400_000), np.array(g))
+        assert c.mean() == pytest.approx(g, abs=0.01)
+
+    def test_fresnel_matched_media(self):
+        r = fresnel_reflectance(1.4, 1.4, np.array([0.7]))
+        assert r[0] == pytest.approx(0.0)
+
+    def test_fresnel_normal_incidence(self):
+        r = fresnel_reflectance(1.0, 1.5, np.array([1.0]))
+        assert r[0] == pytest.approx(((1 - 1.5) / (1 + 1.5)) ** 2, abs=1e-6)
+
+    def test_fresnel_total_internal_reflection(self):
+        # n1=1.5 -> n2=1.0, incidence beyond the critical angle.
+        cos_i = np.array([0.1])  # grazing
+        assert fresnel_reflectance(1.5, 1.0, cos_i)[0] == 1.0
+
+    def test_fresnel_range(self):
+        r = fresnel_reflectance(1.37, 1.0, uniforms(1000))
+        assert (r >= 0).all() and (r <= 1).all()
+
+    def test_spin_preserves_unit_norm(self):
+        n = 10_000
+        u = uniforms(3 * n).reshape(3, n)
+        # random unit vectors
+        v = np.random.Generator(np.random.PCG64(3)).normal(size=(3, n))
+        v /= np.linalg.norm(v, axis=0)
+        cos_t = 2 * u[0] - 1
+        nux, nuy, nuz = spin(v[0], v[1], v[2], cos_t, u[1])
+        norm = np.sqrt(nux**2 + nuy**2 + nuz**2)
+        assert np.allclose(norm, 1.0)
+
+    def test_spin_achieves_requested_angle(self):
+        n = 1000
+        uz = np.ones(n)
+        cos_t = np.full(n, 0.5)
+        nux, nuy, nuz = spin(np.zeros(n), np.zeros(n), uz, cos_t, uniforms(n))
+        assert np.allclose(nuz, 0.5, atol=1e-9)
+
+    def test_fresnel_reciprocity(self):
+        """R(n1->n2 at theta1) == R(n2->n1 at the Snell-matched theta2)."""
+        n1, n2 = 1.0, 1.5
+        cos1 = np.linspace(0.3, 1.0, 20)
+        sin1 = np.sqrt(1 - cos1**2)
+        sin2 = n1 / n2 * sin1
+        cos2 = np.sqrt(1 - sin2**2)
+        r_fwd = fresnel_reflectance(n1, n2, cos1)
+        r_bwd = fresnel_reflectance(n2, n1, cos2)
+        assert np.allclose(r_fwd, r_bwd, atol=1e-9)
+
+    def test_fresnel_grazing_limit(self):
+        """Reflectance tends to 1 at grazing incidence."""
+        r = fresnel_reflectance(1.0, 1.5, np.array([1e-6]))
+        assert r[0] > 0.99
+
+    def test_hg_density_normalized(self):
+        """Empirical HG cos-theta histogram integrates to 1."""
+        c = hg_cos_theta(uniforms(200_000), np.array(0.8))
+        hist, edges = np.histogram(c, bins=50, range=(-1, 1), density=True)
+        integral = (hist * np.diff(edges)).sum()
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_roulette_unbiased(self):
+        w = np.full(200_000, 1e-5)
+        survive, neww = roulette_survival(w, uniforms(w.size))
+        total_after = neww[survive].sum()
+        assert total_after == pytest.approx(w.sum(), rel=0.02)
+
+    def test_roulette_leaves_heavy_photons(self):
+        w = np.array([0.5, 1e-5])
+        survive, neww = roulette_survival(w, np.array([0.99, 0.99]))
+        assert survive[0] and neww[0] == 0.5
+        assert not survive[1]
+
+
+class TestTally:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tally(num_layers=0)
+
+    def test_fractions_and_balance(self):
+        t = Tally(num_layers=2)
+        t.add_launch(10, 0.02)
+        t.add_absorption(np.array([0, 1]), np.array([4.0, 2.0]))
+        t.add_reflectance(np.array([1.5]))
+        t.add_transmittance(np.array([2.3]))
+        f = t.fractions()
+        assert f["specular"] == pytest.approx(0.02)
+        assert f["absorbed"] == pytest.approx(0.6)
+        # Balance: 0.2 + 0.6 + 0.15 + 0.23 = 1.0 exactly by construction.
+        assert t.energy_balance_error() == pytest.approx(0.0)
+
+
+class TestSimulation:
+    def test_energy_conservation(self):
+        sim = MCPhotonMigration(three_layer_skin(), MT19937(7), batch_size=5000)
+        res = sim.run(5000)
+        assert res.tally.energy_balance_error() < 1e-9
+
+    def test_fractions_plausible(self):
+        sim = MCPhotonMigration(three_layer_skin(), MT19937(8), batch_size=20000)
+        f = sim.run(20000).fractions()
+        assert 0.02 < f["specular"] < 0.03
+        assert 0.01 < f["diffuse_reflectance"] < 0.2
+        assert 0.3 < f["absorbed"] < 0.7
+        assert f["transmittance"] > 0.1
+
+    def test_absorbing_slab_absorbs_everything(self):
+        slab = TissueModel(
+            layers=(Layer(n=1.0, mua=1000.0, mus=0.001, g=0.0, thickness=10.0),),
+        )
+        sim = MCPhotonMigration(slab, MT19937(9), batch_size=2000)
+        f = sim.run(2000).fractions()
+        assert f["absorbed"] > 0.98
+
+    def test_transparent_slab_transmits(self):
+        slab = TissueModel(
+            layers=(Layer(n=1.0, mua=1e-6, mus=1e-6, g=0.0, thickness=0.1),),
+        )
+        sim = MCPhotonMigration(slab, MT19937(10), batch_size=2000)
+        f = sim.run(2000).fractions()
+        assert f["transmittance"] > 0.99
+
+    def test_batching_conserves(self):
+        sim = MCPhotonMigration(three_layer_skin(), MT19937(11), batch_size=700)
+        res = sim.run(2100)
+        assert res.tally.photons_launched == 2100
+        assert res.tally.energy_balance_error() < 1e-9
+
+    def test_uniform_consumption_counted(self):
+        sim = MCPhotonMigration(three_layer_skin(), MT19937(12), batch_size=1000)
+        res = sim.run(1000)
+        assert res.uniforms_consumed > 1000  # at least one step draw each
+        assert res.uniforms_consumed == sim.uniforms_consumed
+
+    def test_deterministic_given_seed(self):
+        a = MCPhotonMigration(three_layer_skin(), MT19937(13), batch_size=3000)
+        b = MCPhotonMigration(three_layer_skin(), MT19937(13), batch_size=3000)
+        fa = a.run(3000).fractions()
+        fb = b.run(3000).fractions()
+        assert fa == fb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCPhotonMigration(three_layer_skin(), MT19937(1), batch_size=0)
+        sim = MCPhotonMigration(three_layer_skin(), MT19937(1))
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+
+class TestTimingModel:
+    def test_speedup_about_20pc(self):
+        t = photon_times_ms(256_000_000)
+        assert 1.1 < t["speedup"] < 1.35
+
+    def test_linear_in_photons(self):
+        small = photon_times_ms(1_000_000)["Hybrid PRNG"]
+        large = photon_times_ms(4_000_000)["Hybrid PRNG"]
+        assert 3 < large / small < 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            photon_times_ms(0)
+        with pytest.raises(ValueError):
+            PhotonCosts(compute_ns=0)

@@ -1,0 +1,72 @@
+"""Tests for the depth-resolved absorption profile."""
+
+import numpy as np
+import pytest
+
+from repro.apps.photon import (
+    DepthProfile,
+    Layer,
+    MCPhotonMigration,
+    TissueModel,
+    three_layer_skin,
+)
+from repro.baselines.mt19937 import MT19937
+
+
+class TestDepthProfile:
+    def test_totals_match_flat_tally(self):
+        model = three_layer_skin()
+        prof = DepthProfile(model, n_bins=50)
+        sim = MCPhotonMigration(model, MT19937(5), batch_size=8000,
+                                depth_profile=prof)
+        res = sim.run(8000)
+        assert prof.total_absorbed() == pytest.approx(
+            res.fractions()["absorbed"], abs=1e-9
+        )
+
+    def test_bins_cover_depth(self):
+        model = three_layer_skin()
+        prof = DepthProfile(model, n_bins=40)
+        assert prof.z_centers[0] == pytest.approx(prof.dz / 2)
+        assert prof.z_centers[-1] == pytest.approx(
+            model.total_thickness - prof.dz / 2
+        )
+
+    def test_absorption_decays_with_depth(self):
+        """In a homogeneous absorbing slab, A(z) decays monotonically
+        (Beer-Lambert-like) when scattering is weak."""
+        slab = TissueModel(
+            layers=(Layer(n=1.0, mua=5.0, mus=0.1, g=0.0, thickness=1.0),),
+        )
+        prof = DepthProfile(slab, n_bins=20)
+        sim = MCPhotonMigration(slab, MT19937(6), batch_size=20000,
+                                depth_profile=prof)
+        sim.run(20000)
+        a = prof.absorption_density()
+        assert a[0] > a[10] > a[19]
+        # First-bin density ~ mua * exp(-mua * z) at z ~ dz/2.
+        expect = 5.0 * np.exp(-5.0 * prof.z_centers[0])
+        assert a[0] == pytest.approx(expect, rel=0.1)
+
+    def test_fluence_positive(self):
+        model = three_layer_skin()
+        prof = DepthProfile(model, n_bins=30)
+        sim = MCPhotonMigration(model, MT19937(7), batch_size=5000,
+                                depth_profile=prof)
+        sim.run(5000)
+        phi = prof.fluence()
+        assert (phi >= 0).all()
+        assert phi.max() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DepthProfile(three_layer_skin(), n_bins=0)
+
+    def test_simulator_without_profile_unchanged(self):
+        model = three_layer_skin()
+        a = MCPhotonMigration(model, MT19937(9), batch_size=3000)
+        b = MCPhotonMigration(model, MT19937(9), batch_size=3000,
+                              depth_profile=DepthProfile(model))
+        fa = a.run(3000).fractions()
+        fb = b.run(3000).fractions()
+        assert fa == fb

@@ -1,0 +1,161 @@
+"""Cross-cutting property-based tests (hypothesis) over the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import available_generators, make_generator
+from repro.bitsource import SplitMix64Source
+from repro.core.expander import GabberGalilExpander
+from repro.core.walk import WalkEngine
+from repro.gpusim.calibration import PipelineCosts
+from repro.gpusim.pipeline import PipelineConfig
+from repro.hybrid.throughput import hybrid_time_ns
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestGeneratorProperties:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_every_generator_reseed_identity(self, seed):
+        """reseed(s) then draw == fresh instance with seed s, for all."""
+        for name in available_generators():
+            a = make_generator(name, seed=seed)
+            first = a.u32_array(32).copy()
+            a.u32_array(100)
+            a.reseed(seed)
+            assert np.array_equal(a.u32_array(32), first), name
+
+    @given(seeds, st.integers(min_value=1, max_value=300))
+    @settings(max_examples=15, deadline=None)
+    def test_request_splitting_invariance(self, seed, split):
+        """Drawing n values equals drawing split + (n - split) values."""
+        for name in ["Mersenne Twister", "CURAND", "MWC", "LCG64"]:
+            n = 300
+            k = min(split, n)
+            a = make_generator(name, seed=seed)
+            b = make_generator(name, seed=seed)
+            whole = a.u32_array(n)
+            parts = np.concatenate([b.u32_array(k), b.u32_array(n - k)]) \
+                if n > k else b.u32_array(k)
+            assert np.array_equal(whole, parts), name
+
+
+class TestWalkProperties:
+    @given(seeds, st.integers(min_value=1, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_walk_is_reversible(self, seed, length):
+        """Applying recorded steps' inverse maps returns to the start."""
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        start = SplitMix64Source(seed).words64(8)
+        state = eng.make_state(start)
+        x0, y0 = state.x.copy(), state.y.copy()
+
+        chunks = SplitMix64Source(seed + 1).chunks3(length * 8).reshape(length, 8)
+        ks_list = []
+        for i in range(length):
+            ks = np.where(chunks[i] >= 7, chunks[i] - 7, chunks[i])
+            ks_list.append(ks)
+            eng._apply_indices(state, ks)
+
+        x, y = state.x, state.y
+        for ks in reversed(ks_list):
+            x, y = g.inverse_neighbor_arrays(x, y, ks)
+        assert np.array_equal(x.astype(np.uint32), x0)
+        assert np.array_equal(y.astype(np.uint32), y0)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_walker_count_invariance_of_lane_zero(self, seed):
+        """Lane 0's trajectory is identical whatever the bank width,
+        given the same per-step chunk column assignment."""
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        starts = SplitMix64Source(seed).words64(16)
+        wide = eng.make_state(starts)
+        chunks = SplitMix64Source(seed + 9).chunks3(16 * 5).reshape(5, 16)
+        for i in range(5):
+            ks = np.where(chunks[i] >= 7, chunks[i] - 7, chunks[i])
+            eng._apply_indices(wide, ks)
+
+        narrow = eng.make_state(starts[:4])
+        for i in range(5):
+            row = chunks[i, :4]
+            ks = np.where(row >= 7, row - 7, row)
+            eng._apply_indices(narrow, ks)
+        assert np.array_equal(wide.x[:4], narrow.x)
+        assert np.array_equal(wide.y[:4], narrow.y)
+
+
+class TestPipelineProperties:
+    @given(
+        st.integers(min_value=10_000, max_value=10_000_000),
+        st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_time_positive_and_superlinear_floor(self, n, s):
+        t = hybrid_time_ns(PipelineConfig(total_numbers=n, batch_size=s))
+        costs = PipelineCosts()
+        # Completion can never beat the raw GPU generate time at full
+        # occupancy, nor the raw CPU feed time.
+        assert t >= n * costs.generate_ns * 0.999
+        assert t >= n * costs.feed_ns * 0.5  # feed overlaps with init only
+
+    @given(st.integers(min_value=100_000, max_value=5_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_time_monotone_in_n(self, n):
+        """Time never decreases with N.
+
+        Below the occupancy saturation point doubling N only widens the
+        kernels without lengthening them (idle cores absorb the work), so
+        equality is legitimate there; past saturation growth is strict.
+        """
+        t1 = hybrid_time_ns(PipelineConfig(total_numbers=n, batch_size=100))
+        t2 = hybrid_time_ns(PipelineConfig(total_numbers=2 * n, batch_size=100))
+        assert t2 >= t1 * (1 - 1e-12)  # tolerate summation-order ULPs
+        threads = PipelineConfig(total_numbers=n, batch_size=100).num_threads
+        if threads >= PipelineCosts().full_occupancy_threads:
+            assert t2 > t1
+
+    @given(st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_time_monotone_in_feed_cost(self, feed_ns):
+        base = PipelineCosts()
+        slow = PipelineCosts(
+            feed_ns=base.feed_ns + feed_ns,
+            transfer_ns=base.transfer_ns,
+            generate_ns=base.generate_ns,
+        )
+        cfg_fast = PipelineConfig(total_numbers=10**6, batch_size=100)
+        cfg_slow = PipelineConfig(
+            total_numbers=10**6, batch_size=100, costs=slow
+        )
+        assert hybrid_time_ns(cfg_slow) >= hybrid_time_ns(cfg_fast)
+
+
+class TestOutputStatisticalProperties:
+    @given(seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_hybrid_bit_balance_any_seed(self, seed):
+        from repro.baselines.hybrid_adapter import HybridPRNG
+
+        gen = HybridPRNG(
+            seed=1, num_threads=1024, bit_source=SplitMix64Source(seed)
+        )
+        bits = gen.bits_stream(64_000)
+        assert abs(bits.mean() - 0.5) < 0.02
+
+    @given(seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_uniform53_moments_any_seed(self, seed):
+        from repro.baselines.hybrid_adapter import HybridPRNG
+
+        gen = HybridPRNG(
+            seed=1, num_threads=1024, bit_source=SplitMix64Source(seed)
+        )
+        u = gen.uniform53(20_000)
+        assert abs(u.mean() - 0.5) < 0.02
+        assert abs(u.var() - 1 / 12) < 0.01

@@ -1,0 +1,166 @@
+"""Tests for the Crush batteries and their classical tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import PRNG
+from repro.baselines.lcg import AnsiLcgPRNG
+from repro.baselines.mt19937 import MT19937
+from repro.quality.crush import (
+    BATTERY_NAMES,
+    autocorrelation_test,
+    collision_test,
+    coupon_collector_test,
+    gap_test,
+    hamming_indep_test,
+    hamming_weight_test,
+    longest_run_test,
+    max_of_t_test,
+    poker_test,
+    random_walk_test,
+    run_battery,
+    run_smallcrush,
+    serial_pairs_test,
+    weight_distrib_test,
+)
+from repro.quality.crush.classic import _coupon_probs, _stirling2
+
+
+def GOOD():
+    return MT19937(777)
+
+
+class BiasedBitsPRNG(PRNG):
+    """60/40 biased bits: flunks bit-level tests, not much else."""
+
+    name = "biased"
+
+    def __init__(self):
+        self._rng = np.random.Generator(np.random.PCG64(9))
+
+    def reseed(self, seed):
+        pass
+
+    def u32_array(self, n):
+        bits = (self._rng.random((n, 32)) < 0.53).astype(np.uint32)
+        out = np.zeros(n, dtype=np.uint32)
+        for j in range(32):
+            out = (out << np.uint32(1)) | bits[:, j]
+        return out
+
+
+class TestClassicTests:
+    def test_collision_good(self):
+        assert collision_test(GOOD()).passed
+
+    def test_collision_constant_fails(self):
+        class Dup(PRNG):
+            name = "dup"
+
+            def reseed(self, seed):
+                pass
+
+            def u32_array(self, n):
+                return np.zeros(n, dtype=np.uint32)
+
+        assert not collision_test(Dup()).passed
+
+    def test_gap_good(self):
+        assert gap_test(GOOD(), n=400_000).passed
+
+    def test_gap_interval_validation(self):
+        with pytest.raises(ValueError):
+            gap_test(GOOD(), alpha=0.5, beta=0.5)
+
+    def test_coupon_good(self):
+        assert coupon_collector_test(GOOD(), n_segments=20_000).passed
+
+    def test_coupon_probs_sum(self):
+        probs = np.asarray(_coupon_probs(5, 200))
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_coupon_probs_minimum_length(self):
+        probs = _coupon_probs(5, 20)
+        # Impossible to finish in fewer than d draws.
+        assert all(p == 0 for p in probs[:4])
+        assert probs[4] == pytest.approx(math.factorial(5) / 5**5)
+
+    def test_stirling_known(self):
+        assert _stirling2(5, 3) == 25
+        assert _stirling2(4, 4) == 1
+        assert _stirling2(4, 0) == 0
+
+    def test_poker_good(self):
+        assert poker_test(GOOD(), n_hands=60_000).passed
+
+    def test_maxoft_good(self):
+        assert max_of_t_test(GOOD(), n_groups=40_000).passed
+
+    def test_weight_distrib_good(self):
+        assert weight_distrib_test(GOOD(), n_blocks=6_000).passed
+
+    def test_hamming_weight_good_vs_biased(self):
+        assert hamming_weight_test(GOOD(), n_words=150_000).passed
+        assert not hamming_weight_test(BiasedBitsPRNG(), n_words=150_000).passed
+
+    def test_hamming_indep_good(self):
+        assert hamming_indep_test(GOOD(), n_words=150_000).passed
+
+    def test_random_walk_good_vs_biased(self):
+        assert random_walk_test(GOOD(), n_walks=15_000).passed
+        assert not random_walk_test(BiasedBitsPRNG(), n_walks=15_000).passed
+
+    def test_serial_pairs_good(self):
+        assert serial_pairs_test(GOOD(), n_pairs=500_000).passed
+
+    def test_autocorrelation_good(self):
+        assert autocorrelation_test(GOOD(), n_bits=1_000_000).passed
+
+    def test_autocorrelation_periodic_fails(self):
+        class Periodic(PRNG):
+            name = "periodic"
+
+            def reseed(self, seed):
+                pass
+
+            def u32_array(self, n):
+                return np.full(n, 0xAAAAAAAA, dtype=np.uint32)
+
+        assert not autocorrelation_test(Periodic(), n_bits=500_000).passed
+
+    def test_longest_run_good_vs_biased(self):
+        assert longest_run_test(GOOD(), n_blocks=20_000).passed
+        assert not longest_run_test(BiasedBitsPRNG(), n_blocks=20_000).passed
+
+
+class TestBatteries:
+    def test_names(self):
+        assert BATTERY_NAMES == ("SmallCrush", "Crush", "BigCrush")
+
+    def test_each_battery_has_15(self):
+        for name in BATTERY_NAMES:
+            res = run_battery(name, GOOD(), scale=0.05)
+            assert res.num_tests == 15, name
+
+    def test_good_generator_passes_smallcrush(self):
+        res = run_smallcrush(GOOD(), scale=0.5)
+        assert res.num_passed >= 14
+
+    def test_weak_lcg_fails_smallcrush(self):
+        res = run_smallcrush(AnsiLcgPRNG(1), scale=0.5)
+        assert res.num_passed <= 11
+
+    def test_unknown_battery(self):
+        with pytest.raises(KeyError):
+            run_battery("MegaCrush", GOOD())
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            run_battery("SmallCrush", GOOD(), scale=-1)
+
+    def test_progress_callback(self):
+        seen = []
+        run_battery("SmallCrush", GOOD(), scale=0.05, progress=seen.append)
+        assert len(seen) == 15

@@ -1,0 +1,247 @@
+"""Tests for the DIEHARD battery: each test discriminates good from bad."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import PRNG
+from repro.baselines.mt19937 import MT19937
+from repro.quality.diehard import (
+    DIEHARD_TEST_NAMES,
+    binary_rank_test,
+    birthday_spacings,
+    bitstream_test,
+    count_the_ones_bytes,
+    count_the_ones_stream,
+    craps_test,
+    gf2_rank_batch,
+    minimum_distance,
+    monkey_group,
+    operm5_test,
+    opso_test,
+    overlapping_sums,
+    parking_lot,
+    permutation_index,
+    rank_test_group,
+    run_diehard,
+    runs_test,
+    spheres_3d,
+    squeeze_test,
+)
+
+
+class ConstantPRNG(PRNG):
+    """Pathologically bad: emits one repeating word."""
+
+    name = "constant"
+
+    def __init__(self, value=0xDEADBEEF):
+        self._v = np.uint32(value)
+
+    def reseed(self, seed):
+        pass
+
+    def u32_array(self, n):
+        return np.full(n, self._v, dtype=np.uint32)
+
+
+class StripedPRNG(PRNG):
+    """Alternates two values: flunks serial structure tests."""
+
+    name = "striped"
+
+    def reseed(self, seed):
+        pass
+
+    def u32_array(self, n):
+        out = np.empty(n, dtype=np.uint32)
+        out[0::2] = np.uint32(0x0F0F0F0F)
+        out[1::2] = np.uint32(0xF0F0F0F0)
+        return out
+
+
+GOOD = lambda: MT19937(20240701)
+
+
+class TestBirthday:
+    def test_good_generator_passes(self):
+        assert birthday_spacings(GOOD(), n_samples=100).passed
+
+    def test_striped_fails(self):
+        assert not birthday_spacings(StripedPRNG(), n_samples=100).passed
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            birthday_spacings(GOOD(), bit_offsets=(20,))
+
+
+class TestOperm5:
+    def test_good_passes(self):
+        assert operm5_test(GOOD(), n_groups=24_000).passed
+
+    def test_size_floor(self):
+        with pytest.raises(ValueError):
+            operm5_test(GOOD(), n_groups=100)
+
+    def test_permutation_index_bijective(self):
+        rng = np.random.Generator(np.random.PCG64(5))
+        # All 120 permutations of 5 distinct values are hit exactly once.
+        from itertools import permutations
+
+        groups = np.array(list(permutations([10, 20, 30, 40, 50])))
+        idx = permutation_index(groups)
+        assert sorted(idx) == list(range(120))
+
+    def test_permutation_index_shape_check(self):
+        with pytest.raises(ValueError):
+            permutation_index(np.zeros((3, 4)))
+
+
+class TestRanks:
+    def test_gf2_rank_known_matrices(self):
+        ident = np.array([[1, 2, 4, 8]], dtype=np.uint64)  # I_4 packed
+        assert gf2_rank_batch(ident, 4)[0] == 4
+        singular = np.array([[1, 1, 2, 3]], dtype=np.uint64)
+        assert gf2_rank_batch(singular, 2)[0] == 2
+        zero = np.zeros((1, 5), dtype=np.uint64)
+        assert gf2_rank_batch(zero, 5)[0] == 0
+
+    def test_gf2_rank_duplicate_rows(self):
+        m = np.array([[7, 7, 7]], dtype=np.uint64)
+        assert gf2_rank_batch(m, 3)[0] == 1
+
+    def test_gf2_rank_batch_consistency(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        mats = rng.integers(0, 2**32, size=(50, 32), dtype=np.uint64)
+        batched = gf2_rank_batch(mats, 32)
+        single = np.array([gf2_rank_batch(mats[i : i + 1], 32)[0] for i in range(50)])
+        assert np.array_equal(batched, single)
+
+    def test_gf2_rank_matches_numpy_mod2(self):
+        rng = np.random.Generator(np.random.PCG64(3))
+        for _ in range(10):
+            bits = rng.integers(0, 2, size=(6, 8))
+            packed = np.array(
+                [[sum(int(b) << j for j, b in enumerate(row)) for row in bits]],
+                dtype=np.uint64,
+            )
+            # Rank over GF(2) via sympy-free elimination in Python.
+            rows = [int(v) for v in packed[0]]
+            rank = 0
+            for c in range(8):
+                piv = next((i for i in range(rank, len(rows))
+                            if rows[i] >> c & 1), None)
+                if piv is None:
+                    continue
+                rows[rank], rows[piv] = rows[piv], rows[rank]
+                for i in range(len(rows)):
+                    if i != rank and rows[i] >> c & 1:
+                        rows[i] ^= rows[rank]
+                rank += 1
+            assert gf2_rank_batch(packed, 8)[0] == rank
+
+    def test_good_generator_rank_distribution(self):
+        assert binary_rank_test(GOOD(), 32, 32, n_matrices=800).passed
+
+    def test_rank_group_returns_two(self):
+        big, small = rank_test_group(GOOD(), n_matrices=300)
+        assert "31x31" in big.name and "6x8" in small.name
+
+    def test_cols_validation(self):
+        with pytest.raises(ValueError):
+            gf2_rank_batch(np.zeros((1, 4), dtype=np.uint64), 65)
+
+
+class TestMonkey:
+    def test_good_passes_bitstream(self):
+        assert bitstream_test(GOOD()).passed
+
+    def test_good_passes_group(self):
+        assert monkey_group(GOOD()).passed
+
+    def test_constant_fails(self):
+        assert not bitstream_test(ConstantPRNG()).passed
+        assert not opso_test(ConstantPRNG()).passed
+
+
+class TestCount1s:
+    def test_good_passes(self):
+        assert count_the_ones_stream(GOOD(), n_bytes=200_000).passed
+        assert count_the_ones_bytes(GOOD(), n_words=200_000).passed
+
+    def test_constant_fails(self):
+        assert not count_the_ones_stream(ConstantPRNG(), n_bytes=200_000).passed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_the_ones_stream(GOOD(), n_bytes=2)
+        with pytest.raises(ValueError):
+            count_the_ones_bytes(GOOD(), byte_index=4)
+
+
+class TestGeometry:
+    def test_parking_good(self):
+        assert parking_lot(GOOD(), n_rounds=2).passed
+
+    def test_mindist_good(self):
+        assert minimum_distance(GOOD(), n_rounds=8).passed
+
+    def test_spheres_good(self):
+        assert spheres_3d(GOOD(), n_rounds=8).passed
+
+    def test_mindist_constant_fails(self):
+        assert not minimum_distance(ConstantPRNG(), n_rounds=8).passed
+
+
+class TestSqueezeSumsRunsCraps:
+    def test_squeeze_good(self):
+        assert squeeze_test(GOOD(), n_reps=30_000).passed
+
+    def test_squeeze_floor(self):
+        with pytest.raises(ValueError):
+            squeeze_test(GOOD(), n_reps=10)
+
+    def test_sums_good(self):
+        assert overlapping_sums(GOOD(), n_sums=800).passed
+
+    def test_runs_good(self):
+        assert runs_test(GOOD(), n=30_000).passed
+
+    def test_runs_sorted_fails(self):
+        class Sorted(PRNG):
+            name = "sorted"
+
+            def reseed(self, seed):
+                pass
+
+            def u32_array(self, n):
+                return np.arange(n, dtype=np.uint32) << np.uint32(12)
+
+        assert not runs_test(Sorted(), n=30_000).passed
+
+    def test_craps_good(self):
+        assert craps_test(GOOD(), n_games=50_000).passed
+
+    def test_craps_floor(self):
+        with pytest.raises(ValueError):
+            craps_test(GOOD(), n_games=10)
+
+
+class TestFullBattery:
+    def test_battery_has_15_entries(self):
+        assert len(DIEHARD_TEST_NAMES) == 15
+        res = run_diehard(GOOD(), scale=0.1)
+        assert res.num_tests == 15
+        assert [r.name for r in res.results] == DIEHARD_TEST_NAMES
+
+    def test_good_generator_passes_most(self):
+        res = run_diehard(GOOD(), scale=0.1)
+        assert res.num_passed >= 13
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            run_diehard(GOOD(), scale=0)
+
+    def test_progress_callback(self):
+        seen = []
+        run_diehard(GOOD(), scale=0.1, progress=seen.append)
+        assert len(seen) >= 10

@@ -1,0 +1,193 @@
+"""Tests for the NIST SP800-22 battery.
+
+The basic tests are validated against the worked examples of the
+publication itself (the 100-bit pi expansion); the rest are checked for
+discrimination between strong and weak generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lcg import AnsiLcgPRNG
+from repro.baselines.mt19937 import MT19937
+from repro.quality.nist import (
+    NIST_TEST_NAMES,
+    approximate_entropy_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    dft_spectral_test,
+    frequency_test,
+    linear_complexity_test,
+    longest_run_test_nist,
+    matrix_rank_test_nist,
+    maurer_universal_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    run_nist,
+    runs_test_nist,
+    serial_test_nist,
+)
+from repro.quality.nist.advanced import _berlekamp_massey_batch
+from repro.quality.nist.helpers import sidak_min
+
+#: The SP800-22 example bit string (first 100 binary digits of pi).
+PI_100 = np.array(
+    [int(c) for c in
+     "1100100100001111110110101010001000100001011010001100001000110100"
+     "110001001100011001100010100010111000"],
+    dtype=np.uint8,
+)
+
+
+def good_bits(n=500_000, seed=20240707):
+    return MT19937(seed).bits_stream(n)
+
+
+def bad_bits(n=500_000):
+    return AnsiLcgPRNG(1).bits_stream(n)
+
+
+class TestWorkedExamples:
+    """Known answers straight from NIST SP800-22 rev 1a."""
+
+    def test_frequency_pi(self):
+        assert frequency_test(PI_100).p_value == pytest.approx(0.109599, abs=1e-5)
+
+    def test_block_frequency_pi(self):
+        res = block_frequency_test(PI_100, block=10)
+        assert res.p_value == pytest.approx(0.706438, abs=1e-5)
+
+    def test_runs_pi(self):
+        assert runs_test_nist(PI_100).p_value == pytest.approx(0.500798, abs=1e-5)
+
+    def test_cusum_forward_pi(self):
+        res = cumulative_sums_test(PI_100)
+        assert "forward p=0.219" in res.detail
+
+
+class TestDiscrimination:
+    def test_frequency(self):
+        assert frequency_test(good_bits()).passed
+        assert not frequency_test(bad_bits()).passed  # stuck bits skew density
+
+    def test_block_frequency(self):
+        assert block_frequency_test(good_bits()).passed
+        assert not block_frequency_test(bad_bits()).passed
+
+    def test_runs(self):
+        assert runs_test_nist(good_bits()).passed
+
+    def test_longest_run(self):
+        assert longest_run_test_nist(good_bits()).passed
+        assert not longest_run_test_nist(bad_bits()).passed
+
+    def test_matrix_rank(self):
+        assert matrix_rank_test_nist(good_bits()).passed
+        assert not matrix_rank_test_nist(bad_bits()).passed
+
+    def test_dft(self):
+        assert dft_spectral_test(good_bits()).passed
+        assert not dft_spectral_test(bad_bits()).passed
+
+    def test_templates(self):
+        assert non_overlapping_template_test(good_bits()).passed
+        assert overlapping_template_test(good_bits()).passed
+        assert not overlapping_template_test(bad_bits()).passed
+
+    def test_universal(self):
+        assert maurer_universal_test(good_bits(1_000_000)).passed
+        assert not maurer_universal_test(bad_bits(1_000_000)).passed
+
+    def test_linear_complexity(self):
+        assert linear_complexity_test(good_bits(100_000), M=500).passed
+
+    def test_linear_complexity_detects_lfsr_like(self):
+        """An all-zeros stream has linear complexity 0 everywhere."""
+        zeros = np.zeros(50_000, dtype=np.uint8)
+        assert not linear_complexity_test(zeros, M=500).passed
+
+    def test_serial(self):
+        assert serial_test_nist(good_bits()).passed
+        assert not serial_test_nist(bad_bits()).passed
+
+    def test_approximate_entropy(self):
+        assert approximate_entropy_test(good_bits()).passed
+        assert not approximate_entropy_test(bad_bits()).passed
+
+    def test_cusum(self):
+        assert cumulative_sums_test(good_bits()).passed
+        assert not cumulative_sums_test(bad_bits()).passed
+
+    def test_excursions(self):
+        assert random_excursions_test(good_bits()).passed
+        assert random_excursions_variant_test(good_bits()).passed
+
+
+class TestBerlekampMassey:
+    def test_known_complexities(self):
+        # 1101011110001 has linear complexity 4 (SP800-22 example).
+        seq = np.array([[1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1]], dtype=np.uint8)
+        assert _berlekamp_massey_batch(seq)[0] == 4
+
+    def test_degenerate_rows(self):
+        blocks = np.zeros((2, 16), dtype=np.uint8)
+        blocks[1, 0] = 1  # 1000... has complexity 1
+        L = _berlekamp_massey_batch(blocks)
+        assert L[0] == 0 and L[1] == 1
+
+    def test_batch_equals_scalar(self):
+        rng = np.random.Generator(np.random.PCG64(5))
+        blocks = rng.integers(0, 2, size=(20, 64)).astype(np.uint8)
+        batched = _berlekamp_massey_batch(blocks)
+        single = np.array(
+            [_berlekamp_massey_batch(blocks[i : i + 1])[0] for i in range(20)]
+        )
+        assert np.array_equal(batched, single)
+
+    def test_random_sequences_near_half_length(self):
+        rng = np.random.Generator(np.random.PCG64(6))
+        blocks = rng.integers(0, 2, size=(100, 128)).astype(np.uint8)
+        L = _berlekamp_massey_batch(blocks)
+        assert abs(L.mean() - 64) < 2
+
+
+class TestSidakMin:
+    def test_uniform_under_independence(self):
+        rng = np.random.Generator(np.random.PCG64(7))
+        ps = [sidak_min(rng.random(5)) for _ in range(2000)]
+        low = np.mean([p < 0.01 for p in ps])
+        assert 0.002 < low < 0.025  # ~1% by construction
+
+    def test_capped_below_upper_band(self):
+        assert sidak_min([0.99, 0.999]) <= 0.985
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sidak_min([])
+
+
+class TestFullBattery:
+    def test_fifteen_tests(self):
+        assert len(NIST_TEST_NAMES) == 15
+        res = run_nist(MT19937(3), n_bits=200_000)
+        assert res.num_tests == 15
+        assert [r.name for r in res.results] == NIST_TEST_NAMES
+
+    def test_good_generator_passes_most(self):
+        res = run_nist(MT19937(2024), n_bits=400_000)
+        assert res.num_passed >= 13
+
+    def test_weak_generator_fails_most(self):
+        res = run_nist(AnsiLcgPRNG(1), n_bits=400_000)
+        assert res.num_passed <= 6
+
+    def test_minimum_bits_enforced(self):
+        with pytest.raises(ValueError, match="bits"):
+            run_nist(MT19937(1), n_bits=1000)
+
+    def test_progress_callback(self):
+        seen = []
+        run_nist(MT19937(1), n_bits=200_000, progress=seen.append)
+        assert len(seen) == 15

@@ -1,0 +1,117 @@
+"""Tests for the shared statistics plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.quality.stats import (
+    PASS_HI,
+    PASS_LO,
+    BatteryResult,
+    TestResult,
+    binary_matrix_rank_probs,
+    chi2_pvalue,
+    fisher_combine,
+    ks_uniform,
+    normal_pvalue,
+    normal_uniform_pvalue,
+)
+
+
+class TestPvalueHelpers:
+    def test_chi2_extremes(self):
+        assert chi2_pvalue(0.0, 10) == pytest.approx(1.0)
+        assert chi2_pvalue(1000.0, 10) < 1e-10
+
+    def test_chi2_median_behaviour(self):
+        # Chi-square median is close to dof.
+        assert 0.3 < chi2_pvalue(10.0, 10) < 0.6
+
+    def test_chi2_dof_validation(self):
+        with pytest.raises(ValueError):
+            chi2_pvalue(1.0, 0)
+
+    def test_normal_two_sided(self):
+        assert normal_pvalue(0.0) == pytest.approx(1.0)
+        assert normal_pvalue(1.96) == pytest.approx(0.05, abs=0.002)
+
+    def test_normal_uniform_convention(self):
+        assert normal_uniform_pvalue(0.0) == pytest.approx(0.5)
+        assert normal_uniform_pvalue(-10.0) < 0.001
+        assert normal_uniform_pvalue(10.0) > 0.999
+
+    def test_ks_uniform_detects_nonuniform(self):
+        d, p = ks_uniform(np.full(100, 0.5))
+        assert p < 1e-6
+        d2, p2 = ks_uniform(np.linspace(0.001, 0.999, 100))
+        assert p2 > 0.5
+
+    def test_fisher_combine(self):
+        assert fisher_combine([0.5, 0.5]) == pytest.approx(0.5966, abs=0.01)
+        assert fisher_combine([1e-10, 0.5]) < 1e-7
+        with pytest.raises(ValueError):
+            fisher_combine([])
+
+    def test_fisher_uniform_inputs_stay_moderate(self):
+        assert 0.3 < fisher_combine([0.4, 0.5, 0.6]) < 0.9
+
+
+class TestRankProbs:
+    def test_32x32_known_values(self):
+        """Published DIEHARD probabilities for full-rank 32x32."""
+        probs = binary_matrix_rank_probs(32, 32, 29)
+        # entries: [<=29, 30, 31, 32]
+        assert probs[-1] == pytest.approx(0.2887880951, abs=1e-6)
+        assert probs[-2] == pytest.approx(0.5775761902, abs=1e-6)
+        assert probs[-3] == pytest.approx(0.1283502644, abs=1e-6)
+
+    def test_probs_sum_to_one(self):
+        for shape in [(6, 8), (31, 31), (32, 32), (64, 64)]:
+            probs = binary_matrix_rank_probs(*shape, min_rank=min(shape) - 3)
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_6x8_full_rank(self):
+        probs = binary_matrix_rank_probs(6, 8, 3)
+        assert probs[-1] == pytest.approx(0.773, abs=0.002)
+
+    def test_invalid_min_rank(self):
+        with pytest.raises(ValueError):
+            binary_matrix_rank_probs(6, 8, 7)
+
+
+class TestResultTypes:
+    def test_pass_band(self):
+        assert TestResult("t", 0.5).passed
+        assert not TestResult("t", 0.005).passed
+        assert not TestResult("t", 0.995).passed
+        assert PASS_LO == 0.01 and PASS_HI == 0.99
+
+    def test_battery_aggregation(self):
+        b = BatteryResult(generator="g", battery="B")
+        b.add(TestResult("a", 0.5))
+        b.add(TestResult("b", 0.001))
+        assert b.num_tests == 2
+        assert b.num_passed == 1
+        assert b.pass_string == "1/2"
+
+    def test_battery_ks(self):
+        b = BatteryResult(generator="g", battery="B")
+        for p in np.linspace(0.01, 0.99, 20):
+            b.add(TestResult("t", float(p)))
+        assert b.ks_d < 0.15
+        assert b.ks_pvalue > 0.5
+
+    def test_battery_ks_detects_skew(self):
+        b = BatteryResult(generator="g", battery="B")
+        for _ in range(20):
+            b.add(TestResult("t", 0.001))
+        assert b.ks_d > 0.9
+
+    def test_empty_battery_nan(self):
+        b = BatteryResult(generator="g", battery="B")
+        assert np.isnan(b.ks_d)
+
+    def test_summary_table_renders(self):
+        b = BatteryResult(generator="gen", battery="B")
+        b.add(TestResult("a", 0.5, detail="ok"))
+        out = b.summary_table()
+        assert "gen" in out and "1/1" in out and "pass" in out

@@ -1,0 +1,123 @@
+"""Tests for spectral/expansion analysis of the expander."""
+
+import numpy as np
+import pytest
+
+from repro.core.expander import EDGE_EXPANSION_LOWER_BOUND, GabberGalilExpander
+from repro.core.spectral import (
+    edge_expansion_exact,
+    mixing_time_bound,
+    second_eigenvalue_modulus,
+    spectral_gap,
+    total_variation_from_uniform,
+    transition_matrix,
+    walk_distribution,
+)
+
+
+class TestTransitionMatrix:
+    def test_row_stochastic(self):
+        g = GabberGalilExpander(m=6)
+        P = transition_matrix(g)
+        rows = np.asarray(P.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_doubly_stochastic(self):
+        """Each map is a permutation, so columns also sum to one."""
+        g = GabberGalilExpander(m=5)
+        P = transition_matrix(g)
+        cols = np.asarray(P.sum(axis=0)).ravel()
+        assert np.allclose(cols, 1.0)
+
+    def test_uniform_is_stationary(self):
+        g = GabberGalilExpander(m=7)
+        P = transition_matrix(g)
+        n = P.shape[0]
+        pi = np.full(n, 1.0 / n)
+        assert np.allclose(pi @ P, pi)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            transition_matrix(GabberGalilExpander(m=2048))
+
+
+class TestSpectralGap:
+    @pytest.mark.parametrize("m", [5, 8, 13])
+    def test_gap_positive(self, m):
+        gap = spectral_gap(GabberGalilExpander(m=m))
+        assert 0.0 < gap <= 1.0
+
+    def test_second_eigenvalue_below_one(self):
+        lam = second_eigenvalue_modulus(GabberGalilExpander(m=9))
+        assert lam < 1.0
+
+    def test_mixing_time_reasonable(self):
+        """Mixing should be logarithmic-ish in n for a true expander."""
+        t = mixing_time_bound(GabberGalilExpander(m=11), eps=1 / 64)
+        assert 0 < t < 500
+
+    def test_walk_converges_to_uniform(self):
+        g = GabberGalilExpander(m=8)
+        dist = walk_distribution(g, start=0, steps=64)
+        tv = total_variation_from_uniform(dist)
+        assert tv < 0.01
+
+    def test_short_walk_far_from_uniform(self):
+        g = GabberGalilExpander(m=8)
+        dist = walk_distribution(g, start=0, steps=1)
+        assert total_variation_from_uniform(dist) > 0.5
+
+
+class TestEdgeExpansion:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_exact_expansion_positive(self, m):
+        alpha = edge_expansion_exact(GabberGalilExpander(m=m))
+        assert alpha > 0
+
+    def test_exceeds_gabber_galil_bound_tiny(self):
+        """On checkable sizes the construction beats the asymptotic bound."""
+        alpha = edge_expansion_exact(GabberGalilExpander(m=3))
+        assert alpha >= EDGE_EXPANSION_LOWER_BOUND
+
+    def test_infeasible_size_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            edge_expansion_exact(GabberGalilExpander(m=5))
+
+
+class TestFamilyEigenvalue:
+    @pytest.mark.parametrize("m", [4, 8, 16])
+    def test_second_eigenvalue_is_five_sevenths(self, m):
+        """|lambda_2| = 5/7 for every checked family member."""
+        from repro.core.spectral import FAMILY_SECOND_EIGENVALUE
+
+        lam = second_eigenvalue_modulus(GabberGalilExpander(m=m))
+        assert lam == pytest.approx(FAMILY_SECOND_EIGENVALUE, abs=1e-6)
+
+    def test_recommended_walk_length_paper_instance(self):
+        from repro.core.spectral import recommended_walk_length
+
+        t = recommended_walk_length()  # m = 2**32, eps = 2**-10
+        assert 140 <= t <= 170
+        # The bound must match the small-instance brute-force mixing time.
+        g = GabberGalilExpander(m=8)
+        t_small = recommended_walk_length(m=8, eps=1.0 / 64)
+        dist = walk_distribution(g, start=0, steps=t_small)
+        assert total_variation_from_uniform(dist) < 1.0 / 64
+
+    def test_recommended_walk_length_validation(self):
+        from repro.core.spectral import recommended_walk_length
+
+        with pytest.raises(ValueError):
+            recommended_walk_length(m=1)
+        with pytest.raises(ValueError):
+            recommended_walk_length(eps=1.5)
+
+
+class TestTotalVariation:
+    def test_uniform_is_zero(self):
+        assert total_variation_from_uniform(np.full(10, 0.1)) == pytest.approx(0)
+
+    def test_point_mass(self):
+        d = np.zeros(10)
+        d[0] = 1.0
+        assert total_variation_from_uniform(d) == pytest.approx(0.9)

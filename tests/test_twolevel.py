@@ -1,0 +1,65 @@
+"""Tests for the two-level testing methodology."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lcg import AnsiLcgPRNG
+from repro.baselines.mt19937 import MT19937
+from repro.quality.nist import run_nist
+from repro.quality.twolevel import (
+    TwoLevelResult,
+    proportion_band,
+    two_level_run,
+)
+
+
+def nist_small(g):
+    return run_nist(g, n_bits=160_000)
+
+
+class TestProportionBand:
+    def test_band_contains_expected(self):
+        lo, hi = proportion_band(100)
+        assert lo < 0.99 < hi
+
+    def test_band_narrows_with_k(self):
+        lo20, _ = proportion_band(20)
+        lo200, _ = proportion_band(200)
+        assert lo200 > lo20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_band(0)
+
+
+class TestTwoLevelRun:
+    def test_good_generator_passes(self):
+        res = two_level_run(MT19937(1), nist_small, streams=8)
+        assert isinstance(res, TwoLevelResult)
+        assert len(res.verdicts) == 15
+        assert res.num_passed >= 13
+
+    def test_weak_generator_fails_proportion(self):
+        res = two_level_run(AnsiLcgPRNG(1), nist_small, streams=8)
+        assert res.num_passed <= 6
+        freq = next(v for v in res.verdicts if "frequency" in v.name)
+        assert not freq.proportion_ok
+
+    def test_pvalues_collected_per_stream(self):
+        res = two_level_run(MT19937(1), nist_small, streams=5)
+        for ps in res.per_test_pvalues.values():
+            assert len(ps) == 5
+
+    def test_streams_actually_differ(self):
+        res = two_level_run(MT19937(1), nist_small, streams=4)
+        ps = res.per_test_pvalues["frequency (monobit)"]
+        assert len(set(ps)) > 1
+
+    def test_summary_table(self):
+        res = two_level_run(MT19937(1), nist_small, streams=4)
+        table = res.summary_table()
+        assert "Two-level" in table and "proportion" in table
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_level_run(MT19937(1), nist_small, streams=0)

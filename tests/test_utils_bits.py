@@ -1,0 +1,133 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bits_to_uint64,
+    bytes_from_u64,
+    extract_3bit_chunks,
+    hamming_weight_u64,
+    pack_u32_pairs,
+    rotl32,
+    rotl64,
+    u01_from_u32,
+    u01_from_u64,
+    uint64_to_bits,
+    unpack_u64,
+)
+
+u64s = st.integers(min_value=0, max_value=2**64 - 1)
+u32s = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestRotations:
+    def test_rotl32_known(self):
+        assert rotl32(np.uint32(0x80000000), 1) == 1
+        assert rotl32(np.uint32(1), 31) == 0x80000000
+        assert rotl32(np.uint32(0x12345678), 0) == 0x12345678
+
+    def test_rotl64_known(self):
+        assert rotl64(np.uint64(1), 63) == 2**63
+        assert rotl64(np.uint64(2**63), 1) == 1
+
+    @given(u32s, st.integers(min_value=0, max_value=64))
+    def test_rotl32_inverse(self, x, r):
+        once = rotl32(np.uint32(x), r)
+        back = rotl32(once, (32 - r) % 32)
+        assert int(back) == x
+
+    @given(u64s, st.integers(min_value=0, max_value=128))
+    def test_rotl64_preserves_popcount(self, x, r):
+        assert int(hamming_weight_u64(rotl64(np.uint64(x), r))[0]) == bin(x).count(
+            "1"
+        )
+
+    def test_rotl_vectorized(self):
+        xs = np.arange(16, dtype=np.uint32)
+        out = rotl32(xs, 4)
+        assert out.shape == xs.shape
+        assert list(out) == [x << 4 for x in range(16)]
+
+
+class TestPacking:
+    @given(u32s, u32s)
+    def test_pack_unpack_roundtrip(self, hi, lo):
+        packed = pack_u32_pairs(np.uint64(hi), np.uint64(lo))
+        h, l = unpack_u64(packed)
+        assert int(h) == hi and int(l) == lo
+
+    def test_pack_known(self):
+        assert pack_u32_pairs(np.uint64(1), np.uint64(2)) == (1 << 32) | 2
+
+    @given(st.lists(u64s, min_size=1, max_size=20))
+    def test_bits_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        bits = uint64_to_bits(arr)
+        assert bits.size == 64 * len(values)
+        back = bits_to_uint64(bits)
+        assert list(back) == values
+
+    def test_bits_to_uint64_rejects_partial(self):
+        with pytest.raises(ValueError):
+            bits_to_uint64(np.zeros(63, dtype=np.uint8))
+
+
+class TestChunks:
+    def test_extract_3bit_chunks_known(self):
+        # word = chunks 1, 2, 3 packed LSB-first at 3-bit stride
+        word = np.uint64(1 | (2 << 3) | (3 << 6))
+        chunks = extract_3bit_chunks(np.array([word]), chunks_per_word=4)
+        assert list(chunks[0]) == [1, 2, 3, 0]
+
+    @given(st.lists(u64s, min_size=1, max_size=8))
+    def test_chunks_in_range(self, values):
+        out = extract_3bit_chunks(np.array(values, dtype=np.uint64))
+        assert out.shape == (len(values), 21)
+        assert out.max() <= 7
+
+    @given(u64s)
+    def test_chunks_reconstruct_word(self, value):
+        chunks = extract_3bit_chunks(np.array([value], dtype=np.uint64))[0]
+        rebuilt = sum(int(c) << (3 * i) for i, c in enumerate(chunks))
+        assert rebuilt == value & ((1 << 63) - 1)
+
+    def test_chunks_per_word_bounds(self):
+        with pytest.raises(ValueError):
+            extract_3bit_chunks(np.array([1], dtype=np.uint64), chunks_per_word=22)
+        with pytest.raises(ValueError):
+            extract_3bit_chunks(np.array([1], dtype=np.uint64), chunks_per_word=0)
+
+
+class TestHamming:
+    @given(u64s)
+    def test_matches_python_popcount(self, x):
+        assert int(hamming_weight_u64(x)[0]) == bin(x).count("1")
+
+    def test_vectorized(self):
+        xs = np.array([0, 1, 3, 2**64 - 1], dtype=np.uint64)
+        assert list(hamming_weight_u64(xs)) == [0, 1, 2, 64]
+
+
+class TestFloatMaps:
+    @given(st.lists(u64s, min_size=1, max_size=50))
+    def test_u01_from_u64_range(self, values):
+        u = u01_from_u64(np.array(values, dtype=np.uint64))
+        assert (u >= 0).all() and (u < 1).all()
+
+    @given(st.lists(u32s, min_size=1, max_size=50))
+    def test_u01_from_u32_range(self, values):
+        u = u01_from_u32(np.array(values, dtype=np.uint32))
+        assert (u >= 0).all() and (u < 1).all()
+
+    def test_u01_top_value(self):
+        assert u01_from_u64(np.uint64(2**64 - 1))[0] == pytest.approx(
+            1.0, abs=1e-15
+        )
+        assert u01_from_u64(np.uint64(0))[0] == 0.0
+
+    def test_bytes_from_u64_layout(self):
+        b = bytes_from_u64(np.uint64(0x0102030405060708))
+        assert list(b) == [8, 7, 6, 5, 4, 3, 2, 1]

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.checks and repro.utils.tables."""
+
+import pytest
+
+from repro.utils.checks import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+from repro.utils.tables import format_series, format_table
+
+
+class TestChecks:
+    def test_positive_accepts(self):
+        check_positive("n", 1)
+        check_positive("n", 0.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.1])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive("n", bad)
+
+    def test_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", -1, 0, 10)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024, 2**32])
+    def test_power_of_two_accepts(self, good):
+        check_power_of_two("m", good)
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 100])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("m", bad)
+
+    def test_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4.5]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "30" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.startswith("Table I\n=")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789e-9], [0.5], [123456.0]])
+        assert "1.235e-09" in out
+        assert "0.5" in out
+
+    def test_series(self):
+        out = format_series("N", [1, 2], {"hybrid": [0.1, 0.2], "mt": [0.3, 0.4]})
+        assert "hybrid" in out and "mt" in out
+        assert len(out.splitlines()) == 4
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("N", [1, 2], {"s": [1]})

@@ -1,0 +1,182 @@
+"""Tests for the vectorized walk engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitsource.counter import RawCounterSource, SplitMix64Source
+from repro.core.expander import GabberGalilExpander
+from repro.core.walk import POLICIES, WalkEngine, WalkState
+
+
+def make_state(n, m=2**32, seed=5):
+    g = GabberGalilExpander(m=m)
+    eng = WalkEngine(g)
+    starts = SplitMix64Source(seed).words64(n)
+    return g, eng, eng.make_state(starts)
+
+
+class TestWalkState:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            WalkState(np.zeros(3, dtype=np.uint32), np.zeros(4, dtype=np.uint32))
+
+    def test_copy_is_independent(self):
+        _, eng, st1 = make_state(8)
+        st2 = st1.copy()
+        eng.walk(st1, SplitMix64Source(1), 4)
+        assert not np.array_equal(st1.x, st2.x)
+
+    def test_num_walkers(self):
+        _, _, state = make_state(17)
+        assert state.num_walkers == 17
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            WalkEngine(GabberGalilExpander(), policy="bogus")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_indices_in_range(self, policy):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy=policy)
+        state = eng.make_state(SplitMix64Source(2).words64(64))
+        ks = eng._draw_indices(10000, SplitMix64Source(3), state)
+        assert ks.min() >= 0 and ks.max() <= 6
+
+    def test_reject_consumes_extra_chunks(self):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="reject")
+        state = eng.make_state(SplitMix64Source(2).words64(4))
+        n = 50000
+        eng._draw_indices(n, SplitMix64Source(3), state)
+        # Expected overhead factor 8/7; allow generous tolerance.
+        assert state.chunks_consumed > n
+        assert state.chunks_consumed < n * 1.25
+
+    def test_mod_policy_bias(self):
+        """mod-7 makes index 0 about twice as likely as the others."""
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        state = eng.make_state(SplitMix64Source(2).words64(4))
+        ks = eng._draw_indices(140_000, SplitMix64Source(3), state)
+        counts = np.bincount(ks, minlength=7)
+        assert counts[0] > 1.7 * counts[1:].mean()
+
+    def test_lazy_policy_bias(self):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="lazy")
+        state = eng.make_state(SplitMix64Source(2).words64(4))
+        ks = eng._draw_indices(140_000, SplitMix64Source(3), state)
+        counts = np.bincount(ks, minlength=7)
+        assert counts[0] > 1.7 * counts[1:].mean()
+
+    def test_expected_chunks_per_step(self):
+        g = GabberGalilExpander()
+        assert WalkEngine(g, "reject").expected_chunks_per_step() == pytest.approx(
+            8 / 7
+        )
+        assert WalkEngine(g, "mod").expected_chunks_per_step() == 1.0
+
+    def test_bits_per_number(self):
+        g = GabberGalilExpander()
+        assert WalkEngine(g, "mod").bits_per_number(64) == 192.0
+        assert WalkEngine(g, "reject").bits_per_number(64) == pytest.approx(
+            192 * 8 / 7
+        )
+
+
+class TestStepping:
+    def test_walk_consumption_order_is_step_major(self):
+        """walk(l) draws chunks3(l*n) once and applies rows as steps.
+
+        (It intentionally differs from l separate step() calls, which
+        each waste the tail chunks of their last feed word.)
+        """
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        starts = SplitMix64Source(7).words64(33)
+        s1 = eng.make_state(starts.copy())
+        eng.walk(s1, SplitMix64Source(11), 16)
+        s2 = eng.make_state(starts.copy())
+        chunks = SplitMix64Source(11).chunks3(16 * 33).reshape(16, 33)
+        for i in range(16):
+            ks = np.where(chunks[i] >= 7, chunks[i] - 7, chunks[i])
+            eng._apply_indices(s2, ks)
+        assert np.array_equal(s1.x, s2.x) and np.array_equal(s1.y, s2.y)
+
+    def test_step_equals_walk_of_length_one(self):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        starts = SplitMix64Source(7).words64(12)
+        s1 = eng.make_state(starts.copy())
+        s2 = eng.make_state(starts.copy())
+        eng.step(s1, SplitMix64Source(11))
+        eng.walk(s2, SplitMix64Source(11), 1)
+        assert np.array_equal(s1.x, s2.x) and np.array_equal(s1.y, s2.y)
+
+    def test_deterministic_given_seed(self):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g)
+        s1 = eng.make_state(SplitMix64Source(5).words64(10))
+        s2 = eng.make_state(SplitMix64Source(5).words64(10))
+        eng.walk(s1, SplitMix64Source(6), 32)
+        eng.walk(s2, SplitMix64Source(6), 32)
+        assert np.array_equal(eng.outputs(s1), eng.outputs(s2))
+
+    def test_walkers_are_independent(self):
+        """Adding walkers must not change earlier walkers' trajectories
+        when each walker consumes its own chunk column (step-major draws).
+        """
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        starts = SplitMix64Source(7).words64(8)
+        s_all = eng.make_state(starts)
+        eng.walk(s_all, SplitMix64Source(9), 4)
+        # Walk a single-walker state drawing the same chunk schedule:
+        # chunks are drawn step-major for 8 walkers; walker 0 sees chunks
+        # 0, 8, 16, 24.
+        chunks = SplitMix64Source(9).chunks3(4 * 8).reshape(4, 8)
+        s_one = eng.make_state(starts[:1])
+        for i in range(4):
+            eng._apply_indices(s_one, np.where(chunks[i, :1] >= 7,
+                                               chunks[i, :1] - 7,
+                                               chunks[i, :1]))
+        assert s_one.x[0] == s_all.x[0] and s_one.y[0] == s_all.y[0]
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_small_m_stays_in_range(self, m, length):
+        g = GabberGalilExpander(m=m)
+        eng = WalkEngine(g)
+        state = eng.make_state(SplitMix64Source(1).words64(16))
+        eng.walk(state, SplitMix64Source(2), length)
+        assert int(state.x.max()) < m and int(state.y.max()) < m
+
+    def test_length_must_be_positive(self):
+        _, eng, state = make_state(4)
+        with pytest.raises(ValueError):
+            eng.walk(state, SplitMix64Source(1), 0)
+
+    def test_steps_counted(self):
+        _, eng, state = make_state(10)
+        eng.walk(state, SplitMix64Source(1), 6)
+        assert state.steps_taken == 60
+
+    def test_outputs_are_packed_vertices(self):
+        g, eng, state = make_state(12)
+        out = eng.outputs(state)
+        x, y = g.unpack(out)
+        assert np.array_equal(x.astype(np.uint32), state.x)
+        assert np.array_equal(y.astype(np.uint32), state.y)
+
+    def test_counter_feed_still_moves(self):
+        """Even a pathological feed advances positions (no stuck states)."""
+        g = GabberGalilExpander()
+        eng = WalkEngine(g)
+        state = eng.make_state(RawCounterSource(0).words64(16))
+        before = state.x.copy()
+        eng.walk(state, RawCounterSource(1), 8)
+        assert not np.array_equal(before, state.x)
