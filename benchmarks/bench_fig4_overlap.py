@@ -34,7 +34,15 @@ def test_fig4_overlap(benchmark):
         f"throughput             = {result.throughput_gnumbers_s:.4f} GNumbers/s"
         " (paper: 0.07)",
     ]
-    record("Figure 4", "\n".join(lines))
+    record("Figure 4", "\n".join(lines), data={
+        "feed_ns": feed,
+        "transfer_ns": transfer,
+        "generate_ns": gen,
+        "init_ns": init,
+        "cpu_idle_fraction": result.cpu_idle_fraction,
+        "gpu_idle_fraction": result.gpu_idle_fraction,
+        "throughput_gnumbers_s": result.throughput_gnumbers_s,
+    })
 
     assert result.cpu_idle_fraction < 0.08
     assert 0.10 < result.gpu_idle_fraction < 0.30

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import pathlib
+from typing import Optional
+
 from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.obs.export import write_json_record
 from repro.quality.stats import BatteryResult
 
 #: Walker lanes for quality-grade hybrid runs (bulk-generation friendly).
 QUALITY_THREADS = 1 << 16
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def quality_hybrid(seed: int = 1) -> HybridPRNG:
@@ -17,3 +23,35 @@ def quality_hybrid(seed: int = 1) -> HybridPRNG:
 def battery_row(result: BatteryResult) -> list:
     """One table row: generator, passed, KS D."""
     return [result.generator, result.pass_string, f"{result.ks_d:.4f}"]
+
+
+def safe_name(name: str) -> str:
+    """Filesystem-safe slug for a report/benchmark name."""
+    return (
+        name.lower().replace(" ", "_").replace("/", "-").replace(":", "")
+        .replace("(", "").replace(")", "")
+    )
+
+
+def emit_bench_record(
+    name: str,
+    fields: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+) -> pathlib.Path:
+    """Write ``benchmarks/results/BENCH_<name>.json`` via the obs exporter.
+
+    One JSON object per file, sharing the encoder (and therefore the
+    schema conventions) of :mod:`repro.obs.export`'s JSONL events, so
+    downstream tooling can consume run traces and benchmark records
+    uniformly.  ``fields`` are free-form metadata; ``metrics`` is a flat
+    name -> number dict.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"type": "bench", "name": name}
+    if fields:
+        record.update(fields)
+    if metrics:
+        record["metrics"] = dict(metrics)
+    return write_json_record(
+        RESULTS_DIR / f"BENCH_{safe_name(name)}.json", record
+    )

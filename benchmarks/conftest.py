@@ -3,26 +3,30 @@
 Reproduced tables/figures are registered with :func:`record` and echoed
 in the terminal summary (so they survive pytest's output capture) as
 well as written to ``benchmarks/results/<name>.txt`` for later diffing
-against the paper.
+against the paper.  Each registered report also emits a machine-readable
+``BENCH_<name>.json`` record (through :func:`common.emit_bench_record`,
+i.e. the :mod:`repro.obs.export` encoder) alongside the text, carrying
+any structured ``data`` the benchmark attached.
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
 
-_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from common import RESULTS_DIR, emit_bench_record, safe_name  # noqa: E402
+
 _REPORTS: list = []
 
 
-def record(name: str, text: str) -> None:
+def record(name: str, text: str, data: dict | None = None) -> None:
     """Register a reproduced table/figure for the summary and on disk."""
     _REPORTS.append((name, text))
-    _RESULTS_DIR.mkdir(exist_ok=True)
-    safe = (
-        name.lower().replace(" ", "_").replace("/", "-").replace(":", "")
-        .replace("(", "").replace(")", "")
-    )
-    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{safe_name(name)}.txt").write_text(text + "\n")
+    emit_bench_record(name, fields={"report": name}, metrics=data)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

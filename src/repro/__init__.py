@@ -20,7 +20,8 @@ Sub-packages:
 * :mod:`repro.gpusim`     -- discrete-event model of the CPU+GPU platform;
 * :mod:`repro.hybrid`     -- pipeline scheduling and throughput models;
 * :mod:`repro.quality`    -- DIEHARD and Crush statistical batteries;
-* :mod:`repro.apps`       -- list ranking and photon migration.
+* :mod:`repro.apps`       -- list ranking and photon migration;
+* :mod:`repro.obs`        -- metrics, stage tracing, and run reports.
 """
 
 from repro.core import (

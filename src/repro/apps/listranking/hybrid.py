@@ -22,6 +22,8 @@ from repro.apps.listranking.helman_jaja import helman_jaja_weighted_ranks
 from repro.apps.listranking.linkedlist import NIL, LinkedList
 from repro.apps.listranking.reduce import ReductionTrace, reduce_list
 from repro.core.parallel import ParallelExpanderPRNG
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = [
     "rank_list_hybrid",
@@ -40,6 +42,9 @@ class OnDemandBits:
 
     def __call__(self, k: int) -> np.ndarray:
         self.bits_produced += k
+        obs_metrics.counter(
+            "repro_listranking_bits_total", "On-demand bits drawn for Phase I"
+        ).inc(k)
         return self.prng.random_bits(k)
 
 
@@ -96,7 +101,8 @@ def rank_list_hybrid(
     num_splitters: int = 16,
 ) -> RankingResult:
     """Rank ``lst`` (distance to tail) with the three-phase algorithm."""
-    active, succ, pred, wsucc, trace = reduce_list(lst, bit_provider)
+    with span("listranking.reduce", n=lst.num_nodes):
+        active, succ, pred, wsucc, trace = reduce_list(lst, bit_provider)
 
     # The reduced chain's head: the surviving node with NIL predecessor.
     sub_pred = pred[active]
@@ -105,8 +111,13 @@ def rank_list_hybrid(
         raise RuntimeError("reduced list lost its head")
     head = int(heads[0])
 
-    ranks = helman_jaja_weighted_ranks(
-        active, succ, wsucc, head, num_splitters=num_splitters
-    )
-    _reinsert(ranks, trace)
+    with span("listranking.rank", reduced=int(active.size)):
+        ranks = helman_jaja_weighted_ranks(
+            active, succ, wsucc, head, num_splitters=num_splitters
+        )
+    with span("listranking.reinsert"):
+        _reinsert(ranks, trace)
+    obs_metrics.counter(
+        "repro_listranking_nodes_total", "List nodes ranked"
+    ).inc(lst.num_nodes)
     return RankingResult(ranks=ranks, trace=trace, reduced_size=active.size)

@@ -27,6 +27,8 @@ from repro.apps.photon.physics import (
     spin,
 )
 from repro.apps.photon.tally import Tally
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.checks import check_positive
 
 __all__ = ["MCPhotonMigration", "SimulationResult"]
@@ -72,10 +74,21 @@ class MCPhotonMigration:
         tally = Tally(num_layers=self.model.num_layers)
         iterations = 0
         remaining = n_photons
-        while remaining > 0:
-            batch = min(self.batch_size, remaining)
-            iterations += self._run_batch(batch, tally)
-            remaining -= batch
+        consumed_before = self.uniforms_consumed
+        with span("photon.run", photons=n_photons):
+            while remaining > 0:
+                batch = min(self.batch_size, remaining)
+                iterations += self._run_batch(batch, tally)
+                remaining -= batch
+        obs_metrics.counter(
+            "repro_photon_packets_total", "Photon packets launched"
+        ).inc(n_photons)
+        obs_metrics.counter(
+            "repro_photon_iterations_total", "Photon propagation iterations"
+        ).inc(iterations)
+        obs_metrics.counter(
+            "repro_photon_uniforms_total", "Uniforms drawn by the photon app"
+        ).inc(self.uniforms_consumed - consumed_before)
         return SimulationResult(
             tally=tally,
             iterations=iterations,

@@ -52,7 +52,8 @@ class HybridPRNG(PRNG):
         if source is not None:
             source.reseed(seed)
         else:
-            source = GlibcRandom(seed or 1)
+            # Seed 0 is handled inside GlibcRandom (glibc's srand(0) == srand(1)).
+            source = GlibcRandom(seed)
         self.generator = ParallelExpanderPRNG(
             bit_source=source, **self._ctor
         )

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bitsource.base import BitSource
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.checks import check_positive
 
 __all__ = ["BufferedFeed", "FeedStats"]
@@ -108,11 +110,18 @@ class BufferedFeed(BitSource):
     # ------------------------------------------------------------------
 
     def _make_batch(self) -> np.ndarray:
-        with self._source_lock:
-            batch = self.source.words64(self.batch_words)
+        with span("feed", words=self.batch_words):
+            with self._source_lock:
+                batch = self.source.words64(self.batch_words)
         with self.stats._lock:
             self.stats.words_produced += batch.size
             self.stats.refills += 1
+        obs_metrics.counter(
+            "repro_feed_refills_total", "Feed batches produced"
+        ).inc()
+        obs_metrics.counter(
+            "repro_feed_words_produced_total", "64-bit words produced by the feed"
+        ).inc(batch.size)
         return batch
 
     def _produce_loop(self) -> None:
@@ -155,6 +164,9 @@ class BufferedFeed(BitSource):
             except queue.Empty:
                 with self.stats._lock:
                     self.stats.stalls += 1
+                obs_metrics.counter(
+                    "repro_feed_stalls_total", "Consumer waits on an empty queue"
+                ).inc()
                 return self._queue.get()
         # Synchronous mode: every demand-refill is by definition a stall.
         try:
@@ -162,25 +174,38 @@ class BufferedFeed(BitSource):
         except queue.Empty:
             with self.stats._lock:
                 self.stats.stalls += 1
+            obs_metrics.counter(
+                "repro_feed_stalls_total", "Consumer waits on an empty queue"
+            ).inc()
             return self._make_batch()
 
     def words64(self, n: int) -> np.ndarray:
         if n < 0:
             raise ValueError(f"word count must be non-negative, got {n}")
-        out = np.empty(n, dtype=np.uint64)
-        pos = 0
-        while pos < n:
-            avail = self._current.size - self._pos
-            if avail == 0:
-                self._current = self._next_batch()
-                self._pos = 0
-                avail = self._current.size
-            take = min(avail, n - pos)
-            out[pos : pos + take] = self._current[self._pos : self._pos + take]
-            self._pos += take
-            pos += take
+        # The consumer-side copy out of the queue is the functional
+        # TRANSFER stage; demand refills (sync mode) nest a "feed" span
+        # inside it, which stage accounting subtracts as child time.
+        with span("transfer", words=n):
+            out = np.empty(n, dtype=np.uint64)
+            pos = 0
+            while pos < n:
+                avail = self._current.size - self._pos
+                if avail == 0:
+                    self._current = self._next_batch()
+                    self._pos = 0
+                    avail = self._current.size
+                take = min(avail, n - pos)
+                out[pos : pos + take] = self._current[self._pos : self._pos + take]
+                self._pos += take
+                pos += take
         with self.stats._lock:
             self.stats.words_consumed += n
+        obs_metrics.counter(
+            "repro_feed_words_consumed_total", "64-bit words drained by consumers"
+        ).inc(n)
+        obs_metrics.gauge(
+            "repro_feed_queue_depth", "Feed batches buffered ahead of the consumer"
+        ).set(self._queue.qsize())
         return out
 
     def reseed(self, seed: int) -> None:

@@ -2,22 +2,36 @@
 
 Commands
 --------
-``generate``   emit random numbers from the hybrid PRNG;
+``generate``   emit random numbers from the hybrid PRNG (optionally with
+               a span trace and a metrics dump);
 ``quality``    run a statistical battery against any registered generator;
 ``platform``   simulate a generation workload on the paper's CPU+GPU
                platform and print timing/utilization;
-``figures``    print the platform-model reproduction of a paper figure.
+``figures``    print the platform-model reproduction of a paper figure;
+``stats``      run the real hybrid pipeline under full observability and
+               print a structured run report (measured vs predicted
+               stage shares, feed counters, metrics).
+
+``generate`` and ``quality`` accept ``--trace <file.jsonl>`` (JSONL span
+and metric events) and ``--metrics`` (Prometheus-style text dump on
+stderr); both are off by default, in which case observability costs
+nothing.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 import numpy as np
 
+from repro import obs
 from repro.baselines import available_generators, make_generator
 from repro.baselines.hybrid_adapter import HybridPRNG
+from repro.bitsource.buffered import BufferedFeed
+from repro.bitsource.glibc import GlibcRandom
 from repro.gpusim.pipeline import PipelineConfig, simulate_pipeline
 from repro.hybrid.throughput import (
     cpu_hybrid_time_ns,
@@ -30,6 +44,9 @@ from repro.utils.tables import format_series
 
 __all__ = ["main", "build_parser"]
 
+#: Numbers formatted and written per flush in ``generate`` (streaming).
+GENERATE_CHUNK = 1 << 14
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -38,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(p):
+        p.add_argument(
+            "--trace", metavar="FILE.jsonl", default=None,
+            help="write spans and metrics as JSON lines to FILE",
+        )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="print a Prometheus-style metrics dump to stderr",
+        )
+
     gen = sub.add_parser("generate", help="emit random numbers")
     gen.add_argument("-n", type=int, default=10, help="how many numbers")
     gen.add_argument("--seed", type=int, default=1)
@@ -45,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["hex", "int", "float"], default="hex"
     )
     gen.add_argument("--threads", type=int, default=4096)
+    add_obs_flags(gen)
 
     qual = sub.add_parser("quality", help="run a statistical battery")
     qual.add_argument(
@@ -57,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qual.add_argument("--scale", type=float, default=0.5)
     qual.add_argument("--seed", type=int, default=1)
+    add_obs_flags(qual)
 
     plat = sub.add_parser("platform", help="simulate the hybrid platform")
     plat.add_argument("-n", type=int, default=100_000_000)
@@ -64,18 +93,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     figs = sub.add_parser("figures", help="print a paper figure (model)")
     figs.add_argument("which", choices=["fig3", "fig5", "fig6"])
+
+    stats = sub.add_parser(
+        "stats",
+        help="run the hybrid pipeline under observability; print a report",
+    )
+    stats.add_argument("-n", type=int, default=100_000)
+    stats.add_argument("--batch-size", type=int, default=None)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument(
+        "--async-feed", action="store_true",
+        help="produce feed batches on a real background thread",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    stats.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="additionally write the raw span/metric events to FILE",
+    )
     return parser
 
 
+@contextlib.contextmanager
+def _obs_session(args):
+    """Enable observability when ``--trace``/``--metrics`` asked for it.
+
+    Yields ``(registry, tracer)`` while enabled (``None`` otherwise); on
+    the way out writes the JSONL trace and/or the Prometheus dump, then
+    restores the no-op defaults.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        yield None
+        return
+    with obs.observed() as (registry, tracer):
+        try:
+            yield registry, tracer
+        finally:
+            if trace_path:
+                obs.export_jsonl(
+                    trace_path, registry, tracer,
+                    meta={"command": args.command},
+                )
+            if want_metrics:
+                sys.stderr.write(obs.prometheus_text(registry))
+
+
 def _cmd_generate(args) -> int:
-    gen = HybridPRNG(seed=args.seed, num_threads=args.threads)
-    if args.format == "float":
-        for v in gen.uniform53(args.n):
-            print(f"{v:.17f}")
-    else:
-        values = gen.u64_array(args.n)
-        for v in values:
-            print(f"{int(v):#018x}" if args.format == "hex" else int(v))
+    with _obs_session(args) as session:
+        if session is not None:
+            # Route the feed through a BufferedFeed so the trace covers
+            # all three pipeline stages (feed/transfer/generate).  The
+            # feed is value-transparent, so output is identical to the
+            # direct path for the same seed.
+            feed = BufferedFeed(GlibcRandom(args.seed), batch_words=1 << 15)
+            gen = HybridPRNG(
+                seed=args.seed, num_threads=args.threads, bit_source=feed
+            )
+        else:
+            gen = HybridPRNG(seed=args.seed, num_threads=args.threads)
+        # Stream in chunks: large -n must not buffer the whole run in
+        # memory, and output must flush as it goes.
+        out = sys.stdout
+        written = 0
+        while written < args.n:
+            k = min(GENERATE_CHUNK, args.n - written)
+            if args.format == "float":
+                lines = [f"{v:.17f}" for v in gen.uniform53(k)]
+            elif args.format == "hex":
+                lines = [f"{int(v):#018x}" for v in gen.u64_array(k)]
+            else:
+                lines = [str(int(v)) for v in gen.u64_array(k)]
+            out.write("\n".join(lines))
+            out.write("\n")
+            out.flush()
+            written += k
     return 0
 
 
@@ -88,22 +182,40 @@ def _cmd_quality(args) -> int:
     else:
         gen = make_generator(args.generator, seed=args.seed)
     progress = lambda name: print(f"  running {name} ...", file=sys.stderr)
-    if args.battery == "diehard":
-        result = run_diehard(gen, scale=args.scale, progress=progress)
-    elif args.battery == "nist":
-        from repro.quality.nist import run_nist
+    with _obs_session(args):
+        if args.battery == "diehard":
+            result = run_diehard(gen, scale=args.scale, progress=progress)
+        elif args.battery == "nist":
+            from repro.quality.nist import run_nist
 
-        result = run_nist(
-            gen, n_bits=max(150_000, int(1_000_000 * args.scale)),
-            progress=progress,
-        )
-    else:
-        battery = {"smallcrush": "SmallCrush", "crush": "Crush",
-                   "bigcrush": "BigCrush"}[args.battery]
-        result = run_battery(battery, gen, scale=args.scale,
-                             progress=progress)
+            result = run_nist(
+                gen, n_bits=max(150_000, int(1_000_000 * args.scale)),
+                progress=progress,
+            )
+        else:
+            battery = {"smallcrush": "SmallCrush", "crush": "Crush",
+                       "bigcrush": "BigCrush"}[args.battery]
+            result = run_battery(battery, gen, scale=args.scale,
+                                 progress=progress)
     print(result.summary_table())
     return 0 if result.num_passed == result.num_tests else 1
+
+
+def _cmd_stats(args) -> int:
+    from repro.hybrid.scheduler import HybridScheduler
+
+    with obs.observed() as (registry, tracer):
+        with HybridScheduler(
+            seed=args.seed, async_feed=args.async_feed
+        ) as sched:
+            _values, plan, prediction = sched.run(args.n, args.batch_size)
+            report = sched.report(plan=plan, prediction=prediction)
+        if args.trace:
+            obs.export_jsonl(
+                args.trace, registry, tracer, meta={"command": "stats"}
+            )
+    print(report.to_json(indent=2) if args.json else report.render())
+    return 0
 
 
 def _cmd_platform(args) -> int:
@@ -169,13 +281,25 @@ def _cmd_figures(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "quality":
-        return _cmd_quality(args)
-    if args.command == "platform":
-        return _cmd_platform(args)
-    return _cmd_figures(args)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "quality":
+            return _cmd_quality(args)
+        if args.command == "platform":
+            return _cmd_platform(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        return _cmd_figures(args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``| head``): normal termination.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

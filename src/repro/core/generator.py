@@ -66,7 +66,7 @@ class ExpanderWalkPRNG:
         check_positive("walk_length", walk_length)
         self.graph = graph if graph is not None else GabberGalilExpander()
         self.source = (
-            bit_source if bit_source is not None else GlibcRandom(seed or 1)
+            bit_source if bit_source is not None else GlibcRandom(seed)
         )
         self.walk_length = int(walk_length)
         self.engine = WalkEngine(self.graph, policy=policy)

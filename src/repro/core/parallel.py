@@ -23,6 +23,8 @@ from repro.bitsource.glibc import GlibcRandom
 from repro.core.expander import GabberGalilExpander
 from repro.core.generator import DEFAULT_WALK_LENGTH
 from repro.core.walk import WalkEngine, WalkState
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.bits import u01_from_u64
 from repro.utils.checks import check_positive
 
@@ -69,7 +71,7 @@ class ParallelExpanderPRNG:
         self.num_threads = int(num_threads)
         self.graph = graph if graph is not None else GabberGalilExpander()
         self.source = (
-            bit_source if bit_source is not None else GlibcRandom(seed or 1)
+            bit_source if bit_source is not None else GlibcRandom(seed)
         )
         self.walk_length = int(walk_length)
         self.engine = WalkEngine(self.graph, policy=policy)
@@ -83,9 +85,13 @@ class ParallelExpanderPRNG:
 
     def initialize(self) -> None:
         """Give every thread a feed-chosen start vertex and a 64-step mix."""
-        starts = self.source.words64(self.num_threads)
-        self._state = self.engine.make_state(starts)
-        self.engine.walk(self._state, self.source, self.walk_length)
+        obs_metrics.gauge(
+            "repro_prng_lanes", "Walker lanes in the parallel generator"
+        ).set(self.num_threads)
+        with span("generate", init=True, lanes=self.num_threads):
+            starts = self.source.words64(self.num_threads)
+            self._state = self.engine.make_state(starts)
+            self.engine.walk(self._state, self.source, self.walk_length)
         self.numbers_generated = 0
 
     # ------------------------------------------------------------------
@@ -94,9 +100,25 @@ class ParallelExpanderPRNG:
 
     def next_round(self) -> np.ndarray:
         """One ``GetNextRand`` per thread: ``num_threads`` fresh numbers."""
-        self.engine.walk(self._state, self.source, self.walk_length)
+        steps_before = self._state.steps_taken
+        chunks_before = self._state.chunks_consumed
+        with span("generate", lanes=self.num_threads):
+            self.engine.walk(self._state, self.source, self.walk_length)
+            out = self.engine.outputs(self._state)
         self.numbers_generated += self.num_threads
-        return self.engine.outputs(self._state)
+        obs_metrics.counter(
+            "repro_prng_numbers_total", "64-bit numbers emitted"
+        ).inc(self.num_threads)
+        obs_metrics.counter(
+            "repro_prng_rounds_total", "GetNextRand rounds executed"
+        ).inc()
+        obs_metrics.counter(
+            "repro_prng_steps_total", "Walker steps taken (all lanes)"
+        ).inc(self._state.steps_taken - steps_before)
+        obs_metrics.counter(
+            "repro_prng_feed_bits_total", "Feed bits consumed (3 per chunk)"
+        ).inc(3 * (self._state.chunks_consumed - chunks_before))
+        return out
 
     def generate(self, n: int, batch_size: Optional[int] = None) -> np.ndarray:
         """Generate ``n`` numbers.

@@ -22,6 +22,9 @@ from repro.core.parallel import ParallelExpanderPRNG
 from repro.gpusim.calibration import PipelineCosts
 from repro.gpusim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
 from repro.hybrid.throughput import optimal_batch_size
+from repro.obs import metrics as obs_metrics
+from repro.obs.report import RunReport
+from repro.obs.trace import span
 from repro.utils.checks import check_positive
 
 __all__ = ["GenerationPlan", "HybridScheduler"]
@@ -52,7 +55,9 @@ class HybridScheduler:
     Parameters
     ----------
     seed : int
-        Seed for the CPU feed.
+        Seed for the CPU feed, passed through to ``GlibcRandom``
+        unchanged (glibc itself defines ``srand(0)`` as ``srand(1)``,
+        and :class:`GlibcRandom` reproduces that bit-exactly).
     costs : PipelineCosts, optional
         Platform cost model used for planning/simulation.
     bit_source : BitSource, optional
@@ -74,7 +79,11 @@ class HybridScheduler:
     ):
         check_positive("max_threads", max_threads)
         self.costs = costs or PipelineCosts()
-        raw = bit_source if bit_source is not None else GlibcRandom(seed or 1)
+        # Pass the seed through untouched: the glibc semantics for seed 0
+        # (treated as 1) live inside GlibcRandom, not here.  The previous
+        # ``seed or 1`` silently remapped 0 a second time and would have
+        # masked any future source whose seed-0 stream is distinct.
+        raw = bit_source if bit_source is not None else GlibcRandom(seed)
         self.feed = BufferedFeed(
             raw, batch_words=1 << 15, prefetch=2, async_producer=async_feed
         )
@@ -89,20 +98,22 @@ class HybridScheduler:
              ) -> GenerationPlan:
         """Choose a batch size (model-optimal unless given) and lay out work."""
         check_positive("total_numbers", total_numbers)
-        s = batch_size or optimal_batch_size(total_numbers, costs=self.costs)
-        config = PipelineConfig(
-            total_numbers=total_numbers, batch_size=s, costs=self.costs
-        )
-        return GenerationPlan.from_config(config)
+        with span("plan", total_numbers=total_numbers):
+            s = batch_size or optimal_batch_size(total_numbers, costs=self.costs)
+            config = PipelineConfig(
+                total_numbers=total_numbers, batch_size=s, costs=self.costs
+            )
+            return GenerationPlan.from_config(config)
 
     def predict(self, plan: GenerationPlan) -> PipelineResult:
         """Simulated platform timing for ``plan`` (the paper's testbed)."""
-        config = PipelineConfig(
-            total_numbers=plan.total_numbers,
-            batch_size=plan.batch_size,
-            costs=self.costs,
-        )
-        return simulate_pipeline(config)
+        with span("predict", total_numbers=plan.total_numbers):
+            config = PipelineConfig(
+                total_numbers=plan.total_numbers,
+                batch_size=plan.batch_size,
+                costs=self.costs,
+            )
+            return simulate_pipeline(config)
 
     # ------------------------------------------------------------------
     # Execution
@@ -116,6 +127,9 @@ class HybridScheduler:
         cannot change the emitted stream's statistics.
         """
         lanes = min(plan.num_threads, self.max_threads)
+        obs_metrics.gauge(
+            "repro_scheduler_lanes", "Walker lanes used by the scheduler"
+        ).set(lanes)
         if self._prng is None or self._prng.num_threads != lanes:
             self._prng = ParallelExpanderPRNG(
                 num_threads=lanes, bit_source=self.feed
@@ -127,7 +141,39 @@ class HybridScheduler:
         plan = self.plan(total_numbers, batch_size)
         prediction = self.predict(plan)
         values = self.generate(plan)
+        obs_metrics.counter(
+            "repro_scheduler_runs_total", "Completed scheduler runs"
+        ).inc()
         return values, plan, prediction
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        plan: Optional[GenerationPlan] = None,
+        prediction: Optional[PipelineResult] = None,
+    ) -> RunReport:
+        """Structured run report: metrics + traced stages + feed stats.
+
+        With a ``prediction`` attached the report's ``stage_shares()``
+        compares the *measured* FEED/TRANSFER/GENERATE self-time shares
+        against the :mod:`repro.gpusim` busy-time shares for the same
+        plan -- the real-pipeline counterpart of Figure 4.
+        """
+        report = RunReport(meta={"component": "HybridScheduler"})
+        report.add_feed_stats(self.feed.stats)
+        if plan is not None:
+            report.add_section("plan", {
+                "total_numbers": plan.total_numbers,
+                "batch_size": plan.batch_size,
+                "num_threads": plan.num_threads,
+                "iterations": plan.iterations,
+            })
+        if prediction is not None:
+            report.add_prediction(prediction)
+        return report
 
     def close(self) -> None:
         """Stop the background feed thread, if any."""

@@ -1,0 +1,118 @@
+"""Lightweight, dependency-free observability for the hybrid pipeline.
+
+The paper's whole performance argument is about *where time goes* in the
+FEED -> TRANSFER -> GENERATE pipeline (Figures 3-5); this package makes
+the real (non-simulated) reproduction observable the same way:
+
+* :mod:`repro.obs.metrics` -- thread-safe counters, gauges and
+  fixed-bucket histograms behind a process-global registry;
+* :mod:`repro.obs.trace`   -- nestable ``span("feed")`` /
+  ``span("transfer")`` / ``span("generate")`` context managers recording
+  wall time per pipeline stage;
+* :mod:`repro.obs.export`  -- JSONL event logs and Prometheus-style text
+  exposition;
+* :mod:`repro.obs.report`  -- :class:`RunReport`, merging metrics, stage
+  breakdowns and :class:`~repro.bitsource.buffered.FeedStats` into one
+  structured dict (with predicted-vs-measured stage shares when a
+  :mod:`repro.gpusim` prediction is attached).
+
+Everything is **off by default and free when off**: the default registry
+and tracer are shared no-ops, so instrumented hot paths pay a method
+call at batch granularity and nothing more.  Turn collection on with
+:func:`observed`::
+
+    from repro import obs
+
+    with obs.observed() as (registry, tracer):
+        values, plan, prediction = scheduler.run(10**6)
+    print(obs.RunReport(registry, tracer).render())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.obs.export import export_jsonl, prometheus_text, write_json_record
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_registry,
+    histogram,
+    metrics_enabled,
+    set_registry,
+)
+from repro.obs.report import RunReport
+from repro.obs.trace import (
+    NullTracer,
+    SpanRecord,
+    StageTotal,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "RunReport",
+    "SpanRecord",
+    "StageTotal",
+    "Tracer",
+    "counter",
+    "disable",
+    "disable_tracing",
+    "enable",
+    "enable_tracing",
+    "export_jsonl",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "metrics_enabled",
+    "observed",
+    "prometheus_text",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "write_json_record",
+]
+
+
+@contextmanager
+def observed(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+):
+    """Enable metrics and tracing for a block; restore previous state after.
+
+    Yields ``(registry, tracer)`` so the caller can export or build a
+    :class:`RunReport` from exactly what the block recorded.
+    """
+    prev_registry = get_registry()
+    prev_tracer = get_tracer()
+    registry = registry or MetricsRegistry()
+    tracer = tracer or Tracer()
+    set_registry(registry)
+    set_tracer(tracer)
+    try:
+        yield registry, tracer
+    finally:
+        set_registry(prev_registry if prev_registry.enabled else None)
+        set_tracer(prev_tracer if prev_tracer.enabled else None)

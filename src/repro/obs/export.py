@@ -1,0 +1,130 @@
+"""Exporters: JSONL event logs and Prometheus-style text exposition.
+
+Two wire formats, both dependency-free:
+
+* :func:`export_jsonl` writes one JSON object per line -- a ``meta``
+  header, every recorded span, and the final value of every metric.
+  The same encoder backs the benchmark harness's ``BENCH_*.json``
+  records (:func:`write_json_record`), so run traces and benchmark
+  results share a schema.
+* :func:`prometheus_text` renders a registry in the Prometheus text
+  exposition format (``# TYPE`` comments, cumulative ``le`` buckets,
+  ``_sum``/``_count`` series), ready for a scrape endpoint or a textfile
+  collector.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import IO, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "export_jsonl",
+    "prometheus_text",
+    "write_json_record",
+]
+
+
+def _json_default(obj):
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return str(obj)
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, default=_json_default, sort_keys=False)
+
+
+def write_json_record(path: Union[str, pathlib.Path], record: dict) -> pathlib.Path:
+    """Write one JSON record to ``path`` (the ``BENCH_*.json`` format)."""
+    path = pathlib.Path(path)
+    path.write_text(_dumps(record) + "\n")
+    return path
+
+
+def _metric_records(registry: MetricsRegistry):
+    for name, metric in registry.collect().items():
+        if isinstance(metric, Counter):
+            yield {"type": "counter", "name": name, "value": metric.value}
+        elif isinstance(metric, Gauge):
+            yield {"type": "gauge", "name": name, "value": metric.value}
+        elif isinstance(metric, Histogram):
+            yield {
+                "type": "histogram",
+                "name": name,
+                "count": metric.count,
+                "sum": metric.sum,
+                "buckets": [
+                    ["+Inf" if math.isinf(b) else b, c]
+                    for b, c in metric.cumulative()
+                ],
+            }
+
+
+def export_jsonl(
+    target: Union[str, pathlib.Path, IO[str]],
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    meta: Optional[dict] = None,
+) -> int:
+    """Write spans and metrics as JSON lines; returns the line count.
+
+    ``target`` may be a path or an open text stream.  Spans come out in
+    completion order (children before parents), each tagged with ``id``
+    and ``parent_id`` so the tree is reconstructible.
+    """
+    lines = []
+    header = {"type": "meta", "format": "repro-obs-v1"}
+    if meta:
+        header.update(meta)
+    lines.append(_dumps(header))
+    if tracer is not None:
+        for rec in tracer.spans:
+            lines.append(_dumps(rec.to_dict()))
+    if registry is not None:
+        for rec in _metric_records(registry):
+            lines.append(_dumps(rec))
+    text = "\n".join(lines) + "\n"
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        pathlib.Path(target).write_text(text)
+    return len(lines)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    out = []
+    for name, metric in registry.collect().items():
+        if metric.help:
+            out.append(f"# HELP {name} {metric.help}")
+        if isinstance(metric, Counter):
+            out.append(f"# TYPE {name} counter")
+            out.append(f"{name} {metric.value}")
+        elif isinstance(metric, Gauge):
+            out.append(f"# TYPE {name} gauge")
+            out.append(f"{name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            out.append(f"# TYPE {name} histogram")
+            for bound, cum in metric.cumulative():
+                le = "+Inf" if math.isinf(bound) else _format_value(float(bound))
+                out.append(f'{name}_bucket{{le="{le}"}} {cum}')
+            out.append(f"{name}_sum {_format_value(metric.sum)}")
+            out.append(f"{name}_count {metric.count}")
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,315 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+The hybrid pipeline is a producer/consumer system (FEED thread, walker
+lanes, battery drivers), so every instrument here is safe to update from
+any thread.  A process-global default registry is provided; it starts as
+a :class:`NullRegistry` whose instruments are shared no-ops, which makes
+instrumentation free when observability is off -- callers write
+
+    from repro.obs import metrics
+    metrics.counter("repro_feed_refills_total").inc()
+
+unconditionally, and pay a dict lookup only once metrics are enabled via
+:func:`enable` (or :func:`repro.obs.observed`).
+
+Design follows the Prometheus client-library data model (counter, gauge,
+histogram with cumulative ``le`` buckets) so the text exposition in
+:mod:`repro.obs.export` is directly scrape-compatible, but there is no
+dependency on any client library.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "metrics_enabled",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, wide range).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, items, bytes)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter can only increase, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Instantaneous value (queue depth, lanes, pending words)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative counts (Prometheus style).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest.  Observations also accumulate ``sum`` and ``count`` so mean
+    values survive the bucketing.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None,
+                 help: str = ""):
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        i = 0
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                break
+        else:
+            i = len(self.buckets)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative(self) -> list:
+        """[(upper_bound, cumulative_count), ...] ending with +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out, running = [], 0
+        for bound, c in zip(self.buckets, counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + counts[-1]))
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    buckets: Tuple[float, ...] = ()
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount=1):
+        pass
+
+    def dec(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def cumulative(self):
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of named instruments."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name, help))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name, help))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  help: str = "") -> Histogram:
+        metric = self._get_or_create(name, lambda: Histogram(name, buckets, help))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def collect(self) -> Dict[str, object]:
+        """Name -> instrument, sorted by name (stable for exporters)."""
+        with self._lock:
+            return dict(sorted(self._metrics.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict state of every instrument (JSON-friendly)."""
+        out: Dict[str, object] = {}
+        for name, metric in self.collect().items():
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = metric.value
+            else:
+                out[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": [
+                        ["+Inf" if math.isinf(b) else b, c]
+                        for b, c in metric.cumulative()
+                    ],
+                }
+        return out
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry whose instruments are shared no-ops (zero-cost disabled mode).
+
+    ``counter``/``gauge``/``histogram`` skip the dict entirely and return
+    one shared immutable instrument, so instrumented hot paths cost a
+    method call and nothing more when observability is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, buckets=None, help="") -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+_NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry (a no-op unless enabled)."""
+    return _registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the default; ``None`` restores the no-op."""
+    global _registry
+    _registry = registry if registry is not None else _NULL_REGISTRY
+    return _registry
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Turn metrics on; returns the now-active registry."""
+    return set_registry(registry or MetricsRegistry())
+
+
+def disable() -> None:
+    """Turn metrics off (restore the shared no-op registry)."""
+    set_registry(None)
+
+
+def metrics_enabled() -> bool:
+    return _registry.enabled
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return _registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return _registry.gauge(name, help)
+
+
+def histogram(name: str, buckets: Optional[Sequence[float]] = None,
+              help: str = "") -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return _registry.histogram(name, buckets, help)

@@ -1,0 +1,180 @@
+"""Structured run reports: metrics + spans + feed stats in one dict.
+
+:class:`RunReport` is the aggregation point the CLI's ``repro stats``
+prints and tests assert against.  It merges
+
+* the metrics registry snapshot,
+* the tracer's per-stage wall-time breakdown (total and self time),
+* a :class:`~repro.bitsource.buffered.FeedStats` snapshot, and
+* optionally a :mod:`repro.gpusim` pipeline prediction for the same
+  plan, enabling a predicted-vs-measured comparison of the paper's
+  FEED/TRANSFER/GENERATE work-unit shares (Figure 4).
+
+The prediction is accepted by duck type (anything with ``total_ns`` and
+a ``timeline`` exposing ``busy_time(device)``), so this module has no
+dependency on the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.export import _dumps
+
+__all__ = ["RunReport", "STAGE_DEVICES"]
+
+#: Trace stage name -> simulated device carrying that work unit.
+STAGE_DEVICES = {"feed": "CPU", "transfer": "PCIe", "generate": "GPU"}
+
+
+class RunReport:
+    """Aggregates one run's observability data into a structured report."""
+
+    def __init__(self, registry=None, tracer=None, meta: Optional[dict] = None):
+        self.registry = registry if registry is not None else _metrics.get_registry()
+        self.tracer = tracer if tracer is not None else _trace.get_tracer()
+        self.meta = dict(meta or {})
+        self.feed: Optional[dict] = None
+        self.prediction: Optional[dict] = None
+        self.sections: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def add_feed_stats(self, stats) -> None:
+        """Attach a FeedStats (or plain dict) snapshot."""
+        self.feed = stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
+
+    def add_prediction(self, result) -> None:
+        """Attach a simulated pipeline result for the same plan."""
+        timeline = result.timeline
+        self.prediction = {
+            "total_ns": float(result.total_ns),
+            "stage_busy_ns": {
+                stage: float(timeline.busy_time(device))
+                for stage, device in STAGE_DEVICES.items()
+            },
+        }
+
+    def add_section(self, name: str, data: dict) -> None:
+        """Attach an arbitrary named sub-dict (plan, app stats, ...)."""
+        self.sections[name] = dict(data)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def stage_breakdown(self) -> Dict[str, dict]:
+        """Measured per-stage wall time from the recorded spans."""
+        totals = self.tracer.stage_totals()
+        return {
+            name: {
+                "count": agg.count,
+                "total_s": agg.total_s,
+                "self_s": agg.self_s,
+            }
+            for name, agg in sorted(totals.items())
+        }
+
+    def stage_shares(self) -> Dict[str, dict]:
+        """Measured vs predicted share of each pipeline stage's work.
+
+        Shares are normalized over the stages present in *both* the trace
+        and the prediction (or all traced pipeline stages if there is no
+        prediction), so the two columns are directly comparable even
+        though one is NumPy wall time and the other simulated GPU time.
+        """
+        measured_raw = {
+            name: agg.self_ns
+            for name, agg in self.tracer.stage_totals().items()
+            if name in STAGE_DEVICES
+        }
+        predicted_raw = (
+            dict(self.prediction["stage_busy_ns"]) if self.prediction else {}
+        )
+        stages = sorted(
+            set(measured_raw) & set(predicted_raw)
+            if predicted_raw else set(measured_raw)
+        )
+        m_total = sum(measured_raw.get(s, 0) for s in stages) or 1
+        p_total = sum(predicted_raw.get(s, 0) for s in stages) or 1
+        out = {}
+        for stage in stages:
+            entry = {"measured": measured_raw.get(stage, 0) / m_total}
+            if predicted_raw:
+                entry["predicted"] = predicted_raw.get(stage, 0) / p_total
+            out[stage] = entry
+        return out
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = {
+            "meta": self.meta,
+            "metrics": self.registry.snapshot(),
+            "stages": self.stage_breakdown(),
+            "stage_shares": self.stage_shares(),
+            "spans": len(self.tracer.spans),
+        }
+        if self.feed is not None:
+            out["feed"] = self.feed
+        if self.prediction is not None:
+            out["prediction"] = self.prediction
+        if self.sections:
+            out.update(self.sections)
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        if indent is None:
+            return _dumps(self.to_dict())
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render(self) -> str:
+        """Human-readable report (stage table + feed + key metrics)."""
+        from repro.utils.tables import format_table
+
+        parts = []
+        shares = self.stage_shares()
+        breakdown = self.stage_breakdown()
+        if breakdown:
+            rows = []
+            for name, entry in breakdown.items():
+                share = shares.get(name, {})
+                rows.append([
+                    name,
+                    str(entry["count"]),
+                    f"{entry['total_s'] * 1e3:.2f}",
+                    f"{entry['self_s'] * 1e3:.2f}",
+                    f"{share['measured']:.1%}" if "measured" in share else "-",
+                    f"{share['predicted']:.1%}" if "predicted" in share else "-",
+                ])
+            parts.append(format_table(
+                ["stage", "spans", "total ms", "self ms",
+                 "measured share", "predicted share"],
+                rows,
+                title="pipeline stages",
+            ))
+        if self.feed:
+            rows = [[k, str(v)] for k, v in self.feed.items()]
+            parts.append(format_table(["feed counter", "value"], rows,
+                                      title="buffered feed"))
+        metric_rows = []
+        for name, value in self.registry.snapshot().items():
+            if isinstance(value, dict):
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                shown = f"count={value['count']} mean={mean:.4g}"
+            else:
+                shown = str(value)
+            metric_rows.append([name, shown])
+        if metric_rows:
+            parts.append(format_table(["metric", "value"], metric_rows,
+                                      title="metrics"))
+        if not parts:
+            return "(no observability data recorded)"
+        return "\n\n".join(parts)

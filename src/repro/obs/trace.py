@@ -1,0 +1,222 @@
+"""Span-based stage tracing for the FEED -> TRANSFER -> GENERATE pipeline.
+
+A *span* is a named wall-clock interval; spans nest per thread, so a
+``generate`` span that internally draws from a :class:`BufferedFeed`
+contains ``transfer`` and ``feed`` child spans.  From the recorded tree
+the tracer derives two numbers per stage name:
+
+* **total** time -- sum of span durations (children included);
+* **self** time -- total minus time spent in child spans, i.e. the time
+  genuinely attributable to that stage.
+
+Self times are what correspond to the paper's Figure 4 work-unit costs:
+for a real :meth:`repro.hybrid.scheduler.HybridScheduler.run` they give
+the same FEED/TRANSFER/GENERATE breakdown the :mod:`repro.gpusim`
+timeline predicts, and the two can be compared stage by stage.
+
+Like the metrics registry, the process-global tracer defaults to a
+:class:`NullTracer` whose :meth:`~NullTracer.span` returns one shared
+no-op context manager, so ``with span("generate"):`` costs almost
+nothing until tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "StageTotal",
+    "Tracer",
+    "NullTracer",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+    span_id: int
+    parent_id: Optional[int]
+    thread: str
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict:
+        out = {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+@dataclass
+class StageTotal:
+    """Aggregated wall time for one span name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.total_ns / 1e9
+
+    @property
+    def self_s(self) -> float:
+        return self.self_ns / 1e9
+
+
+class Tracer:
+    """Collects spans from any thread; nesting is tracked per thread."""
+
+    enabled = True
+
+    def __init__(self):
+        self._spans: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Record a named wall-clock interval; nestable and thread-safe."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span_id = next(self._ids)
+        parent_id = stack[-1] if stack else None
+        stack.append(span_id)
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            end = time.perf_counter_ns()
+            stack.pop()
+            record = SpanRecord(
+                name=name,
+                start_ns=start,
+                end_ns=end,
+                span_id=span_id,
+                parent_id=parent_id,
+                thread=threading.current_thread().name,
+                attrs=attrs,
+            )
+            with self._lock:
+                self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def stage_totals(self) -> Dict[str, StageTotal]:
+        """Per-name totals with self time (child durations subtracted)."""
+        spans = self.spans
+        child_ns: Dict[int, int] = {}
+        for rec in spans:
+            if rec.parent_id is not None:
+                child_ns[rec.parent_id] = (
+                    child_ns.get(rec.parent_id, 0) + rec.duration_ns
+                )
+        totals: Dict[str, StageTotal] = {}
+        for rec in spans:
+            agg = totals.get(rec.name)
+            if agg is None:
+                agg = totals[rec.name] = StageTotal(rec.name)
+            agg.count += 1
+            agg.total_ns += rec.duration_ns
+            agg.self_ns += max(rec.duration_ns - child_ns.get(rec.span_id, 0), 0)
+        return totals
+
+
+_NULL_CM = nullcontext()
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing (zero-cost disabled mode)."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def span(self, name: str, **attrs):  # type: ignore[override]
+        return _NULL_CM
+
+
+_NULL_TRACER = NullTracer()
+_tracer: Tracer = _NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (a no-op unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as the default; ``None`` restores the no-op."""
+    global _tracer
+    _tracer = tracer if tracer is not None else _NULL_TRACER
+    return _tracer
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Turn span recording on; returns the now-active tracer."""
+    return set_tracer(tracer or Tracer())
+
+
+def disable_tracing() -> None:
+    """Turn span recording off (restore the shared no-op tracer)."""
+    set_tracer(None)
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled
+
+
+def span(name: str, **attrs):
+    """Open a span on the default tracer (no-op while tracing is off)."""
+    return _tracer.span(name, **attrs)

@@ -16,6 +16,7 @@ heavier runs.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Tuple
 
 from repro.baselines.base import PRNG
@@ -39,7 +40,8 @@ from repro.quality.diehard.operm5 import operm5_test
 from repro.quality.diehard.ranks import binary_rank_test
 from repro.quality.diehard.squeeze import squeeze_test
 from repro.quality.diehard.sums_runs_craps import runs_test
-from repro.quality.stats import BatteryResult
+from repro.obs.trace import span
+from repro.quality.stats import BatteryResult, record_test_observation
 
 __all__ = ["run_smallcrush", "run_crush", "run_bigcrush", "run_battery",
            "BATTERY_NAMES"]
@@ -169,7 +171,11 @@ def run_battery(
     for test_name, fn in _BATTERIES[name]():
         if progress is not None:
             progress(test_name)
-        battery.add(fn(gen, scale))
+        start = time.perf_counter()
+        with span("quality.test", battery=name, test=test_name):
+            result = fn(gen, scale)
+        record_test_observation(name, result, time.perf_counter() - start)
+        battery.add(result)
     return battery
 
 

@@ -21,6 +21,7 @@ sizes for heavier runs.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional
 
 from repro.baselines.base import PRNG
@@ -36,7 +37,8 @@ from repro.quality.diehard.sums_runs_craps import (
     overlapping_sums,
     runs_test,
 )
-from repro.quality.stats import BatteryResult
+from repro.obs.trace import span
+from repro.quality.stats import BatteryResult, record_test_observation
 
 __all__ = ["run_diehard", "DIEHARD_TEST_NAMES"]
 
@@ -86,14 +88,23 @@ def run_diehard(
     def run(name: str, fn: Callable) -> None:
         if progress is not None:
             progress(name)
-        battery.add(fn())
+        start = time.perf_counter()
+        with span("quality.test", battery="DIEHARD", test=name):
+            result = fn()
+        record_test_observation("DIEHARD", result, time.perf_counter() - start)
+        battery.add(result)
 
     run("birthday spacings", lambda: birthday_spacings(gen, n_samples=s(250)))
     run("operm5", lambda: operm5_test(gen, n_groups=s(120_000)))
 
     if progress is not None:
         progress("binary ranks")
-    big, small = rank_test_group(gen, n_matrices=s(2000))
+    start = time.perf_counter()
+    with span("quality.test", battery="DIEHARD", test="binary ranks"):
+        big, small = rank_test_group(gen, n_matrices=s(2000))
+    record_test_observation(
+        "DIEHARD", [big, small], time.perf_counter() - start
+    )
     battery.add(big)
     battery.add(small)
 

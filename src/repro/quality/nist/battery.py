@@ -8,6 +8,7 @@ the generator, as the SP800-22 methodology prescribes.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 import numpy as np
@@ -34,7 +35,8 @@ from repro.quality.nist.spectral_templates import (
     non_overlapping_template_test,
     overlapping_template_test,
 )
-from repro.quality.stats import BatteryResult
+from repro.obs.trace import span
+from repro.quality.stats import BatteryResult, record_test_observation
 
 __all__ = ["run_nist", "NIST_TEST_NAMES", "DEFAULT_STREAM_BITS"]
 
@@ -96,5 +98,11 @@ def run_nist(
     for name, fn in tests:
         if progress is not None:
             progress(name)
-        battery.add(fn())
+        start = time.perf_counter()
+        with span("quality.test", battery="NIST SP800-22", test=name):
+            result = fn()
+        record_test_observation(
+            "NIST SP800-22", result, time.perf_counter() - start
+        )
+        battery.add(result)
     return battery

@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 import scipy.stats as sps
 
+from repro.obs import metrics as obs_metrics
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "ks_uniform",
     "fisher_combine",
     "binary_matrix_rank_probs",
+    "record_test_observation",
     "PASS_LO",
     "PASS_HI",
 ]
@@ -104,6 +106,47 @@ class BatteryResult:
         ]
         title = f"{self.battery} -- {self.generator}: {self.pass_string} passed, KS D = {self.ks_d:.4f}"
         return format_table(["test", "p-value", "verdict", "detail"], rows, title)
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+#: Duration buckets sized for battery tests (tens of ms to minutes).
+_TEST_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+#: p-value buckets aligned to the paper's 0.01 < p < 0.99 pass band.
+_P_VALUE_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def record_test_observation(battery: str, results, duration_s: float) -> None:
+    """Feed one battery entry's outcome into the default metrics registry.
+
+    ``results`` is a :class:`TestResult` or a sequence of them (grouped
+    entries like the two matrix-rank sizes share one timed run).  The
+    duration lands once in ``repro_quality_test_seconds``; every p-value
+    lands in ``repro_quality_p_values`` whose buckets mirror the paper's
+    pass band, so the p-value *distribution* -- the thing the battery's
+    final KS test checks -- is visible from the metrics dump alone.
+    """
+    if isinstance(results, TestResult):
+        results = [results]
+    obs_metrics.histogram(
+        "repro_quality_test_seconds", _TEST_SECONDS_BUCKETS,
+        "Wall time per battery test entry",
+    ).observe(duration_s)
+    for result in results:
+        obs_metrics.histogram(
+            "repro_quality_p_values", _P_VALUE_BUCKETS,
+            "Per-test p-values (pass band 0.01..0.99)",
+        ).observe(result.p_value)
+        obs_metrics.counter(
+            "repro_quality_tests_total", "Battery tests executed"
+        ).inc()
+        if not result.passed:
+            obs_metrics.counter(
+                "repro_quality_failures_total", "Battery tests outside the pass band"
+            ).inc()
 
 
 # ----------------------------------------------------------------------

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.bitsource.buffered import BufferedFeed
 from repro.bitsource.counter import SplitMix64Source
 
@@ -59,12 +60,62 @@ class TestAsyncProducer:
         feed.close()
         feed.close()
 
+    def test_async_stats_consistent_after_concurrent_drain(self):
+        feed = BufferedFeed(
+            SplitMix64Source(7), batch_words=128, prefetch=4,
+            async_producer=True,
+        )
+        try:
+            drained = 0
+            # Uneven request sizes so draws straddle batch boundaries
+            # while the producer thread keeps refilling concurrently.
+            for size in (7, 333, 64, 500, 96, 1000):
+                drained += feed.words64(size).size
+        finally:
+            feed.close()
+            feed.close()  # idempotent even right after a drain
+        snap = feed.stats.snapshot()
+        assert snap["words_consumed"] == drained
+        # Production happens in whole batches and can only run ahead.
+        assert snap["words_produced"] == snap["refills"] * 128
+        assert snap["words_produced"] >= snap["words_consumed"]
+        # A stall is an empty-queue wait; each waits for one refill.
+        assert snap["stalls"] <= snap["refills"]
+
+    def test_async_stats_stable_after_close(self):
+        with BufferedFeed(
+            SplitMix64Source(9), batch_words=64, prefetch=2,
+            async_producer=True,
+        ) as feed:
+            feed.words64(200)
+        first = feed.stats.snapshot()
+        feed.close()
+        assert feed.stats.snapshot() == first
+
     def test_reseed_async_rejected(self):
         with BufferedFeed(
             SplitMix64Source(5), batch_words=64, async_producer=True
         ) as feed:
             with pytest.raises(RuntimeError, match="async"):
                 feed.reseed(1)
+
+
+class TestObservability:
+    def test_metrics_agree_with_feed_stats(self):
+        with obs.observed() as (registry, tracer):
+            feed = BufferedFeed(SplitMix64Source(1), batch_words=100)
+            feed.words64(250)
+        snap = feed.stats.snapshot()
+        assert registry.counter("repro_feed_refills_total").value == \
+            snap["refills"]
+        assert registry.counter("repro_feed_words_produced_total").value == \
+            snap["words_produced"]
+        assert registry.counter("repro_feed_words_consumed_total").value == \
+            snap["words_consumed"]
+        assert registry.counter("repro_feed_stalls_total").value == \
+            snap["stalls"]
+        names = {rec.name for rec in tracer.spans}
+        assert {"feed", "transfer"} <= names
 
 
 class TestReseed:

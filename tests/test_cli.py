@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -42,6 +45,77 @@ class TestGenerate:
         first = capsys.readouterr().out
         main(["generate", "-n", "2", "--seed", "9", "--threads", "64"])
         assert capsys.readouterr().out == first
+
+    def test_large_n_streams_every_line(self, capsys):
+        assert main(["generate", "-n", "100000", "--format", "int"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 100_000
+        assert all(0 <= int(line) < 2**64 for line in (lines[0], lines[-1]))
+
+
+class TestGenerateObservability:
+    def test_trace_and_metrics_cover_pipeline_stages(self, capsys, tmp_path):
+        """Acceptance: ``generate -n 100000 --trace out.jsonl --metrics``
+        emits JSONL spans covering feed/transfer/generate plus a
+        Prometheus-style metrics dump."""
+        out = tmp_path / "out.jsonl"
+        rc = main(["generate", "-n", "100000", "--trace", str(out),
+                   "--metrics"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 100_000
+
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[0]["format"] == "repro-obs-v1"
+        assert records[0]["command"] == "generate"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"feed", "transfer", "generate"} <= span_names
+        counters = {
+            r["name"]: r["value"] for r in records if r["type"] == "counter"
+        }
+        assert counters["repro_prng_numbers_total"] >= 100_000
+        assert counters["repro_feed_refills_total"] >= 1
+
+        prom = captured.err
+        assert "# TYPE repro_prng_numbers_total counter" in prom
+        assert "# TYPE repro_feed_queue_depth gauge" in prom
+
+    def test_traced_output_identical_to_plain(self, capsys, tmp_path):
+        main(["generate", "-n", "50", "--seed", "7", "--threads", "64"])
+        plain = capsys.readouterr().out
+        main(["generate", "-n", "50", "--seed", "7", "--threads", "64",
+              "--trace", str(tmp_path / "t.jsonl")])
+        assert capsys.readouterr().out == plain
+
+    def test_observability_off_after_run(self, tmp_path):
+        main(["generate", "-n", "5", "--threads", "64",
+              "--trace", str(tmp_path / "t.jsonl")])
+        assert not obs.metrics_enabled()
+        assert not obs.tracing_enabled()
+
+
+class TestStats:
+    def test_prints_stage_report(self, capsys):
+        assert main(["stats", "-n", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline stages" in out
+        assert "feed" in out and "generate" in out
+        assert "buffered feed" in out
+
+    def test_json_report(self, capsys):
+        assert main(["stats", "-n", "20000", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["plan"]["total_numbers"] == 20_000
+        assert {"feed", "transfer", "generate"} <= set(report["stages"])
+        assert report["feed"]["words_consumed"] > 0
+        assert report["prediction"]["total_ns"] > 0
+
+    def test_trace_file_written(self, capsys, tmp_path):
+        out = tmp_path / "stats.jsonl"
+        assert main(["stats", "-n", "20000", "--trace", str(out)]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[0]["command"] == "stats"
+        assert any(r.get("name") == "plan" for r in records)
 
 
 class TestPlatform:

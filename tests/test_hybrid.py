@@ -113,3 +113,29 @@ class TestScheduler:
         plan = GenerationPlan.from_config(cfg)
         assert plan.num_threads == 100
         assert plan.iterations == 10
+
+
+class TestSchedulerSeedZero:
+    """Regression: seed 0 must reach GlibcRandom untouched.
+
+    The scheduler used to remap ``seed=0`` to 1 itself (``seed or 1``),
+    duplicating -- and thereby hiding -- the glibc rule that
+    ``srand(0)`` behaves as ``srand(1)``.  That rule belongs to
+    :class:`GlibcRandom` alone; a future bit source whose seed-0 stream
+    differs from seed 1 must see the 0.
+    """
+
+    def test_seed_zero_passed_through_to_feed(self):
+        with HybridScheduler(seed=0, max_threads=256) as sched:
+            assert sched.feed.source._seed == 0
+            vals, _plan, _pred = sched.run(500, batch_size=50)
+            assert vals.size == 500
+
+    def test_seed_zero_stream_matches_glibc_semantics(self):
+        # glibc defines srand(0) == srand(1); with the default feed the
+        # two schedulers must emit bit-identical streams.
+        with HybridScheduler(seed=0, max_threads=256) as s0:
+            v0, _, _ = s0.run(500, batch_size=50)
+        with HybridScheduler(seed=1, max_threads=256) as s1:
+            v1, _, _ = s1.run(500, batch_size=50)
+        assert np.array_equal(v0, v1)

@@ -1,0 +1,182 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("events_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("events_total").inc(-1)
+
+    def test_thread_safe(self):
+        c = Counter("events_total")
+
+        def worker():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("queue_depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self):
+        h = Histogram("latency", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.9, 3.0, 7.0, 100.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.4)
+        cum = dict(h.cumulative())
+        assert cum[1.0] == 2
+        assert cum[5.0] == 3
+        assert cum[10.0] == 4
+        assert cum[math.inf] == 5
+
+    def test_boundary_value_falls_in_bucket(self):
+        # Prometheus buckets are upper-inclusive (le = "less or equal").
+        h = Histogram("latency", buckets=(1.0,))
+        h.observe(1.0)
+        assert dict(h.cumulative())[1.0] == 1
+
+    def test_nan_ignored(self):
+        h = Histogram("latency", buckets=(1.0,))
+        h.observe(float("nan"))
+        assert h.count == 0
+
+    def test_empty_buckets_fall_back_to_defaults(self):
+        h = Histogram("latency", buckets=())
+        assert h.buckets == metrics.DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(TypeError):
+            reg.gauge("a_total")
+        with pytest.raises(TypeError):
+            reg.histogram("a_total")
+
+    def test_snapshot_is_json_friendly(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c_total"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"][-1][0] == "+Inf"
+
+    def test_collect_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.counter("a_total")
+        assert list(reg.collect()) == ["a_total", "z_total"]
+
+
+class TestNullRegistry:
+    def test_shares_one_noop_instrument(self):
+        reg = NullRegistry()
+        c = reg.counter("anything")
+        assert c is reg.gauge("other") is reg.histogram("third")
+        c.inc()
+        c.set(5)
+        c.observe(1.0)
+        assert c.value == 0
+        assert not reg.enabled
+
+    def test_default_registry_is_noop(self):
+        reg = metrics.get_registry()
+        assert not reg.enabled
+        assert not metrics.metrics_enabled()
+        # Module-level helpers route to the no-op without registering.
+        metrics.counter("repro_test_total").inc()
+        assert "repro_test_total" not in reg.collect()
+
+
+class TestEnableDisable:
+    def test_enable_then_disable_restores_noop(self):
+        reg = metrics.enable()
+        try:
+            assert metrics.metrics_enabled()
+            metrics.counter("repro_test_total").inc(2)
+            assert reg.counter("repro_test_total").value == 2
+        finally:
+            metrics.disable()
+        assert not metrics.metrics_enabled()
+
+    def test_observed_context_restores_previous_state(self):
+        assert not metrics.metrics_enabled()
+        with obs.observed() as (reg, _tracer):
+            assert metrics.metrics_enabled()
+            assert metrics.get_registry() is reg
+        assert not metrics.metrics_enabled()
+
+    def test_observed_survives_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("boom")
+        assert not metrics.metrics_enabled()
+        assert not obs.tracing_enabled()
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", help="things").inc(2)
+        reg.gauge("g").set(3)
+        reg.histogram("h", buckets=(0.5, 1.0)).observe(0.7)
+        text = prometheus_text(reg)
+        assert "# HELP c_total things" in text
+        assert "# TYPE c_total counter" in text
+        assert "c_total 2" in text
+        assert "# TYPE g gauge" in text
+        assert "g 3" in text
+        assert "# TYPE h histogram" in text
+        assert 'h_bucket{le="0.5"} 0' in text
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 0.7" in text
+        assert "h_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""

@@ -1,0 +1,172 @@
+"""Tests for span tracing and the JSONL exporter."""
+
+import io
+import json
+import threading
+
+from repro import obs
+from repro.obs.export import export_jsonl
+from repro.obs.trace import NullTracer, Tracer
+
+
+class TestSpans:
+    def test_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("feed", words=128):
+            pass
+        (rec,) = tracer.spans
+        assert rec.name == "feed"
+        assert rec.attrs == {"words": 128}
+        assert rec.end_ns >= rec.start_ns
+        assert rec.duration_s == rec.duration_ns / 1e9
+
+    def test_nesting_links_parent(self):
+        tracer = Tracer()
+        with tracer.span("generate"):
+            with tracer.span("transfer"):
+                with tracer.span("feed"):
+                    pass
+        by_name = {rec.name: rec for rec in tracer.spans}
+        assert by_name["generate"].parent_id is None
+        assert by_name["transfer"].parent_id == by_name["generate"].span_id
+        assert by_name["feed"].parent_id == by_name["transfer"].span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("generate"):
+            with tracer.span("transfer"):
+                pass
+            with tracer.span("transfer"):
+                pass
+        gen = next(r for r in tracer.spans if r.name == "generate")
+        kids = [r for r in tracer.spans if r.name == "transfer"]
+        assert all(k.parent_id == gen.span_id for k in kids)
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("feed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert len(tracer.spans) == 1
+
+    def test_threads_have_independent_stacks(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("feed"):
+                pass
+
+        with tracer.span("generate"):
+            t = threading.Thread(target=worker, name="producer")
+            t.start()
+            t.join()
+        feed = next(r for r in tracer.spans if r.name == "feed")
+        # The worker's span must not adopt the main thread's open span.
+        assert feed.parent_id is None
+        assert feed.thread == "producer"
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("feed"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestStageTotals:
+    def test_self_time_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("generate"):
+            with tracer.span("transfer"):
+                with tracer.span("feed"):
+                    pass
+        totals = tracer.stage_totals()
+        gen, tra, fee = (
+            totals["generate"], totals["transfer"], totals["feed"]
+        )
+        assert gen.count == tra.count == fee.count == 1
+        # Each parent's total covers its child entirely.
+        assert gen.total_ns >= tra.total_ns >= fee.total_ns
+        # Self time = total minus direct children.
+        assert gen.self_ns == gen.total_ns - tra.total_ns
+        assert tra.self_ns == tra.total_ns - fee.total_ns
+        assert fee.self_ns == fee.total_ns
+
+    def test_totals_sum_over_repeats(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("feed"):
+                pass
+        agg = tracer.stage_totals()["feed"]
+        assert agg.count == 5
+        assert agg.total_ns == sum(r.duration_ns for r in tracer.spans)
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        tracer = NullTracer()
+        cm1 = tracer.span("feed")
+        cm2 = tracer.span("generate", words=1)
+        assert cm1 is cm2
+        with cm1:
+            pass
+        assert tracer.spans == []
+        assert not tracer.enabled
+
+    def test_default_tracer_is_noop(self):
+        assert not obs.tracing_enabled()
+        with obs.span("feed"):
+            pass
+        assert obs.get_tracer().spans == []
+
+    def test_enable_tracing_restores(self):
+        tracer = obs.enable_tracing()
+        try:
+            with obs.span("feed"):
+                pass
+            assert len(tracer.spans) == 1
+        finally:
+            obs.disable_tracing()
+        assert not obs.tracing_enabled()
+
+
+class TestExportJsonl:
+    def _run_block(self):
+        with obs.observed() as (registry, tracer):
+            registry.counter("repro_test_total").inc(2)
+            registry.histogram("repro_test_seconds", buckets=(1.0,)).observe(0.5)
+            with obs.span("generate"):
+                with obs.span("feed", words=64):
+                    pass
+        return registry, tracer
+
+    def test_stream_round_trip(self):
+        registry, tracer = self._run_block()
+        buf = io.StringIO()
+        n = export_jsonl(buf, registry, tracer, meta={"command": "test"})
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert len(lines) == n == 5  # meta + 2 spans + 2 metrics
+        assert lines[0] == {
+            "type": "meta", "format": "repro-obs-v1", "command": "test",
+        }
+        spans = [rec for rec in lines if rec["type"] == "span"]
+        by_name = {rec["name"]: rec for rec in spans}
+        assert by_name["feed"]["parent_id"] == by_name["generate"]["id"]
+        assert by_name["feed"]["attrs"] == {"words": 64}
+        counter = next(rec for rec in lines if rec["type"] == "counter")
+        assert counter == {
+            "type": "counter", "name": "repro_test_total", "value": 2,
+        }
+        hist = next(rec for rec in lines if rec["type"] == "histogram")
+        assert hist["count"] == 1
+        assert hist["buckets"] == [[1.0, 1], ["+Inf", 1]]
+
+    def test_file_target(self, tmp_path):
+        registry, tracer = self._run_block()
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(path, registry, tracer)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["format"] == "repro-obs-v1"
+        assert all(json.loads(line) for line in lines)
