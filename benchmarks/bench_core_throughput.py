@@ -15,6 +15,7 @@ from repro.bitsource import GlibcRandom, SplitMix64Source
 from repro.core.expander import GabberGalilExpander
 from repro.core.parallel import ParallelExpanderPRNG
 from repro.core.walk import WalkEngine
+from repro.resilience import SupervisedFeed
 
 LANES = 1 << 15
 N = 1 << 17
@@ -51,6 +52,26 @@ def test_hybrid_bulk_generation(benchmark):
                                 bit_source=SplitMix64Source(5))
     result = benchmark(lambda: prng.generate(LANES))
     assert result.size == LANES
+
+
+def test_hybrid_bulk_generation_supervised(benchmark):
+    """Same workload as test_hybrid_bulk_generation with the feed under
+    a SupervisedFeed (no injection).  The supervision fast path is one
+    attribute lookup plus a size check per draw; acceptance for the
+    resilience work is <2% overhead versus the raw-source run above."""
+    prng = ParallelExpanderPRNG(
+        num_threads=LANES,
+        bit_source=SupervisedFeed(SplitMix64Source(5)),
+    )
+    result = benchmark(lambda: prng.generate(LANES))
+    assert result.size == LANES
+
+
+def test_supervised_chunk_extraction(benchmark):
+    """chunks3 through the supervised wrapper -- isolates the per-call
+    supervision cost on the hottest feed primitive."""
+    feed = SupervisedFeed(SplitMix64Source(4))
+    benchmark(lambda: feed.chunks3(LANES * 64))
 
 
 def test_glibc_bulk(benchmark):

@@ -1,0 +1,75 @@
+"""Root pytest configuration: the per-test hang guard.
+
+Every test gets a default timeout (see ``timeout`` in
+``pyproject.toml``) so a regression that wedges a queue or a thread
+fails fast instead of freezing the whole run.  When ``pytest-timeout``
+is installed (CI) it does the enforcement; offline, the SIGALRM-based
+fallback below covers the main thread, which is where every
+consumer-side hang in this repo would occur.
+
+This lives in the repository root (not ``tests/conftest.py``) because
+ini options can only be registered from an initial conftest, and the
+benchmarks directory is collected without loading ``tests/``.
+"""
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401 - presence check only
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
+
+
+if not HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        # Same ini option name pytest-timeout declares, so the
+        # `timeout = N` setting in pyproject.toml works either way.
+        parser.addini("timeout", "default per-test timeout in seconds "
+                                 "(fallback enforcement)", default="0")
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): override the per-test timeout",
+        )
+
+    def _timeout_for(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        limit = _timeout_for(item)
+        usable = (
+            limit > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            yield
+            return
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {limit:g}s fallback timeout "
+                f"(install pytest-timeout for full enforcement)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -21,22 +21,48 @@ between producer (CPU FEED) and consumer (GPU GENERATE).
 
 The values produced are identical to draining the underlying source
 directly; buffering changes *when* bits are produced, never *which*.
+
+Failure semantics (the resilience contract): a consumer blocked on the
+queue can never hang forever.  If the producer thread dies, its
+exception is captured and re-raised in the consumer as a
+:class:`~repro.resilience.errors.FeedFailedError`; if the producer is
+alive but silent past ``get_timeout`` seconds, the consumer raises
+:class:`~repro.resilience.errors.FeedTimeoutError`.  Shutdown and
+reseed use a sentinel handshake with the producer so the thread is
+always joined, and ``reseed`` on an async feed pauses and restarts the
+producer instead of refusing.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.bitsource.base import BitSource
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.resilience.errors import FeedFailedError, FeedTimeoutError
 from repro.utils.checks import check_positive
 
-__all__ = ["BufferedFeed", "FeedStats"]
+__all__ = ["BufferedFeed", "FeedStats", "DEFAULT_GET_TIMEOUT"]
+
+#: Default consumer-wait deadline (seconds).  Generous -- its job is to
+#: turn "wedged forever" into a diagnosable error, not to race healthy
+#: producers.  Pass ``get_timeout=None`` for an unbounded wait (producer
+#: death is still detected promptly via the exit sentinel).
+DEFAULT_GET_TIMEOUT = 30.0
+
+#: Queue poll period while a consumer waits or a shutdown handshakes.
+_POLL_S = 0.05
+
+#: Poison pill the producer enqueues on exit (normal or fatal) so a
+#: blocked consumer wakes immediately instead of waiting out a timeout.
+_SENTINEL = object()
 
 
 @dataclass
@@ -48,6 +74,8 @@ class FeedStats:
     refills: int = 0
     #: Times the consumer had to wait for a batch (queue empty on demand).
     stalls: int = 0
+    #: Times the producer thread died with an exception.
+    producer_failures: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self) -> dict:
@@ -58,6 +86,7 @@ class FeedStats:
                 "words_consumed": self.words_consumed,
                 "refills": self.refills,
                 "stalls": self.stalls,
+                "producer_failures": self.producer_failures,
             }
 
 
@@ -75,6 +104,10 @@ class BufferedFeed(BitSource):
     async_producer : bool
         If true, a daemon thread keeps the queue full; otherwise batches
         are produced synchronously on demand (each counted as a stall).
+    get_timeout : float or None
+        Deadline (seconds) for one consumer wait on an empty queue while
+        the producer is alive; ``None`` waits forever.  A dead producer
+        is detected immediately regardless of this value.
     """
 
     name = "buffered-feed"
@@ -85,25 +118,28 @@ class BufferedFeed(BitSource):
         batch_words: int = 1 << 16,
         prefetch: int = 2,
         async_producer: bool = False,
+        get_timeout: Optional[float] = DEFAULT_GET_TIMEOUT,
     ):
         check_positive("batch_words", batch_words)
         check_positive("prefetch", prefetch)
+        if get_timeout is not None:
+            check_positive("get_timeout", get_timeout)
         self.source = source
         self.batch_words = int(batch_words)
         self.prefetch = int(prefetch)
+        self.get_timeout = get_timeout
         self.stats = FeedStats()
-        self._queue: queue.Queue[np.ndarray] = queue.Queue(maxsize=prefetch)
+        self._queue: queue.Queue = queue.Queue(maxsize=prefetch)
         self._current = np.empty(0, dtype=np.uint64)
         self._pos = 0
         self._async = bool(async_producer)
+        self._closed = False
         self._stop = threading.Event()
         self._producer: threading.Thread | None = None
+        self._producer_error: Optional[BaseException] = None
         self._source_lock = threading.Lock()
         if self._async:
-            self._producer = threading.Thread(
-                target=self._produce_loop, name="feed-producer", daemon=True
-            )
-            self._producer.start()
+            self._start_producer()
 
     # ------------------------------------------------------------------
     # Producer side
@@ -124,28 +160,82 @@ class BufferedFeed(BitSource):
         ).inc(batch.size)
         return batch
 
-    def _produce_loop(self) -> None:
-        while not self._stop.is_set():
-            batch = self._make_batch()
-            while not self._stop.is_set():
+    def _start_producer(self) -> None:
+        """(Re)start the background producer with a fresh stop event."""
+        stop = threading.Event()
+        self._stop = stop
+        self._producer_error = None
+        self._producer = threading.Thread(
+            target=self._produce_loop, args=(stop,),
+            name="feed-producer", daemon=True,
+        )
+        self._producer.start()
+
+    def _produce_loop(self, stop: threading.Event) -> None:
+        try:
+            while not stop.is_set():
+                batch = self._make_batch()
+                while not stop.is_set():
+                    try:
+                        self._queue.put(batch, timeout=_POLL_S)
+                        break
+                    except queue.Full:
+                        continue
+        except BaseException as exc:  # noqa: BLE001 - captured for consumer
+            self._producer_error = exc
+            with self.stats._lock:
+                self.stats.producer_failures += 1
+            obs_metrics.counter(
+                "repro_feed_producer_failures_total",
+                "Feed producer threads that died with an exception",
+            ).inc()
+        finally:
+            # Always hand the consumer an exit sentinel, whether this is
+            # a clean stop or a crash: a blocked get() wakes immediately.
+            self._push_sentinel()
+
+    def _push_sentinel(self) -> None:
+        """Enqueue the exit sentinel, evicting a data batch if needed.
+
+        The producer is exiting when this runs, so dropped batches can
+        never be missed values -- the stream is over either way.
+        """
+        while True:
+            try:
+                self._queue.put_nowait(_SENTINEL)
+                return
+            except queue.Full:
                 try:
-                    self._queue.put(batch, timeout=0.05)
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    pass
+
+    def _stop_producer(self) -> None:
+        """Sentinel handshake: stop, drain, and *join* the producer."""
+        producer = self._producer
+        self._producer = None
+        if producer is None:
+            return
+        self._stop.set()
+        # Drain until the producer's exit sentinel shows up.  This both
+        # unblocks a producer stuck in put() and proves it left its
+        # loop; the sentinel is pushed from the thread's finally block.
+        while True:
+            try:
+                if self._queue.get(timeout=_POLL_S) is _SENTINEL:
                     break
-                except queue.Full:
-                    continue
+            except queue.Empty:
+                if not producer.is_alive():
+                    break
+        producer.join(timeout=5.0)
+        if producer.is_alive():  # pragma: no cover - defensive
+            raise RuntimeError("feed producer thread failed to join")
 
     def close(self) -> None:
-        """Stop the producer thread (no-op for synchronous feeds)."""
+        """Stop and join the producer thread (no-op for synchronous feeds)."""
+        self._closed = True
         self._stop.set()
-        if self._producer is not None:
-            # Drain so a blocked put() can finish.
-            try:
-                while True:
-                    self._queue.get_nowait()
-            except queue.Empty:
-                pass
-            self._producer.join(timeout=2.0)
-            self._producer = None
+        self._stop_producer()
 
     def __enter__(self) -> "BufferedFeed":
         return self
@@ -157,17 +247,58 @@ class BufferedFeed(BitSource):
     # Consumer side (BitSource API)
     # ------------------------------------------------------------------
 
+    def _feed_failed(self) -> FeedFailedError:
+        err = self._producer_error
+        if err is not None:
+            return FeedFailedError(
+                f"feed producer died: {type(err).__name__}: {err}", cause=err
+            )
+        if self._closed:
+            return FeedFailedError("feed is closed")
+        return FeedFailedError("feed producer exited unexpectedly")
+
+    def _wait_for_batch(self):
+        """Block for the next item, bounded by deadline and producer life."""
+        deadline = (
+            None if self.get_timeout is None
+            else time.monotonic() + self.get_timeout
+        )
+        while True:
+            try:
+                return self._queue.get(timeout=_POLL_S)
+            except queue.Empty:
+                producer = self._producer
+                if producer is None or not producer.is_alive():
+                    # Dead producer and an empty queue: the sentinel was
+                    # already consumed (or never started) -- fail now.
+                    raise self._feed_failed() from None
+                if deadline is not None and time.monotonic() >= deadline:
+                    obs_metrics.counter(
+                        "repro_feed_deadline_exceeded_total",
+                        "Consumer waits that hit the get_timeout deadline",
+                    ).inc()
+                    raise FeedTimeoutError(
+                        f"no feed batch within {self.get_timeout:.3f}s "
+                        f"(producer alive but silent)"
+                    ) from None
+
     def _next_batch(self) -> np.ndarray:
         if self._async:
             try:
-                return self._queue.get_nowait()
+                item = self._queue.get_nowait()
             except queue.Empty:
                 with self.stats._lock:
                     self.stats.stalls += 1
                 obs_metrics.counter(
                     "repro_feed_stalls_total", "Consumer waits on an empty queue"
                 ).inc()
-                return self._queue.get()
+                item = self._wait_for_batch()
+            if item is _SENTINEL:
+                # Keep the pill in the queue so every later consumer
+                # call fails fast instead of waiting out the deadline.
+                self._push_sentinel()
+                raise self._feed_failed()
+            return item
         # Synchronous mode: every demand-refill is by definition a stall.
         try:
             return self._queue.get_nowait()
@@ -209,11 +340,20 @@ class BufferedFeed(BitSource):
         return out
 
     def reseed(self, seed: int) -> None:
-        """Reseed the underlying source and drop all buffered batches."""
+        """Reseed the underlying source and drop all buffered batches.
+
+        On an async feed the producer is paused (stopped and joined via
+        the sentinel handshake) *before* any state is mutated, the
+        source is reseeded, the queue is drained, and a fresh producer
+        is started -- so the post-reseed stream is exactly what a newly
+        constructed feed over the reseeded source would yield.  Must not
+        race a concurrent ``words64`` from another thread (the usual
+        single-consumer contract of a :class:`BitSource`).
+        """
+        if self._closed:
+            raise FeedFailedError("cannot reseed a closed feed")
         if self._async:
-            raise RuntimeError(
-                "cannot reseed an async BufferedFeed; close() it first"
-            )
+            self._stop_producer()
         with self._source_lock:
             self.source.reseed(seed)
         try:
@@ -223,10 +363,16 @@ class BufferedFeed(BitSource):
             pass
         self._current = np.empty(0, dtype=np.uint64)
         self._pos = 0
+        if self._async:
+            self._start_producer()
 
     @property
     def pending_words(self) -> int:
         """Words buffered and immediately available to the consumer."""
-        return (
-            self._current.size - self._pos
-        ) + self._queue.qsize() * self.batch_words
+        pending = self._current.size - self._pos
+        with self._queue.mutex:
+            items = list(self._queue.queue)
+        for item in items:
+            if item is not _SENTINEL:
+                pending += self.batch_words
+        return pending

@@ -10,7 +10,11 @@ Commands
 ``figures``    print the platform-model reproduction of a paper figure;
 ``stats``      run the real hybrid pipeline under full observability and
                print a structured run report (measured vs predicted
-               stage shares, feed counters, metrics).
+               stage shares, feed counters, metrics);
+``chaos``      run generation under a named fault-injection profile
+               (resilience drill): exits 0 when the retry budget and
+               failover chain absorb the faults, 1 with a
+               ``FeedFailedError`` diagnosis when they cannot.
 
 ``generate`` and ``quality`` accept ``--trace <file.jsonl>`` (JSONL span
 and metric events) and ``--metrics`` (Prometheus-style text dump on
@@ -40,6 +44,7 @@ from repro.hybrid.throughput import (
     hybrid_time_ns,
     mt_time_ns,
 )
+from repro.resilience.faults import PROFILES
 from repro.utils.tables import format_series
 
 __all__ = ["main", "build_parser"]
@@ -109,6 +114,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
     stats.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="additionally write the raw span/metric events to FILE",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run generation under injected faults (resilience drill)",
+    )
+    chaos.add_argument(
+        "--profile", default="flaky", choices=sorted(PROFILES),
+        help="named fault-injection profile",
+    )
+    chaos.add_argument("-n", type=int, default=100_000)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--threads", type=int, default=4096)
+    chaos.add_argument(
+        "--async-feed", action="store_true",
+        help="inject into a real background producer thread",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    chaos.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
         help="additionally write the raw span/metric events to FILE",
     )
@@ -218,6 +246,38 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.resilience.chaos import run_chaos
+
+    result = run_chaos(
+        args.profile, n=args.n, seed=args.seed, num_threads=args.threads,
+        async_feed=args.async_feed,
+    )
+    report = result.report
+    print(report.to_json(indent=2) if args.json else report.render())
+    if args.trace:
+        obs.export_jsonl(
+            args.trace, report.registry, report.tracer,
+            meta={"command": "chaos", "profile": args.profile},
+        )
+    resilience = report.sections.get("resilience", {})
+    if result.survived:
+        print(
+            f"repro chaos: survived profile {args.profile!r}: "
+            f"{resilience.get('retries', 0)} retries, "
+            f"{resilience.get('failovers', 0)} failovers, "
+            f"health {resilience.get('health', '?')}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"repro chaos: FAILED under profile {args.profile!r} "
+            f"({type(result.error).__name__}): {result.error}",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
 def _cmd_platform(args) -> int:
     res = simulate_pipeline(
         PipelineConfig(total_numbers=args.n, batch_size=args.batch_size)
@@ -290,6 +350,8 @@ def main(argv=None) -> int:
             return _cmd_platform(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         return _cmd_figures(args)
     except BrokenPipeError:
         # Downstream closed early (e.g. ``| head``): normal termination.

@@ -11,6 +11,16 @@ Determinism: the output for ``(seed, workers, n)`` is reproducible;
 worker ``i`` generates the ``i``-th slice using substream ``i``, so the
 values equal running the same substreams serially.
 
+Failure handling: a worker that raises is retried once (a fresh
+submission -- transient faults such as OOM kills or a flaky bit source
+get a second chance) and, if it fails again, the run raises a
+:class:`~repro.resilience.errors.WorkerFailedError` naming the worker,
+the attempt count and the original exception -- never a bare pool
+traceback, and never a silent concatenation of partial results.  Each
+result collection is bounded by ``timeout`` so a wedged worker cannot
+hang the caller.  A ``pool`` passed in by the caller is never closed or
+terminated by this module.
+
 NOTE: wall-clock speedup requires actual cores; on a single-core
 container (such as the reproduction environment) the decomposition is
 correct but not faster -- the serial-equivalence tests are the point.
@@ -19,25 +29,34 @@ correct but not faster -- the serial-equivalence tests are the point.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.bitsource.base import BitSource
 from repro.bitsource.counter import SplitMix64Source
 from repro.core.parallel import ParallelExpanderPRNG
 from repro.core.streams import derive_seed
+from repro.obs import metrics as obs_metrics
+from repro.resilience.errors import WorkerFailedError
 from repro.utils.checks import check_positive
 
 __all__ = ["multicore_generate", "serial_equivalent"]
 
 _DEFAULT_LANES = 1 << 14
 
+#: Default per-worker result deadline (seconds).  Generous: its job is
+#: turning a wedged worker into a diagnosable error, not racing slow
+#: machines.  ``timeout=None`` waits forever.
+DEFAULT_WORKER_TIMEOUT = 300.0
+
 
 def _worker(args) -> np.ndarray:
-    seed, count, lanes, walk_length = args
+    seed, count, lanes, walk_length, factory = args
+    source: BitSource = (factory or SplitMix64Source)(seed)
     prng = ParallelExpanderPRNG(
         num_threads=lanes,
-        bit_source=SplitMix64Source(seed),
+        bit_source=source,
         walk_length=walk_length,
     )
     return prng.generate(count)
@@ -49,6 +68,39 @@ def _slices(n: int, workers: int) -> list:
     return [base + (1 if i < rem else 0) for i in range(workers)]
 
 
+def _worker_failed(index: int, attempts: int,
+                   exc: BaseException) -> WorkerFailedError:
+    obs_metrics.counter(
+        "repro_worker_failures_total",
+        "Multiproc workers that failed past their retry",
+    ).inc()
+    if isinstance(exc, mp.TimeoutError):
+        detail = "timed out"
+    else:
+        detail = f"raised {type(exc).__name__}: {exc}"
+    return WorkerFailedError(
+        f"multicore worker {index} {detail} after {attempts} attempt(s); "
+        f"no partial results were returned",
+        worker_index=index,
+        attempts=attempts,
+        cause=exc,
+    )
+
+
+def _run_inline(job, index: int, retries: int) -> np.ndarray:
+    last: Optional[BaseException] = None
+    for attempt in range(1, retries + 2):
+        if attempt > 1:
+            obs_metrics.counter(
+                "repro_worker_retries_total", "Multiproc worker retries"
+            ).inc()
+        try:
+            return _worker(job)
+        except Exception as exc:  # noqa: BLE001 - reported via WorkerFailedError
+            last = exc
+    raise _worker_failed(index, retries + 1, last)
+
+
 def multicore_generate(
     n: int,
     workers: int = 2,
@@ -56,29 +108,77 @@ def multicore_generate(
     lanes: int = _DEFAULT_LANES,
     walk_length: int = 64,
     pool: Optional[mp.pool.Pool] = None,
+    timeout: Optional[float] = DEFAULT_WORKER_TIMEOUT,
+    retries: int = 1,
+    bit_source_factory: Optional[Callable[[int], BitSource]] = None,
 ) -> np.ndarray:
     """Generate ``n`` numbers across ``workers`` processes.
 
     Each worker owns an independent substream (derived from ``seed``);
     results are concatenated worker-major.  Pass an existing ``pool`` to
-    amortize process startup across calls.
+    amortize process startup across calls (it is left open either way).
+
+    ``timeout`` bounds each worker's result collection; ``retries`` says
+    how many times a crashed worker is resubmitted (default once)
+    before the run fails with a :class:`WorkerFailedError`.
+    ``bit_source_factory`` (a picklable ``seed -> BitSource`` callable)
+    overrides the per-worker feed -- how the chaos tests reach inside a
+    worker.
     """
     check_positive("n", n)
     check_positive("workers", workers)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     jobs = [
-        (derive_seed(seed, i), count, lanes, walk_length)
+        (derive_seed(seed, i), count, lanes, walk_length, bit_source_factory)
         for i, count in enumerate(_slices(n, workers))
         if count > 0
     ]
     if workers == 1:
-        return _worker(jobs[0])
-    if pool is not None:
-        parts = pool.map(_worker, jobs)
-    else:
+        return _run_inline(jobs[0], 0, retries)
+    owned: Optional[mp.pool.Pool] = None
+    if pool is None:
         ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
             else mp.get_context("spawn")
-        with ctx.Pool(processes=workers) as owned:
-            parts = owned.map(_worker, jobs)
+        owned = ctx.Pool(processes=min(workers, len(jobs)))
+    use = pool if pool is not None else owned
+    try:
+        pending = [use.apply_async(_worker, (job,)) for job in jobs]
+        parts = []
+        for i, handle in enumerate(pending):
+            try:
+                parts.append(handle.get(timeout))
+                continue
+            except mp.TimeoutError as exc:
+                # A wedged worker is not retried: the retry would double
+                # the wait and the process is likely still stuck.
+                raise _worker_failed(i, 1, exc)
+            except Exception as exc:  # noqa: BLE001
+                last = exc
+            for attempt in range(2, retries + 2):
+                obs_metrics.counter(
+                    "repro_worker_retries_total", "Multiproc worker retries"
+                ).inc()
+                try:
+                    parts.append(use.apply_async(_worker, (jobs[i],))
+                                 .get(timeout))
+                    break
+                except mp.TimeoutError as exc:
+                    raise _worker_failed(i, attempt, exc)
+                except Exception as exc:  # noqa: BLE001
+                    last = exc
+            else:
+                raise _worker_failed(i, retries + 1, last)
+    finally:
+        if owned is not None:
+            owned.terminate()
+            owned.join()
+    # Defense in depth: a partial stream must never look like a result.
+    if len(parts) != len(jobs) or sum(p.size for p in parts) != n:
+        raise WorkerFailedError(
+            f"internal error: expected {n} numbers from {len(jobs)} workers, "
+            f"got {sum(p.size for p in parts)} from {len(parts)}"
+        )
     return np.concatenate(parts)
 
 
@@ -88,13 +188,15 @@ def serial_equivalent(
     seed: int = 0,
     lanes: int = _DEFAULT_LANES,
     walk_length: int = 64,
+    bit_source_factory: Optional[Callable[[int], BitSource]] = None,
 ) -> np.ndarray:
     """The exact stream :func:`multicore_generate` produces, single-process.
 
     Used by tests to prove the parallel decomposition changes nothing.
     """
     parts = [
-        _worker((derive_seed(seed, i), count, lanes, walk_length))
+        _worker((derive_seed(seed, i), count, lanes, walk_length,
+                 bit_source_factory))
         for i, count in enumerate(_slices(n, workers))
         if count > 0
     ]

@@ -11,12 +11,12 @@ both real outputs and the simulated platform timing for the same plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.bitsource.base import BitSource
-from repro.bitsource.buffered import BufferedFeed
+from repro.bitsource.buffered import DEFAULT_GET_TIMEOUT, BufferedFeed
 from repro.bitsource.glibc import GlibcRandom
 from repro.core.parallel import ParallelExpanderPRNG
 from repro.gpusim.calibration import PipelineCosts
@@ -25,6 +25,11 @@ from repro.hybrid.throughput import optimal_batch_size
 from repro.obs import metrics as obs_metrics
 from repro.obs.report import RunReport
 from repro.obs.trace import span
+from repro.resilience.supervised import (
+    RetryPolicy,
+    SupervisedFeed,
+    default_failover_chain,
+)
 from repro.utils.checks import check_positive
 
 __all__ = ["GenerationPlan", "HybridScheduler"]
@@ -67,6 +72,20 @@ class HybridScheduler:
         Produce feed batches on a real background thread.
     max_threads : int
         Cap on simultaneously simulated walker lanes (memory bound).
+    resilient : bool
+        Supervise the feed: wrap the bit source in a
+        :class:`~repro.resilience.supervised.SupervisedFeed` with the
+        stock failover chain (or the ``failover`` sources given), so
+        feed faults are retried and degraded instead of fatal.
+    failover : sequence of BitSource, optional
+        Fallback sources to switch through when the primary's retry
+        budget is exhausted (implies ``resilient``).
+    retry_policy : RetryPolicy, optional
+        Retry budget/backoff for the supervised feed (implies
+        ``resilient``).
+    feed_timeout : float or None
+        Consumer-wait deadline on the buffered feed; ``None`` waits
+        forever (producer death is still detected immediately).
     """
 
     def __init__(
@@ -76,6 +95,10 @@ class HybridScheduler:
         bit_source: Optional[BitSource] = None,
         async_feed: bool = False,
         max_threads: int = 1 << 17,
+        resilient: bool = False,
+        failover: Optional[Sequence[BitSource]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        feed_timeout: Optional[float] = DEFAULT_GET_TIMEOUT,
     ):
         check_positive("max_threads", max_threads)
         self.costs = costs or PipelineCosts()
@@ -83,9 +106,24 @@ class HybridScheduler:
         # (treated as 1) live inside GlibcRandom, not here.  The previous
         # ``seed or 1`` silently remapped 0 a second time and would have
         # masked any future source whose seed-0 stream is distinct.
-        raw = bit_source if bit_source is not None else GlibcRandom(seed)
+        resilient = resilient or failover is not None or retry_policy is not None
+        self.supervisor: Optional[SupervisedFeed] = None
+        if resilient:
+            if bit_source is None and failover is None:
+                chain = default_failover_chain(seed)
+            else:
+                primary = bit_source if bit_source is not None \
+                    else GlibcRandom(seed)
+                chain = [primary, *(failover or [])]
+            raw: BitSource = SupervisedFeed(
+                chain, policy=retry_policy, jitter_seed=seed
+            )
+            self.supervisor = raw
+        else:
+            raw = bit_source if bit_source is not None else GlibcRandom(seed)
         self.feed = BufferedFeed(
-            raw, batch_words=1 << 15, prefetch=2, async_producer=async_feed
+            raw, batch_words=1 << 15, prefetch=2, async_producer=async_feed,
+            get_timeout=feed_timeout,
         )
         self.max_threads = int(max_threads)
         self._prng: Optional[ParallelExpanderPRNG] = None
@@ -164,6 +202,11 @@ class HybridScheduler:
         """
         report = RunReport(meta={"component": "HybridScheduler"})
         report.add_feed_stats(self.feed.stats)
+        if self.supervisor is not None:
+            resilience = self.supervisor.stats.snapshot()
+            resilience["health"] = self.supervisor.health.name
+            resilience["active_source"] = self.supervisor.active_source.name
+            report.add_section("resilience", resilience)
         if plan is not None:
             report.add_section("plan", {
                 "total_numbers": plan.total_numbers,

@@ -164,6 +164,17 @@ class RunReport:
             rows = [[k, str(v)] for k, v in self.feed.items()]
             parts.append(format_table(["feed counter", "value"], rows,
                                       title="buffered feed"))
+        for name, data in self.sections.items():
+            rows = []
+            for key, value in data.items():
+                if isinstance(value, (list, dict)):
+                    value = json.dumps(value, default=str)
+                    if len(value) > 72:
+                        value = value[:69] + "..."
+                rows.append([key, str(value)])
+            if rows:
+                parts.append(format_table(["field", "value"], rows,
+                                          title=name))
         metric_rows = []
         for name, value in self.registry.snapshot().items():
             if isinstance(value, dict):

@@ -1,0 +1,64 @@
+"""Resilience: fault injection, supervised feeds, graceful degradation.
+
+The hybrid pipeline's concurrency (CPU FEED / PCIe TRANSFER / GPU
+GENERATE overlapped, Sections II-III of the paper) is only production-
+worthy if a failing stage is *detected, retried, and degraded
+gracefully* -- never a silent hang.  This package supplies that story in
+three layers:
+
+* :mod:`repro.resilience.faults`     -- :class:`FaultyBitSource`, a
+  deterministic seed-driven injector of errors, latency, short reads and
+  bit corruption into any :class:`~repro.bitsource.base.BitSource`, with
+  the named :data:`PROFILES` shared by tests, CLI, and CI;
+* :mod:`repro.resilience.supervised` -- :class:`SupervisedFeed`, an
+  ordered failover chain with per-source retry budgets, exponential
+  backoff with deterministic jitter, and the ``OK -> DEGRADED ->
+  FAILED`` :class:`FeedHealth` machine exported through
+  :mod:`repro.obs`;
+* :mod:`repro.resilience.chaos`      -- :func:`run_chaos`, the drill
+  harness behind ``repro chaos --profile <name>``.
+
+Structured failures live in :mod:`repro.resilience.errors`
+(:class:`FeedFailedError` and friends) so every layer of the repo can
+agree on what "the feed is gone" looks like.
+"""
+
+from repro.resilience.errors import (
+    FeedFailedError,
+    FeedTimeoutError,
+    InjectedFault,
+    ResilienceError,
+    WorkerFailedError,
+)
+from repro.resilience.faults import (
+    PROFILES,
+    FaultProfile,
+    FaultyBitSource,
+    get_profile,
+    scaled,
+)
+from repro.resilience.supervised import (
+    FeedHealth,
+    RetryPolicy,
+    SupervisedFeed,
+    SupervisorStats,
+    default_failover_chain,
+)
+
+__all__ = [
+    "FeedFailedError",
+    "FeedTimeoutError",
+    "InjectedFault",
+    "ResilienceError",
+    "WorkerFailedError",
+    "FaultProfile",
+    "FaultyBitSource",
+    "PROFILES",
+    "get_profile",
+    "scaled",
+    "FeedHealth",
+    "RetryPolicy",
+    "SupervisedFeed",
+    "SupervisorStats",
+    "default_failover_chain",
+]

@@ -1,0 +1,161 @@
+"""Chaos harness: run the hybrid generator under an injection profile.
+
+One entry point, :func:`run_chaos`, wires the full resilient pipeline --
+``FaultyBitSource`` (injection) under a :class:`SupervisedFeed`
+(retries + failover) under a hardened
+:class:`~repro.bitsource.buffered.BufferedFeed` (no-hang delivery) under
+:class:`~repro.core.parallel.ParallelExpanderPRNG` -- generates ``n``
+numbers with full observability on, and returns a
+:class:`~repro.obs.report.RunReport` describing what was injected, what
+was absorbed (retries/failovers), and what, if anything, finally failed.
+
+The ``repro chaos`` CLI subcommand and the chaos CI job are thin
+wrappers over this module, so "the failure drill we test" and "the
+failure drill we can run by hand" are the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.bitsource.base import BitSource
+from repro.bitsource.buffered import BufferedFeed
+from repro.bitsource.counter import SplitMix64Source, splitmix64
+from repro.bitsource.glibc import GlibcRandom
+from repro.bitsource.os_entropy import OsEntropySource
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.obs.report import RunReport
+from repro.resilience.errors import FeedFailedError
+from repro.resilience.faults import FaultProfile, FaultyBitSource, get_profile
+from repro.resilience.supervised import RetryPolicy, SupervisedFeed
+
+__all__ = ["ChaosResult", "build_chaos_feed", "run_chaos"]
+
+#: Backoff shape used by chaos runs: same budget as the default policy
+#: but millisecond-scale waits, so drills stay fast while still
+#: exercising the backoff code path.
+CHAOS_POLICY = RetryPolicy(max_retries=3, backoff_base_s=0.001,
+                           backoff_cap_s=0.01)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    profile: str
+    numbers: int
+    report: RunReport
+    error: Optional[FeedFailedError] = None
+
+    @property
+    def survived(self) -> bool:
+        """True when the failover chain absorbed every injected fault."""
+        return self.error is None
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.survived else 1
+
+
+def build_chaos_feed(
+    profile: "FaultProfile | str",
+    seed: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    sleep=None,
+) -> SupervisedFeed:
+    """The chaos chain for ``profile``: faulty primary, healthy fallbacks.
+
+    The primary is the paper's ``GlibcRandom`` wrapped in a
+    :class:`FaultyBitSource`; fallbacks are an independent SplitMix64
+    substream and OS entropy.  The ``fatal`` profile (``error_rate
+    1.0``) wraps *every* chain member so the budget provably exhausts;
+    every other profile injects into the primary only, so the chain can
+    absorb a hard death by switching.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    fallback_seed = int(splitmix64(np.uint64((seed + 1) & (2**64 - 1))))
+    chain: List[BitSource] = [
+        FaultyBitSource(GlibcRandom(seed), profile, fault_seed=seed,
+                        sleep=sleep),
+        SplitMix64Source(fallback_seed),
+        OsEntropySource(),
+    ]
+    if profile.error_rate >= 1.0 and profile.fail_after is None:
+        # Total-outage drill: no healthy source anywhere in the chain.
+        chain = [
+            chain[0],
+            FaultyBitSource(SplitMix64Source(fallback_seed), profile,
+                            fault_seed=seed + 1, sleep=sleep),
+        ]
+    return SupervisedFeed(chain, policy=policy or CHAOS_POLICY,
+                          jitter_seed=seed, sleep=sleep)
+
+
+def run_chaos(
+    profile: str = "flaky",
+    n: int = 100_000,
+    seed: int = 1,
+    num_threads: int = 4096,
+    async_feed: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    batch_words: int = 1 << 14,
+    sleep=None,
+) -> ChaosResult:
+    """Generate ``n`` numbers under ``profile`` and report what happened.
+
+    Observability is enabled for the duration of the run; the returned
+    report carries feed stats, supervisor stats (retries, failovers,
+    switch points, health), injected-fault counts, and -- when the
+    chain could not absorb the faults -- the terminal
+    :class:`FeedFailedError` diagnosis.
+    """
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    with obs.observed() as (registry, tracer):
+        supervised = build_chaos_feed(prof, seed=seed, policy=policy,
+                                      sleep=sleep)
+        feed = BufferedFeed(
+            supervised, batch_words=batch_words, prefetch=2,
+            async_producer=async_feed,
+        )
+        error: Optional[FeedFailedError] = None
+        produced = 0
+        try:
+            prng = ParallelExpanderPRNG(
+                num_threads=num_threads, bit_source=feed
+            )
+            values = prng.generate(n)
+            produced = int(values.size)
+        except FeedFailedError as exc:
+            error = exc
+        finally:
+            feed.close()
+        report = RunReport(registry, tracer, meta={
+            "component": "chaos",
+            "profile": prof.name,
+            "seed": seed,
+            "requested_numbers": n,
+        })
+        report.add_feed_stats(feed.stats)
+        faulty = [s for s in supervised.chain
+                  if isinstance(s, FaultyBitSource)]
+        resilience = supervised.stats.snapshot()
+        resilience["health"] = supervised.health.name
+        resilience["active_source"] = supervised.active_source.name
+        resilience["faults_injected"] = {
+            src.name: src.injected() for src in faulty
+        }
+        report.add_section("resilience", resilience)
+        if error is not None:
+            report.add_section("failure", {
+                "error": type(error).__name__,
+                "message": str(error),
+                "numbers_produced": produced,
+            })
+    return ChaosResult(
+        profile=prof.name, numbers=produced, report=report, error=error
+    )

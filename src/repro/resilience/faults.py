@@ -1,0 +1,243 @@
+"""Deterministic fault injection for bit sources.
+
+:class:`FaultyBitSource` wraps any
+:class:`~repro.bitsource.base.BitSource` and injects configurable
+failure modes -- raised exceptions, added latency, short reads, and bit
+corruption -- so every failure path in the pipeline is testable on
+demand.  Injection decisions are driven by a private SplitMix64 stream
+over the wrapper's call counter, so a given ``(fault_seed, profile)``
+pair replays the *same* fault schedule on every run regardless of
+wall-clock time or interleaving: chaos tests are as reproducible as the
+generator itself.
+
+The module also defines the named :data:`PROFILES` used by the ``repro
+chaos`` CLI subcommand and the chaos CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+from repro.bitsource.counter import splitmix64
+from repro.obs import metrics as obs_metrics
+from repro.resilience.errors import InjectedFault
+from repro.utils.checks import check_probability
+
+__all__ = ["FaultProfile", "FaultyBitSource", "PROFILES", "get_profile",
+           "scaled"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Rates and parameters for the four injectable failure modes.
+
+    All rates are per-``words64``-call probabilities in ``[0, 1]``.
+    ``fail_after`` optionally makes the source *permanently* fail from
+    the given call index onward (deterministic hard death, used to
+    exercise failover), independent of ``error_rate``.
+    """
+
+    name: str = "custom"
+    #: Probability a call raises :class:`InjectedFault`.
+    error_rate: float = 0.0
+    #: Probability a call sleeps ``latency_s`` before answering.
+    latency_rate: float = 0.0
+    latency_s: float = 0.0
+    #: Probability a call returns fewer words than requested.
+    short_read_rate: float = 0.0
+    #: Probability one bit of the returned batch is flipped.
+    corrupt_rate: float = 0.0
+    #: Calls >= this index always raise (None: never).  0 kills the
+    #: source outright, modelling a producer that is dead on arrival.
+    fail_after: Optional[int] = None
+
+    def __post_init__(self):
+        check_probability("error_rate", self.error_rate)
+        check_probability("latency_rate", self.latency_rate)
+        check_probability("short_read_rate", self.short_read_rate)
+        check_probability("corrupt_rate", self.corrupt_rate)
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.fail_after is not None and self.fail_after < 0:
+            raise ValueError(f"fail_after must be >= 0, got {self.fail_after}")
+
+    @property
+    def benign(self) -> bool:
+        """True when this profile can never inject anything."""
+        return (
+            self.error_rate == 0.0
+            and self.latency_rate == 0.0
+            and self.short_read_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and self.fail_after is None
+        )
+
+
+#: Named injection profiles shared by the ``chaos`` fixture, the
+#: ``repro chaos`` CLI subcommand, and the chaos CI job.
+PROFILES: Dict[str, FaultProfile] = {
+    # Control group: the wrapper is installed but inert.
+    "none": FaultProfile(name="none"),
+    # Transient errors a retry budget should absorb without failover.
+    "flaky": FaultProfile(name="flaky", error_rate=0.25),
+    # Slow-but-alive producer plus occasional truncated batches.
+    "lossy": FaultProfile(
+        name="lossy",
+        latency_rate=0.10,
+        latency_s=0.002,
+        short_read_rate=0.30,
+    ),
+    # Data-plane corruption: batches arrive, bits are wrong.
+    "corrupt": FaultProfile(name="corrupt", corrupt_rate=0.5),
+    # Hard death after a few good calls: forces a failover.
+    "failover": FaultProfile(name="failover", fail_after=2),
+    # Nothing works, ever: the whole chain must exhaust.
+    "fatal": FaultProfile(name="fatal", error_rate=1.0),
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a named profile (:data:`PROFILES`), with a helpful error."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown fault profile {name!r}; known: {known}") \
+            from None
+
+
+class FaultyBitSource(BitSource):
+    """Wrap a source and deterministically inject faults into it.
+
+    Parameters
+    ----------
+    source : BitSource
+        The wrapped (healthy) source; untouched calls pass straight
+        through, so with the ``none`` profile the wrapper is
+        value-transparent.
+    profile : FaultProfile or str
+        What to inject and how often (a string looks up
+        :data:`PROFILES`).
+    fault_seed : int
+        Seed of the private decision stream.  Deliberately separate from
+        the wrapped source's seed: the same data stream can be replayed
+        under different fault schedules and vice versa.
+    sleep : callable, optional
+        Injected-latency sleeper (monkeypatch point for tests; defaults
+        to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        source: BitSource,
+        profile: "FaultProfile | str" = "none",
+        fault_seed: int = 0,
+        sleep=None,
+    ):
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.source = source
+        self.profile = profile
+        self.fault_seed = int(fault_seed)
+        self.name = f"faulty({source.name}:{profile.name})"
+        self._calls = 0
+        self._injected = {
+            "errors": 0, "latencies": 0, "short_reads": 0, "corruptions": 0,
+        }
+        if sleep is None:
+            import time
+
+            sleep = time.sleep
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Decision stream
+    # ------------------------------------------------------------------
+
+    def _roll(self, call_index: int, channel: int) -> float:
+        """Uniform [0,1) decision for (call, failure-mode channel)."""
+        x = np.uint64(
+            (self.fault_seed * 0x1000003 + call_index * 8 + channel)
+            & 0xFFFFFFFFFFFFFFFF
+        )
+        return int(splitmix64(x)) / 2.0**64
+
+    def injected(self) -> dict:
+        """Counts of faults injected so far, by mode (plain dict copy)."""
+        return dict(self._injected)
+
+    # ------------------------------------------------------------------
+    # BitSource API
+    # ------------------------------------------------------------------
+
+    def words64(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"word count must be non-negative, got {n}")
+        call = self._calls
+        self._calls += 1
+        prof = self.profile
+        if prof.fail_after is not None and call >= prof.fail_after:
+            self._note("errors")
+            raise InjectedFault(
+                f"{self.name}: dead since call {prof.fail_after}",
+                call_index=call,
+            )
+        if prof.error_rate and self._roll(call, 0) < prof.error_rate:
+            self._note("errors")
+            raise InjectedFault(
+                f"{self.name}: injected error on call {call}", call_index=call
+            )
+        if prof.latency_rate and self._roll(call, 1) < prof.latency_rate:
+            self._note("latencies")
+            self._sleep(prof.latency_s)
+        take = n
+        if (
+            n > 1
+            and prof.short_read_rate
+            and self._roll(call, 2) < prof.short_read_rate
+        ):
+            self._note("short_reads")
+            # Return between 1 and n-1 words, deterministically.
+            take = 1 + int(self._roll(call, 3) * (n - 1))
+        out = self.source.words64(take)
+        if (
+            out.size
+            and prof.corrupt_rate
+            and self._roll(call, 4) < prof.corrupt_rate
+        ):
+            self._note("corruptions")
+            out = out.copy()
+            word = int(self._roll(call, 5) * out.size)
+            bit = int(self._roll(call, 6) * 64)
+            out[word] ^= np.uint64(1) << np.uint64(bit)
+        return out
+
+    def reseed(self, seed: int) -> None:
+        """Reseed the wrapped source; the fault schedule restarts too."""
+        self.source.reseed(seed)
+        self._calls = 0
+
+    def _note(self, mode: str) -> None:
+        self._injected[mode] += 1
+        obs_metrics.counter(
+            "repro_faults_injected_total", "Faults injected by FaultyBitSource"
+        ).inc()
+
+
+def scaled(profile: FaultProfile, factor: float) -> FaultProfile:
+    """A copy of ``profile`` with every rate multiplied by ``factor``.
+
+    Convenience for chaos sweeps (rates clamp to 1.0).
+    """
+    clamp = lambda r: min(1.0, r * factor)
+    return replace(
+        profile,
+        error_rate=clamp(profile.error_rate),
+        latency_rate=clamp(profile.latency_rate),
+        short_read_rate=clamp(profile.short_read_rate),
+        corrupt_rate=clamp(profile.corrupt_rate),
+    )

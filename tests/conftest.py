@@ -1,4 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The per-test hang guard (default timeout) lives in the repository-root
+``conftest.py`` so it also covers the benchmarks directory.
+"""
 
 import numpy as np
 import pytest
@@ -22,3 +26,50 @@ def native_graph():
 def rng():
     """Deterministic NumPy generator for test-local randomness."""
     return np.random.Generator(np.random.PCG64(12345))
+
+
+@pytest.fixture
+def chaos():
+    """Factory for fault-injected bit sources and supervised chains.
+
+    Usage::
+
+        src = chaos("flaky")                       # FaultyBitSource
+        feed = chaos("failover", supervised=True)  # + failover chain
+
+    Backoff sleeps are no-ops so chaos tests run at full speed; pass
+    ``sleep=...`` to override.
+    """
+    from repro.bitsource.counter import SplitMix64Source, splitmix64
+    from repro.resilience import (
+        FaultyBitSource,
+        RetryPolicy,
+        SupervisedFeed,
+    )
+
+    def make(
+        profile="flaky",
+        seed=1,
+        fault_seed=0,
+        supervised=False,
+        fallbacks=None,
+        policy=None,
+        sleep=lambda s: None,
+    ):
+        primary = FaultyBitSource(
+            SplitMix64Source(seed), profile, fault_seed=fault_seed,
+            sleep=sleep,
+        )
+        if not supervised and fallbacks is None:
+            return primary
+        if fallbacks is None:
+            fallback_seed = int(splitmix64(np.uint64(seed + 1)))
+            fallbacks = [SplitMix64Source(fallback_seed)]
+        return SupervisedFeed(
+            [primary, *fallbacks],
+            policy=policy or RetryPolicy(backoff_base_s=0.0),
+            jitter_seed=fault_seed,
+            sleep=sleep,
+        )
+
+    return make

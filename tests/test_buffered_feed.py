@@ -1,11 +1,45 @@
 """Tests for the buffered/asynchronous CPU->GPU feed model."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro import obs
 from repro.bitsource.buffered import BufferedFeed
 from repro.bitsource.counter import SplitMix64Source
+from repro.resilience.errors import FeedFailedError, FeedTimeoutError
+
+
+class FailsAfter(SplitMix64Source):
+    """Source that raises on the Nth words64 call (producer-crash stand-in)."""
+
+    def __init__(self, seed, good_calls):
+        super().__init__(seed)
+        self.good_calls = good_calls
+        self.calls = 0
+
+    def words64(self, n):
+        self.calls += 1
+        if self.calls > self.good_calls:
+            raise RuntimeError("source exploded")
+        return super().words64(n)
+
+
+class Blocks(SplitMix64Source):
+    """Source that blocks on an event after the first call (silent producer)."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.release = threading.Event()
+        self.calls = 0
+
+    def words64(self, n):
+        self.calls += 1
+        if self.calls > 1:
+            self.release.wait(10.0)
+        return super().words64(n)
 
 
 class TestValueTransparency:
@@ -92,12 +126,164 @@ class TestAsyncProducer:
         feed.close()
         assert feed.stats.snapshot() == first
 
-    def test_reseed_async_rejected(self):
+    def test_reseed_async_restarts_producer(self):
+        """Reseeding an async feed pauses/restarts the producer in place."""
         with BufferedFeed(
             SplitMix64Source(5), batch_words=64, async_producer=True
         ) as feed:
-            with pytest.raises(RuntimeError, match="async"):
-                feed.reseed(1)
+            feed.words64(500)
+            feed.reseed(11)
+            got = feed.words64(1000)
+            assert feed._producer is not None and feed._producer.is_alive()
+        assert np.array_equal(got, SplitMix64Source(11).words64(1000))
+
+
+class TestFailurePropagation:
+    """Satellite regressions: a dying producer must never hang consumers."""
+
+    def test_producer_death_raises_in_consumer_within_deadline(self):
+        # Pre-PR, the consumer blocked forever in queue.get(); the
+        # conftest hang guard would kill this test.  Now the producer's
+        # exception surfaces as FeedFailedError, promptly.
+        feed = BufferedFeed(
+            FailsAfter(1, good_calls=2), batch_words=64, prefetch=2,
+            async_producer=True, get_timeout=10.0,
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(FeedFailedError, match="source exploded"):
+                feed.words64(10_000)
+            assert time.monotonic() - start < 5.0
+        finally:
+            feed.close()
+
+    def test_producer_error_cause_attached(self):
+        feed = BufferedFeed(
+            FailsAfter(1, good_calls=0), batch_words=64,
+            async_producer=True,
+        )
+        try:
+            with pytest.raises(FeedFailedError) as exc_info:
+                feed.words64(10)
+            assert isinstance(exc_info.value.cause, RuntimeError)
+            assert isinstance(exc_info.value.__cause__, RuntimeError)
+        finally:
+            feed.close()
+
+    def test_failed_feed_keeps_failing_fast(self):
+        feed = BufferedFeed(
+            FailsAfter(1, good_calls=0), batch_words=64,
+            async_producer=True,
+        )
+        try:
+            for _ in range(3):
+                start = time.monotonic()
+                with pytest.raises(FeedFailedError):
+                    feed.words64(10)
+                assert time.monotonic() - start < 1.0
+        finally:
+            feed.close()
+
+    def test_producer_failure_counted(self):
+        with obs.observed() as (registry, _):
+            feed = BufferedFeed(
+                FailsAfter(1, good_calls=0), batch_words=64,
+                async_producer=True,
+            )
+            with pytest.raises(FeedFailedError):
+                feed.words64(10)
+            feed.close()
+        assert feed.stats.snapshot()["producer_failures"] == 1
+        assert registry.counter(
+            "repro_feed_producer_failures_total").value == 1
+
+    def test_silent_producer_hits_deadline(self):
+        src = Blocks(1)
+        feed = BufferedFeed(
+            src, batch_words=64, prefetch=1, async_producer=True,
+            get_timeout=0.3,
+        )
+        try:
+            feed.words64(64)  # first batch flows
+            start = time.monotonic()
+            with pytest.raises(FeedTimeoutError, match="0.300"):
+                feed.words64(10_000)
+            assert 0.2 < time.monotonic() - start < 5.0
+        finally:
+            src.release.set()
+            feed.close()
+
+    def test_get_timeout_validation(self):
+        with pytest.raises(ValueError):
+            BufferedFeed(SplitMix64Source(1), get_timeout=0.0)
+
+    def test_words64_after_close_raises(self):
+        feed = BufferedFeed(
+            SplitMix64Source(1), batch_words=64, async_producer=True
+        )
+        feed.words64(64)
+        feed.close()
+        with pytest.raises(FeedFailedError, match="closed"):
+            feed.words64(10_000)
+
+    def test_reseed_after_close_raises(self):
+        feed = BufferedFeed(SplitMix64Source(1), batch_words=64)
+        feed.close()
+        with pytest.raises(FeedFailedError, match="closed"):
+            feed.reseed(1)
+
+
+class TestCloseHandshake:
+    """Satellite regression: close() must actually join the producer."""
+
+    def test_close_joins_producer_thread(self):
+        feed = BufferedFeed(
+            SplitMix64Source(5), batch_words=64, prefetch=2,
+            async_producer=True,
+        )
+        thread = feed._producer
+        assert thread is not None
+        feed.close()
+        assert feed._producer is None
+        assert not thread.is_alive()
+
+    def test_close_joins_blocked_producer(self):
+        # Tiny queue, slow consumer: the producer is parked in put()
+        # when close() runs.  The sentinel handshake must still join it.
+        feed = BufferedFeed(
+            SplitMix64Source(5), batch_words=8, prefetch=1,
+            async_producer=True,
+        )
+        time.sleep(0.2)  # let the producer fill the queue and block
+        thread = feed._producer
+        feed.close()
+        assert not thread.is_alive()
+
+    def test_close_joins_after_partial_drain(self):
+        feed = BufferedFeed(
+            SplitMix64Source(5), batch_words=64, prefetch=3,
+            async_producer=True,
+        )
+        feed.words64(100)
+        thread = feed._producer
+        feed.close()
+        assert not thread.is_alive()
+
+    def test_reseed_joins_old_producer_and_starts_new(self):
+        feed = BufferedFeed(
+            SplitMix64Source(5), batch_words=64, prefetch=2,
+            async_producer=True,
+        )
+        old = feed._producer
+        feed.words64(100)
+        feed.reseed(3)
+        try:
+            assert not old.is_alive()
+            assert feed._producer is not old
+            assert np.array_equal(feed.words64(100),
+                                  SplitMix64Source(3).words64(100))
+        finally:
+            feed.close()
 
 
 class TestObservability:

@@ -132,6 +132,73 @@ class TestFigures:
         assert "Figure" in capsys.readouterr().out
 
 
+class TestChaos:
+    def test_absorbing_profile_exits_zero_with_report(self, capsys):
+        rc = main(["chaos", "--profile", "failover", "-n", "50000",
+                   "--threads", "256"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resilience" in captured.out
+        assert "survived profile 'failover'" in captured.err
+        assert "failovers" in captured.err
+
+    def test_flaky_profile_reports_retries(self, capsys):
+        rc = main(["chaos", "--profile", "flaky", "-n", "100000",
+                   "--threads", "256"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        report = captured.out
+        assert "retries" in report
+        assert "health" in report
+
+    def test_fatal_profile_exits_nonzero_with_diagnosis(self, capsys):
+        rc = main(["chaos", "--profile", "fatal", "-n", "50000",
+                   "--threads", "256"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAILED under profile 'fatal'" in captured.err
+        assert "FeedFailedError" in captured.err
+        # The report still renders, with the failure section included.
+        assert "failure" in captured.out
+
+    def test_json_report(self, capsys):
+        rc = main(["chaos", "--profile", "none", "-n", "20000",
+                   "--threads", "256", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["resilience"]["health"] == "OK"
+        assert report["resilience"]["failovers"] == 0
+
+    def test_async_feed_flag(self, capsys):
+        rc = main(["chaos", "--profile", "failover", "-n", "50000",
+                   "--threads", "256", "--async-feed"])
+        assert rc == 0
+        assert "survived" in capsys.readouterr().err
+
+    def test_trace_export(self, capsys, tmp_path):
+        out = tmp_path / "chaos.jsonl"
+        rc = main(["chaos", "--profile", "failover", "-n", "50000",
+                   "--threads", "256", "--trace", str(out)])
+        assert rc == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[0]["command"] == "chaos"
+        assert records[0]["profile"] == "failover"
+        counters = {
+            r["name"] for r in records if r["type"] == "counter"
+        }
+        assert "repro_feed_failovers_total" in counters
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--profile", "nope"])
+
+    def test_observability_off_after_run(self):
+        main(["chaos", "--profile", "none", "-n", "5000",
+              "--threads", "256"])
+        assert not obs.metrics_enabled()
+        assert not obs.tracing_enabled()
+
+
 class TestQuality:
     def test_smallcrush_on_fast_generator(self, capsys):
         rc = main([

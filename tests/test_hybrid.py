@@ -15,6 +15,12 @@ from repro.hybrid.throughput import (
 )
 from repro.gpusim.pipeline import PipelineConfig
 from repro.hybrid.workunits import DEVICE_MAPPING, WorkItem, WorkUnit
+from repro.resilience import (
+    FaultProfile,
+    FaultyBitSource,
+    FeedHealth,
+    RetryPolicy,
+)
 
 
 class TestWorkUnits:
@@ -113,6 +119,51 @@ class TestScheduler:
         plan = GenerationPlan.from_config(cfg)
         assert plan.num_threads == 100
         assert plan.iterations == 10
+
+
+class TestSchedulerResilience:
+    def test_resilient_mode_is_value_transparent(self):
+        # With a healthy primary the supervised chain must not change
+        # the stream: resilient and plain schedulers agree bit-for-bit.
+        with HybridScheduler(seed=3, max_threads=256) as plain:
+            expect, _, _ = plain.run(500, batch_size=50)
+        with HybridScheduler(seed=3, max_threads=256,
+                             resilient=True) as sched:
+            got, _, _ = sched.run(500, batch_size=50)
+            assert sched.supervisor is not None
+            assert sched.supervisor.health is FeedHealth.OK
+        assert np.array_equal(expect, got)
+
+    def test_faulty_primary_fails_over_and_reports(self):
+        primary = FaultyBitSource(
+            SplitMix64Source(3), FaultProfile(fail_after=0),
+            sleep=lambda s: None,
+        )
+        with HybridScheduler(
+            seed=3, bit_source=primary,
+            failover=[SplitMix64Source(9)], max_threads=256,
+            retry_policy=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+        ) as sched:
+            vals = sched.generate(sched.plan(500, batch_size=50))
+            assert vals.size == 500
+            report = sched.report()
+        res = report.sections["resilience"]
+        assert res["failovers"] == 1
+        assert res["health"] == "DEGRADED"
+        assert res["active_source"] == "splitmix64"
+
+    def test_failover_arg_implies_resilient(self):
+        with HybridScheduler(
+            seed=3, failover=[SplitMix64Source(9)], max_threads=256
+        ) as sched:
+            assert sched.supervisor is not None
+            assert [s.name for s in sched.supervisor.chain] == \
+                ["glibc-rand", "splitmix64"]
+
+    def test_plain_scheduler_has_no_resilience_section(self):
+        with HybridScheduler(seed=3, max_threads=256) as sched:
+            sched.run(200, batch_size=50)
+            assert "resilience" not in sched.report().sections
 
 
 class TestSchedulerSeedZero:

@@ -1,0 +1,154 @@
+"""Failure-path tests for the multicore variant.
+
+Everything a worker can do wrong -- raise, wedge, die twice -- must
+surface as a diagnosable :class:`WorkerFailedError` in the caller,
+never a hang, a bare pool traceback, or a silently short stream.
+
+The bit-source factories live at module level so they pickle across
+the process boundary (fork or spawn).
+"""
+
+import functools
+import multiprocessing as mp
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bitsource.counter import SplitMix64Source
+from repro.hybrid.multiproc import multicore_generate
+from repro.resilience.errors import WorkerFailedError
+
+
+class _Exploding(SplitMix64Source):
+    """Every words64 call raises -- a worker that crashes immediately."""
+
+    def words64(self, n):
+        raise RuntimeError("injected worker crash")
+
+
+class _Wedged(SplitMix64Source):
+    """Never returns -- a worker stuck on a dead device or lock."""
+
+    def words64(self, n):
+        time.sleep(60)
+        return super().words64(n)
+
+
+class _FailsOnce(SplitMix64Source):
+    """Raises until a marker file exists -- a transient fault."""
+
+    def __init__(self, seed, marker):
+        super().__init__(seed)
+        self._marker = marker
+
+    def words64(self, n):
+        if not os.path.exists(self._marker):
+            with open(self._marker, "w"):
+                pass
+            raise RuntimeError("transient fault")
+        return super().words64(n)
+
+
+def _fails_once_factory(marker, seed):
+    return _FailsOnce(seed, marker)
+
+
+class TestWorkerCrash:
+    def test_crash_raises_worker_failed_with_diagnosis(self):
+        with pytest.raises(WorkerFailedError) as exc_info:
+            multicore_generate(200, workers=2, seed=1, lanes=64,
+                               bit_source_factory=_Exploding)
+        err = exc_info.value
+        assert err.worker_index == 0
+        assert err.attempts == 2  # initial try + the one retry
+        assert "injected worker crash" in str(err)
+        assert "no partial results" in str(err)
+
+    def test_retries_zero_fails_on_first_attempt(self):
+        with pytest.raises(WorkerFailedError) as exc_info:
+            multicore_generate(200, workers=2, seed=1, lanes=64,
+                               retries=0, bit_source_factory=_Exploding)
+        assert exc_info.value.attempts == 1
+
+    def test_inline_worker_crash_same_error_shape(self):
+        with pytest.raises(WorkerFailedError) as exc_info:
+            multicore_generate(200, workers=1, seed=1, lanes=64,
+                               bit_source_factory=_Exploding)
+        err = exc_info.value
+        assert err.worker_index == 0
+        assert err.attempts == 2
+        assert isinstance(err.cause, RuntimeError)
+
+    def test_failure_metric_counted(self):
+        with obs.observed() as (registry, _):
+            with pytest.raises(WorkerFailedError):
+                multicore_generate(200, workers=1, seed=1, lanes=64,
+                                   bit_source_factory=_Exploding)
+        assert registry.counter("repro_worker_failures_total").value == 1
+        assert registry.counter("repro_worker_retries_total").value == 1
+
+
+class TestRetrySuccess:
+    def test_transient_fault_retried_to_success(self, tmp_path):
+        factory = functools.partial(
+            _fails_once_factory, str(tmp_path / "marker"))
+        with obs.observed() as (registry, _):
+            out = multicore_generate(400, workers=2, seed=3, lanes=64,
+                                     bit_source_factory=factory)
+        # After the marker exists _FailsOnce is a plain SplitMix64Source,
+        # so the retried run produces the default stream, full length.
+        assert np.array_equal(
+            out, multicore_generate(400, workers=2, seed=3, lanes=64))
+        assert registry.counter("repro_worker_retries_total").value >= 1
+        assert registry.counter("repro_worker_failures_total").value == 0
+
+    def test_inline_transient_fault_retried(self, tmp_path):
+        factory = functools.partial(
+            _fails_once_factory, str(tmp_path / "marker"))
+        out = multicore_generate(200, workers=1, seed=3, lanes=64,
+                                 bit_source_factory=factory)
+        assert np.array_equal(
+            out, multicore_generate(200, workers=1, seed=3, lanes=64))
+
+
+class TestTimeout:
+    def test_wedged_worker_times_out_not_hangs(self):
+        start = time.monotonic()
+        with pytest.raises(WorkerFailedError, match="timed out"):
+            multicore_generate(200, workers=2, seed=1, lanes=64,
+                               timeout=1.0, bit_source_factory=_Wedged)
+        # Bounded: ~the timeout, nowhere near the worker's 60s sleep.
+        assert time.monotonic() - start < 30.0
+
+    def test_timeout_is_not_retried(self):
+        # A wedged worker would just wedge again; attempts stays 1.
+        with pytest.raises(WorkerFailedError) as exc_info:
+            multicore_generate(200, workers=2, seed=1, lanes=64,
+                               timeout=1.0, retries=3,
+                               bit_source_factory=_Wedged)
+        assert exc_info.value.attempts == 1
+
+
+class TestCallerPool:
+    def test_callers_pool_survives_worker_failure(self):
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        with ctx.Pool(processes=2) as pool:
+            ok_before = multicore_generate(200, workers=2, seed=1,
+                                           lanes=64, pool=pool)
+            with pytest.raises(WorkerFailedError):
+                multicore_generate(200, workers=2, seed=1, lanes=64,
+                                   pool=pool, bit_source_factory=_Exploding)
+            # The pool was not terminated on our behalf: it still serves.
+            ok_after = multicore_generate(200, workers=2, seed=1,
+                                          lanes=64, pool=pool)
+        assert np.array_equal(ok_before, ok_after)
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            multicore_generate(10, workers=2, retries=-1)

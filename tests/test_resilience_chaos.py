@@ -1,0 +1,122 @@
+"""Tests for the chaos harness (run_chaos) and the ``chaos`` fixture."""
+
+import numpy as np
+import pytest
+
+from repro.bitsource.glibc import GlibcRandom
+from repro.resilience import FeedFailedError, FeedHealth, SupervisedFeed
+from repro.resilience.chaos import ChaosResult, build_chaos_feed, run_chaos
+from repro.resilience.faults import FaultyBitSource
+
+NOSLEEP = lambda s: None
+
+
+class TestBuildChaosFeed:
+    def test_none_profile_is_value_transparent(self):
+        feed = build_chaos_feed("none", seed=7, sleep=NOSLEEP)
+        assert np.array_equal(feed.words64(512),
+                              GlibcRandom(7).words64(512))
+
+    def test_chain_shape(self):
+        feed = build_chaos_feed("flaky", seed=1, sleep=NOSLEEP)
+        names = [s.name for s in feed.chain]
+        assert names[0].startswith("faulty(glibc-rand")
+        assert names[1:] == ["splitmix64", "os-entropy"]
+
+    def test_fatal_chain_has_no_healthy_member(self):
+        feed = build_chaos_feed("fatal", seed=1, sleep=NOSLEEP)
+        assert all(isinstance(s, FaultyBitSource) for s in feed.chain)
+
+
+class TestRunChaos:
+    def test_none_profile_survives_clean(self):
+        result = run_chaos("none", n=20_000, num_threads=256,
+                           sleep=NOSLEEP)
+        assert result.survived and result.exit_code == 0
+        res = result.report.sections["resilience"]
+        assert res["health"] == "OK"
+        assert res["retries"] == 0 and res["failovers"] == 0
+        assert result.numbers == 20_000
+
+    def test_failover_profile_absorbed_and_recorded(self):
+        result = run_chaos("failover", n=50_000, num_threads=256,
+                           sleep=NOSLEEP)
+        assert result.survived
+        res = result.report.sections["resilience"]
+        assert res["failovers"] >= 1
+        assert res["health"] == "DEGRADED"
+        # The switch point is in the report, with the failing source named.
+        event = res["failover_events"][0]
+        assert event["from"].startswith("faulty(glibc-rand")
+        assert event["at_word"] >= 0
+
+    def test_flaky_profile_retries_with_small_batches(self):
+        # Small batches force many words64 calls so the injection
+        # schedule actually fires within a modest n.
+        result = run_chaos("flaky", n=50_000, num_threads=256,
+                           batch_words=1 << 10, sleep=NOSLEEP)
+        assert result.survived
+        assert result.report.sections["resilience"]["retries"] > 0
+
+    def test_fatal_profile_fails_with_diagnosis(self):
+        result = run_chaos("fatal", n=20_000, num_threads=256,
+                           sleep=NOSLEEP)
+        assert not result.survived and result.exit_code == 1
+        assert isinstance(result.error, FeedFailedError)
+        failure = result.report.sections["failure"]
+        assert failure["error"] == "FeedFailedError"
+        assert "exhausted" in failure["message"]
+        assert result.report.sections["resilience"]["health"] == "FAILED"
+
+    def test_async_feed_path(self):
+        result = run_chaos("failover", n=50_000, num_threads=256,
+                           async_feed=True, sleep=NOSLEEP)
+        assert result.survived
+        assert result.report.sections["resilience"]["failovers"] >= 1
+
+    def test_async_feed_fatal_does_not_hang(self):
+        result = run_chaos("fatal", n=20_000, num_threads=256,
+                           async_feed=True, sleep=NOSLEEP)
+        assert not result.survived
+        assert isinstance(result.error, FeedFailedError)
+
+    def test_deterministic(self):
+        def drill():
+            r = run_chaos("failover", n=50_000, num_threads=256,
+                          sleep=NOSLEEP)
+            res = r.report.sections["resilience"]
+            return (r.survived, res["retries"], res["failovers"],
+                    res["health"])
+
+        assert drill() == drill()
+
+    def test_result_dataclass(self):
+        result = run_chaos("none", n=5_000, num_threads=256, sleep=NOSLEEP)
+        assert isinstance(result, ChaosResult)
+        assert result.profile == "none"
+        assert result.error is None
+
+
+class TestChaosFixture:
+    def test_plain_faulty_source(self, chaos):
+        src = chaos("none")
+        assert isinstance(src, FaultyBitSource)
+        assert src.words64(16).size == 16
+
+    def test_supervised_chain_survives_failover(self, chaos):
+        feed = chaos("failover", supervised=True)
+        assert isinstance(feed, SupervisedFeed)
+        for _ in range(10):
+            assert feed.words64(64).size == 64
+        assert feed.stats.snapshot()["failovers"] == 1
+        assert feed.health is FeedHealth.DEGRADED
+
+    def test_fatal_primary_fails_over_to_healthy_fallback(self, chaos):
+        feed = chaos("fatal", supervised=True)
+        assert feed.words64(64).size == 64
+        assert feed.stats.snapshot()["failovers"] == 1
+
+    def test_fatal_chain_without_fallbacks_exhausts(self, chaos):
+        feed = chaos("fatal", supervised=True, fallbacks=[])
+        with pytest.raises(FeedFailedError):
+            feed.words64(64)

@@ -1,0 +1,146 @@
+"""Tests for deterministic fault injection (FaultyBitSource)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bitsource.counter import SplitMix64Source
+from repro.resilience import (
+    PROFILES,
+    FaultProfile,
+    FaultyBitSource,
+    InjectedFault,
+    get_profile,
+    scaled,
+)
+
+
+class TestProfiles:
+    def test_named_profiles_exist(self):
+        for name in ("none", "flaky", "lossy", "corrupt", "failover",
+                     "fatal"):
+            assert get_profile(name).name == name
+
+    def test_unknown_profile_lists_known(self):
+        with pytest.raises(ValueError, match="flaky"):
+            get_profile("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(latency_s=-1)
+        with pytest.raises(ValueError):
+            FaultProfile(fail_after=-1)
+
+    def test_benign(self):
+        assert get_profile("none").benign
+        assert not get_profile("flaky").benign
+        assert not get_profile("failover").benign
+
+    def test_scaled_clamps(self):
+        prof = scaled(get_profile("flaky"), 100.0)
+        assert prof.error_rate == 1.0
+
+
+class TestTransparency:
+    def test_none_profile_is_value_transparent(self):
+        direct = SplitMix64Source(3).words64(1000)
+        faulty = FaultyBitSource(SplitMix64Source(3), "none")
+        assert np.array_equal(direct, faulty.words64(1000))
+
+    def test_negative_request_rejected(self):
+        faulty = FaultyBitSource(SplitMix64Source(1), "none")
+        with pytest.raises(ValueError):
+            faulty.words64(-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_schedule(self):
+        def run(fault_seed):
+            src = FaultyBitSource(
+                SplitMix64Source(1), "flaky", fault_seed=fault_seed
+            )
+            outcomes = []
+            for _ in range(50):
+                try:
+                    src.words64(8)
+                    outcomes.append("ok")
+                except InjectedFault:
+                    outcomes.append("err")
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_reseed_restarts_schedule(self):
+        src = FaultyBitSource(SplitMix64Source(1), "flaky", fault_seed=7)
+
+        def outcomes():
+            out = []
+            for _ in range(30):
+                try:
+                    src.words64(8)
+                    out.append("ok")
+                except InjectedFault:
+                    out.append("err")
+            return out
+
+        first = outcomes()
+        src.reseed(1)
+        assert outcomes() == first
+
+
+class TestFailureModes:
+    def test_errors_raise_injected_fault(self):
+        src = FaultyBitSource(SplitMix64Source(1),
+                              FaultProfile(error_rate=1.0))
+        with pytest.raises(InjectedFault) as exc_info:
+            src.words64(8)
+        assert exc_info.value.call_index == 0
+        assert src.injected()["errors"] == 1
+
+    def test_fail_after_kills_permanently(self):
+        src = FaultyBitSource(SplitMix64Source(1),
+                              FaultProfile(fail_after=2))
+        src.words64(8)
+        src.words64(8)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                src.words64(8)
+
+    def test_short_reads_truncate_but_preserve_stream(self):
+        src = FaultyBitSource(SplitMix64Source(1),
+                              FaultProfile(short_read_rate=1.0))
+        out = src.words64(64)
+        assert 1 <= out.size < 64
+        # The words that do arrive are the true prefix of the stream.
+        assert np.array_equal(out, SplitMix64Source(1).words64(out.size))
+        assert src.injected()["short_reads"] == 1
+
+    def test_corruption_flips_exactly_one_bit(self):
+        src = FaultyBitSource(SplitMix64Source(1),
+                              FaultProfile(corrupt_rate=1.0))
+        out = src.words64(64)
+        clean = SplitMix64Source(1).words64(64)
+        diff = out ^ clean
+        assert np.count_nonzero(diff) == 1
+        assert bin(int(diff[diff != 0][0])).count("1") == 1
+
+    def test_latency_calls_sleeper(self):
+        slept = []
+        src = FaultyBitSource(
+            SplitMix64Source(1),
+            FaultProfile(latency_rate=1.0, latency_s=0.25),
+            sleep=slept.append,
+        )
+        src.words64(8)
+        assert slept == [0.25]
+
+    def test_injection_metric(self):
+        with obs.observed() as (registry, _):
+            src = FaultyBitSource(SplitMix64Source(1),
+                                  FaultProfile(error_rate=1.0))
+            with pytest.raises(InjectedFault):
+                src.words64(8)
+        assert registry.counter("repro_faults_injected_total").value == 1
