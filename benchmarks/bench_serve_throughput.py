@@ -1,0 +1,192 @@
+"""Serving-path soak/throughput benchmark: many concurrent sessions.
+
+Boots an in-process :class:`~repro.serve.server.RNGServer` (daemon-thread
+event loop, ephemeral port) and drives it with ``--clients`` concurrent
+blocking clients, each fetching from its own session.  Verifies the
+serving contract under load -- every fetch answered, zero cross-session
+stream overlap, no hung sessions left behind -- and records throughput
+plus client-observed latency percentiles.
+
+Runs two ways:
+
+* under pytest (small default load; registers a report via ``record``);
+* as a script (``python benchmarks/bench_serve_throughput.py --clients
+  100``), the CI soak mode.  Exits non-zero on any failed fetch, overlap,
+  or hung session, so the serve CI job fails loudly.
+
+Either way the result lands in ``benchmarks/results/BENCH_serve.json``
+through the shared bench exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.serve import ServeClient, ServeConfig, serve_background
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def run_soak(
+    clients: int = 100,
+    fetches: int = 5,
+    count: int = 256,
+    workers: int = 4,
+    join_timeout_s: float = 120.0,
+) -> dict:
+    """Drive ``clients`` concurrent sessions; return the measured report.
+
+    Raises ``RuntimeError`` on any client error, hung session, or
+    cross-session overlap -- the CI soak turns that into a non-zero exit.
+    """
+    config = ServeConfig(
+        master_seed=2026,
+        workers=workers,
+        max_global_queue=max(256, clients * 2),
+        max_session_queue=16,
+    )
+    latencies: list = []
+    errors: list = []
+    sessions_values: dict = {}
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def client_main(i: int) -> None:
+        try:
+            with ServeClient(
+                handle.host, handle.port, session=f"soak-{i}",
+                retries=8, backoff_s=0.02,
+            ) as client:
+                barrier.wait(timeout=60)
+                mine, lats = [], []
+                for _ in range(fetches):
+                    t0 = time.perf_counter()
+                    values = client.fetch(count)
+                    lats.append(time.perf_counter() - t0)
+                    mine.append(values)
+            with lock:
+                sessions_values[i] = mine
+                latencies.extend(lats)
+        except Exception as exc:  # noqa: BLE001 - soak boundary
+            with lock:
+                errors.append(f"client {i}: {type(exc).__name__}: {exc}")
+
+    with serve_background(config) as handle:
+        threads = [
+            threading.Thread(target=client_main, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=join_timeout_s)
+        wall = time.perf_counter() - wall0
+        hung = [t.name for t in threads if t.is_alive()]
+        status = None
+        if not hung:
+            with ServeClient(handle.host, handle.port) as c:
+                status = c.status()
+
+    if hung:
+        raise RuntimeError(f"{len(hung)} client sessions hung: {hung[:5]}")
+    if errors:
+        raise RuntimeError(
+            f"{len(errors)} clients failed; first: {errors[0]}"
+        )
+
+    # Zero cross-session overlap: the load-bearing serving guarantee.
+    seen: set = set()
+    for i, arrays in sessions_values.items():
+        mine = set()
+        for values in arrays:
+            mine.update(int(v) for v in values)
+        overlap = seen & mine
+        if overlap:
+            raise RuntimeError(
+                f"cross-session overlap at client {i}: {len(overlap)} values"
+            )
+        seen |= mine
+
+    total_numbers = clients * fetches * count
+    latencies.sort()
+    report = {
+        "clients": clients,
+        "fetches_per_client": fetches,
+        "count_per_fetch": count,
+        "workers": workers,
+        "total_numbers": total_numbers,
+        "wall_s": round(wall, 4),
+        "numbers_per_s": round(total_numbers / wall, 1),
+        "fetches_per_s": round(clients * fetches / wall, 1),
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "server_health": status["server"]["health"],
+        "server_busy_total": status["server"]["busy_total"],
+        "server_sessions": status["server"]["sessions"],
+    }
+    return report
+
+
+def _format_report(report: dict) -> str:
+    lines = ["serve throughput soak", "-" * 38]
+    for key, value in report.items():
+        lines.append(f"{key:22}: {value}")
+    return "\n".join(lines)
+
+
+def test_serve_soak():
+    """Pytest-scale soak: 16 sessions, still checks every guarantee."""
+    from conftest import record
+
+    report = run_soak(clients=16, fetches=4, count=256)
+    assert report["server_health"] == "OK"
+    assert report["total_numbers"] == 16 * 4 * 256
+    record("serve", _format_report(report), data={
+        k: v for k, v in report.items() if isinstance(v, (int, float))
+    })
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=100,
+                        help="concurrent client sessions")
+    parser.add_argument("--fetches", type=int, default=5,
+                        help="fetches per client")
+    parser.add_argument("--count", type=int, default=256,
+                        help="numbers per fetch")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker threads")
+    args = parser.parse_args(argv)
+    try:
+        report = run_soak(
+            clients=args.clients, fetches=args.fetches,
+            count=args.count, workers=args.workers,
+        )
+    except RuntimeError as exc:
+        print(f"SOAK FAILED: {exc}", file=sys.stderr)
+        return 1
+    from common import emit_bench_record
+
+    text = _format_report(report)
+    print(text)
+    path = emit_bench_record("serve", fields={"report": "serve"}, metrics={
+        k: v for k, v in report.items() if isinstance(v, (int, float))
+    })
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

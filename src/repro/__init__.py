@@ -21,7 +21,10 @@ Sub-packages:
 * :mod:`repro.hybrid`     -- pipeline scheduling and throughput models;
 * :mod:`repro.quality`    -- DIEHARD and Crush statistical batteries;
 * :mod:`repro.apps`       -- list ranking and photon migration;
-* :mod:`repro.obs`        -- metrics, stage tracing, and run reports.
+* :mod:`repro.obs`        -- metrics, stage tracing, and run reports;
+* :mod:`repro.resilience` -- fault injection and supervised feeds;
+* :mod:`repro.serve`      -- the on-demand network RNG service
+  (per-session expander streams, batching, backpressure).
 """
 
 from repro.core import (

@@ -14,7 +14,14 @@ Commands
 ``chaos``      run generation under a named fault-injection profile
                (resilience drill): exits 0 when the retry budget and
                failover chain absorb the faults, 1 with a
-               ``FeedFailedError`` diagnosis when they cannot.
+               ``FeedFailedError`` diagnosis when they cannot;
+``serve``      run the on-demand RNG service (asyncio TCP server,
+               per-session expander streams, batching, backpressure);
+``fetch``      fetch numbers from a running server (or query its
+               ``STATUS`` document with ``--status``).
+
+``repro --version`` reports the installed package version, so deployed
+servers and clients can say what they run.
 
 ``generate`` and ``quality`` accept ``--trace <file.jsonl>`` (JSONL span
 and metric events) and ``--metrics`` (Prometheus-style text dump on
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 
@@ -47,16 +55,31 @@ from repro.hybrid.throughput import (
 from repro.resilience.faults import PROFILES
 from repro.utils.tables import format_series
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
 
 #: Numbers formatted and written per flush in ``generate`` (streaming).
 GENERATE_CHUNK = 1 << 14
+
+
+def package_version() -> str:
+    """The installed package version (metadata first, source fallback)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed (e.g. PYTHONPATH=src): use source
+        from repro import __version__
+
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="On-demand expander-walk PRNG (IPDPS-W 2012 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -139,6 +162,73 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
         help="additionally write the raw span/metric events to FILE",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the on-demand RNG service (asyncio TCP server)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731,
+        help="listening port (0 picks an ephemeral port)",
+    )
+    serve.add_argument("--seed", type=int, default=1, help="master seed")
+    serve.add_argument(
+        "--lanes", type=int, default=64,
+        help="walker lanes per session stream",
+    )
+    serve.add_argument(
+        "--max-session-queue", type=int, default=8,
+        help="in-flight FETCHes per session before BUSY",
+    )
+    serve.add_argument(
+        "--max-global-queue", type=int, default=256,
+        help="queued requests server-wide before BUSY",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="per-session token-bucket refill (numbers/second)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None,
+        help="per-session token-bucket capacity (numbers)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long to wait for requests to coalesce into a batch",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing batches",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds, then exit (default: forever)",
+    )
+    add_obs_flags(serve)
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="fetch numbers from a running repro serve instance",
+    )
+    fetch.add_argument("--host", default="127.0.0.1")
+    fetch.add_argument("--port", type=int, default=8731)
+    fetch.add_argument("-n", type=int, default=10, help="how many numbers")
+    fetch.add_argument(
+        "--session", default=None,
+        help="session id (stream identity; default: random one-off)",
+    )
+    fetch.add_argument(
+        "--format", choices=["hex", "int", "float"], default="hex"
+    )
+    fetch.add_argument(
+        "--retries", type=int, default=5,
+        help="retry budget when the server answers BUSY",
+    )
+    fetch.add_argument(
+        "--status", action="store_true",
+        help="print the server's STATUS document instead of fetching",
     )
     return parser
 
@@ -278,6 +368,81 @@ def _cmd_chaos(args) -> int:
     return result.exit_code
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import RNGServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        master_seed=args.seed,
+        lanes=args.lanes,
+        max_session_queue=args.max_session_queue,
+        max_global_queue=args.max_global_queue,
+        rate=args.rate,
+        burst=args.burst,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        workers=args.workers,
+    )
+
+    async def run() -> None:
+        server = RNGServer(config)
+        await server.start()
+        print(
+            f"repro serve: listening on {config.host}:{server.port} "
+            f"(master seed {config.master_seed}, {config.lanes} lanes/session)",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.aclose()
+            print(
+                f"repro serve: stopped after {server.requests_total} "
+                f"requests, {server.numbers_total} numbers, "
+                f"{server.busy_total} busy, health {server.health}",
+                file=sys.stderr,
+            )
+
+    with _obs_session(args):
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_fetch(args) -> int:
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import ServeError
+
+    try:
+        with ServeClient(
+            args.host, args.port, session=args.session, retries=args.retries
+        ) as client:
+            if args.status:
+                print(json.dumps(client.status(), indent=2, sort_keys=True))
+                return 0
+            if args.format == "float":
+                lines = [f"{v:.17f}" for v in client.random(args.n)]
+            else:
+                values = client.fetch(args.n)
+                if args.format == "hex":
+                    lines = [f"{int(v):#018x}" for v in values]
+                else:
+                    lines = [str(int(v)) for v in values]
+            print("\n".join(lines))
+    except ServeError as exc:
+        print(f"repro fetch: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _cmd_platform(args) -> int:
     res = simulate_pipeline(
         PipelineConfig(total_numbers=args.n, batch_size=args.batch_size)
@@ -352,6 +517,10 @@ def main(argv=None) -> int:
             return _cmd_stats(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "fetch":
+            return _cmd_fetch(args)
         return _cmd_figures(args)
     except BrokenPipeError:
         # Downstream closed early (e.g. ``| head``): normal termination.

@@ -1,0 +1,300 @@
+"""Request coalescing and backpressure primitives for the RNG service.
+
+The event loop must never generate numbers itself: a ``FETCH`` becomes a
+:class:`BatchRequest` on a **bounded global queue**, a dispatcher
+coroutine coalesces adjacent requests (up to ``max_batch``, waiting at
+most ``window_s`` for stragglers) into one batch, and the batch is
+executed on a shared :class:`~concurrent.futures.ThreadPoolExecutor` --
+the serving analogue of the paper's block size ``S``: many small
+on-demand requests amortize into one off-loop hop, exactly as many
+per-thread numbers amortize one kernel launch.
+
+Backpressure is explicit everywhere:
+
+* the global queue is bounded -- :meth:`BatchingExecutor.try_submit`
+  returns ``None`` (the server answers ``BUSY``) instead of buffering
+  without limit;
+* per-session in-flight caps and the :class:`TokenBucket` rate limiter
+  are enforced by the server *before* submission;
+* every stage records through :mod:`repro.obs.metrics`
+  (``repro_serve_queue_depth``, ``repro_serve_batch_size``,
+  ``repro_serve_request_latency_seconds``, ...), so overload is visible
+  on the existing Prometheus/JSONL exporters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.protocol import ServeError
+from repro.serve.session import SessionStream
+from repro.utils.checks import check_positive
+
+__all__ = ["TokenBucket", "BatchRequest", "BatchingExecutor",
+           "BATCH_SIZE_BUCKETS", "LATENCY_BUCKETS"]
+
+#: Batch-size histogram bounds (requests per executed batch).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Request-latency histogram bounds (seconds, serving-flavoured).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0
+)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Thread-safe; tokens are *numbers*, so ``try_acquire(n)`` charges a
+    fetch by its size.  ``rate=None`` disables limiting entirely (every
+    acquire succeeds), which is the server default.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock=time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 0.0))
+        if rate is not None and self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refilled to now; for introspection)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            return self._tokens
+
+
+@dataclass
+class BatchRequest:
+    """One FETCH in flight: which stream, how many, where the answer goes."""
+
+    session: SessionStream
+    count: int
+    future: "asyncio.Future[np.ndarray]"
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class BatchingExecutor:
+    """Coalesces FETCH requests and runs them on a worker pool.
+
+    Must be started (and closed) from within a running event loop; the
+    worker threads hand results back with ``loop.call_soon_threadsafe``.
+
+    Parameters
+    ----------
+    max_queue : int
+        Global bound on queued-but-unexecuted requests; the overload
+        valve.  When full, :meth:`try_submit` returns ``None``.
+    max_batch : int
+        Most requests coalesced into one worker-pool hop.
+    window_s : float
+        How long the dispatcher waits for stragglers once a batch has
+        its first request.  ``0`` disables coalescing delay.
+    workers : int
+        Worker threads executing batches (sessions are locked
+        individually, so concurrent batches are safe).
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        max_batch: int = 64,
+        window_s: float = 0.002,
+        workers: int = 2,
+    ):
+        check_positive("max_queue", max_queue)
+        check_positive("max_batch", max_batch)
+        check_positive("workers", workers)
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self.max_queue = int(max_queue)
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self.workers = int(workers)
+        self._queue: Optional["asyncio.Queue[BatchRequest]"] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        # One slot per worker: the dispatcher must not move requests out
+        # of the *bounded* queue into the executor's unbounded internal
+        # queue faster than workers drain them -- that would turn the
+        # global cap into a fiction.  While every worker is busy,
+        # requests stay queued and overflow becomes BUSY.
+        self._slots = asyncio.Semaphore(self.workers)
+        self._closing = False
+        self._dispatcher = self._loop.create_task(self._dispatch())
+
+    async def aclose(self) -> None:
+        """Stop dispatching; fail whatever is still queued."""
+        self._closing = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                req = self._queue.get_nowait()
+                if not req.future.done():
+                    req.future.set_exception(
+                        ServeError("server shutting down")
+                    )
+            self._observe_depth()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Submission (event-loop side)
+    # ------------------------------------------------------------------
+
+    def try_submit(
+        self, session: SessionStream, count: int
+    ) -> Optional["asyncio.Future[np.ndarray]"]:
+        """Enqueue a request, or return ``None`` when the queue is full."""
+        if self._queue is None or self._loop is None or self._closing:
+            raise ServeError("executor is not running")
+        future: "asyncio.Future[np.ndarray]" = self._loop.create_future()
+        req = BatchRequest(session=session, count=count, future=future)
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            return None
+        self._observe_depth()
+        return future
+
+    @property
+    def queue_depth(self) -> int:
+        return 0 if self._queue is None else self._queue.qsize()
+
+    def _observe_depth(self) -> None:
+        obs_metrics.gauge(
+            "repro_serve_queue_depth", "FETCH requests queued, not yet run"
+        ).set(self.queue_depth)
+
+    # ------------------------------------------------------------------
+    # Dispatch (event-loop side) and execution (worker threads)
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            await self._slots.acquire()
+            batch = [await self._queue.get()]
+            deadline = self._loop.time() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    # Window elapsed; sweep whatever is already queued.
+                    while (
+                        len(batch) < self.max_batch
+                        and not self._queue.empty()
+                    ):
+                        batch.append(self._queue.get_nowait())
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._observe_depth()
+            obs_metrics.histogram(
+                "repro_serve_batch_size", BATCH_SIZE_BUCKETS,
+                "FETCH requests coalesced per worker-pool batch",
+            ).observe(len(batch))
+            obs_metrics.counter(
+                "repro_serve_batches_total", "Batches run on the worker pool"
+            ).inc()
+            self._pool.submit(self._execute, batch, self._loop)
+
+    def _execute(
+        self, batch: List[BatchRequest], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        latency = obs_metrics.histogram(
+            "repro_serve_request_latency_seconds", LATENCY_BUCKETS,
+            "FETCH latency from enqueue to values ready",
+        )
+        try:
+            for req in batch:
+                if req.future.cancelled():
+                    # Client is gone; don't advance its stream for nothing.
+                    continue
+                try:
+                    values = req.session.generate(req.count)
+                except BaseException as exc:  # noqa: BLE001 - worker boundary
+                    loop.call_soon_threadsafe(_resolve, req.future, None, exc)
+                    continue
+                latency.observe(time.monotonic() - req.enqueued_at)
+                loop.call_soon_threadsafe(_resolve, req.future, values, None)
+        finally:
+            loop.call_soon_threadsafe(self._release_slot)
+
+    def _release_slot(self) -> None:
+        if self._slots is not None:
+            self._slots.release()
+
+
+def _resolve(future: asyncio.Future, values, exc) -> None:
+    """Settle ``future`` on the loop thread, tolerating cancellation."""
+    if future.done():
+        return
+    if exc is not None:
+        future.set_exception(exc)
+    else:
+        future.set_result(values)

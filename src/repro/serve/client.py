@@ -1,0 +1,227 @@
+"""Clients for the on-demand RNG service: blocking and asyncio flavours.
+
+:class:`ServeClient` is the plain-socket blocking client -- the one an
+application thread, the ``repro fetch`` CLI, and the throughput
+benchmark use.  :class:`AsyncServeClient` is the same protocol over
+``asyncio`` streams for consumers already living in an event loop.
+
+Both speak the binary protocol of :mod:`repro.serve.protocol`; a
+``BUSY`` response surfaces as :class:`ServerBusyError` (or is retried
+with exponential backoff when ``retries`` is given), and an ``ERROR``
+response raises :class:`ServeError` with the server's message.
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1", 8731, session="worker-3") as client:
+        values = client.fetch(1000)          # numpy uint64, on demand
+        health = client.status()["server"]["health"]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import secrets
+import socket
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.serve import protocol as proto
+
+__all__ = ["ServeClient", "AsyncServeClient", "DEFAULT_TIMEOUT_S"]
+
+#: Socket timeout: far above any sane batch window, far below a hang.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+def _new_session_id() -> str:
+    return "anon-" + secrets.token_hex(8)
+
+
+def _handle_response(opcode: int, payload: bytes) -> np.ndarray:
+    """Map a FETCH response frame to values or the right exception."""
+    if opcode == proto.OP_VALUES:
+        return proto.decode_values(payload)
+    if opcode == proto.OP_BUSY:
+        raise proto.ServerBusyError(payload.decode("utf-8", "replace"))
+    if opcode == proto.OP_ERROR:
+        raise proto.ServeError(payload.decode("utf-8", "replace"))
+    raise proto.ProtocolError(f"unexpected response opcode {opcode:#x}")
+
+
+def _expect_json(opcode: int, payload: bytes) -> dict:
+    if opcode == proto.OP_ERROR:
+        raise proto.ServeError(payload.decode("utf-8", "replace"))
+    if opcode != proto.OP_JSON:
+        raise proto.ProtocolError(f"expected JSON frame, got {opcode:#x}")
+    return proto.decode_json_payload(payload)
+
+
+class ServeClient:
+    """Blocking client over a plain TCP socket.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Where the server listens.
+    session : str, optional
+        Stream identity; the same ``(master_seed, session)`` pair always
+        yields the same stream.  Defaults to a random one-off id.
+    timeout : float
+        Socket deadline for connect and each response.
+    retries, backoff_s : int, float
+        ``fetch`` retry budget on ``BUSY`` (exponential backoff);
+        ``retries=0`` surfaces ``BUSY`` as :class:`ServerBusyError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        session: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT_S,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+    ):
+        self.session = session or _new_session_id()
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.hello_info = self._roundtrip_json(proto.pack_hello(self.session))
+        self.stream_index = self.hello_info.get("stream_index")
+
+    # -- plumbing ------------------------------------------------------
+
+    def _roundtrip(self, frame: bytes):
+        self._sock.sendall(frame)
+        return proto.read_frame_socket(self._sock)
+
+    def _roundtrip_json(self, frame: bytes) -> dict:
+        return _expect_json(*self._roundtrip(frame))
+
+    # -- API -----------------------------------------------------------
+
+    def fetch(self, n: int) -> np.ndarray:
+        """The next ``n`` numbers of this session's stream."""
+        attempt = 0
+        while True:
+            try:
+                return _handle_response(
+                    *self._roundtrip(proto.pack_fetch(n))
+                )
+            except proto.ServerBusyError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self.backoff_s * 2 ** attempt)
+                attempt += 1
+
+    def random(self, n: int) -> np.ndarray:
+        """``n`` uniform floats in [0, 1) (53 significant bits)."""
+        w = self.fetch(n)
+        return (w >> np.uint64(11)).astype(np.float64) / 9007199254740992.0
+
+    def status(self) -> dict:
+        """The server's STATUS document (health, queues, counters)."""
+        return self._roundtrip_json(proto.pack_frame(proto.OP_STATUS))
+
+    def bye(self) -> None:
+        try:
+            self._roundtrip_json(proto.pack_frame(proto.OP_BYE))
+        except (proto.ServeError, OSError):
+            pass  # goodbye is best-effort
+
+    def close(self) -> None:
+        try:
+            self.bye()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """The same protocol over asyncio streams.
+
+    Usage::
+
+        client = await AsyncServeClient.connect(host, port, session="a")
+        values = await client.fetch(256)
+        await client.close()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session: str,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.session = session
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.hello_info: dict = {}
+        self.stream_index: Optional[int] = None
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        session: Optional[str] = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+    ) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, session or _new_session_id(),
+                     retries=retries, backoff_s=backoff_s)
+        client.hello_info = _expect_json(
+            *await client._roundtrip(proto.pack_hello(client.session))
+        )
+        client.stream_index = client.hello_info.get("stream_index")
+        return client
+
+    async def _roundtrip(self, frame: bytes):
+        self._writer.write(frame)
+        await self._writer.drain()
+        return await proto.read_frame(self._reader)
+
+    async def fetch(self, n: int) -> np.ndarray:
+        attempt = 0
+        while True:
+            try:
+                return _handle_response(
+                    *await self._roundtrip(proto.pack_fetch(n))
+                )
+            except proto.ServerBusyError:
+                if attempt >= self.retries:
+                    raise
+                await asyncio.sleep(self.backoff_s * 2 ** attempt)
+                attempt += 1
+
+    async def status(self) -> dict:
+        return _expect_json(
+            *await self._roundtrip(proto.pack_frame(proto.OP_STATUS))
+        )
+
+    async def close(self) -> None:
+        try:
+            self._writer.write(proto.pack_frame(proto.OP_BYE))
+            await self._writer.drain()
+            await proto.read_frame(self._reader)
+        except (proto.ServeError, ConnectionError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

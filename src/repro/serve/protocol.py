@@ -1,0 +1,227 @@
+"""Wire protocol of the on-demand RNG service.
+
+The service speaks a small **length-prefixed binary protocol**: every
+frame is a 4-byte big-endian length followed by a 1-byte opcode and a
+payload.  Values travel as raw big-endian 64-bit words, so a ``FETCH``
+of ``n`` numbers costs ``5 + 8n`` bytes on the wire and decodes to a
+NumPy ``uint64`` array with one ``frombuffer`` call.
+
+    +----------------+--------+---------------------+
+    | length (u32 BE)| opcode | payload (length - 1)|
+    +----------------+--------+---------------------+
+
+Request opcodes
+    ``HELLO``   utf-8 session id (establishes / resumes a stream);
+    ``FETCH``   u32 BE count of 64-bit numbers wanted;
+    ``STATUS``  empty payload -- server/session health and stats;
+    ``BYE``     empty payload -- orderly goodbye.
+
+Response opcodes
+    ``VALUES``  raw big-endian u64 words (the numbers);
+    ``BUSY``    utf-8 reason -- explicit backpressure, retry later;
+    ``ERROR``   utf-8 message -- the request was invalid;
+    ``JSON``    utf-8 JSON document (HELLO ack, STATUS body, BYE ack).
+
+A connection whose **first byte is ``{``** switches to the JSON-lines
+debug mode instead: one JSON object per line (``{"op": "fetch",
+"n": 8}``), answered with one JSON object per line.  Same semantics,
+human-typable through ``nc``.
+
+This module is shared by the server and both clients; it has no I/O of
+its own beyond ``asyncio`` stream helpers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "OP_HELLO",
+    "OP_FETCH",
+    "OP_STATUS",
+    "OP_BYE",
+    "OP_VALUES",
+    "OP_BUSY",
+    "OP_ERROR",
+    "OP_JSON",
+    "MAX_FRAME_BYTES",
+    "MAX_FETCH_COUNT",
+    "MAX_SESSION_ID_BYTES",
+    "ServeError",
+    "ProtocolError",
+    "ServerBusyError",
+    "SessionRequiredError",
+    "pack_frame",
+    "pack_fetch",
+    "pack_hello",
+    "encode_values",
+    "decode_values",
+    "read_frame",
+    "read_frame_socket",
+    "decode_json_payload",
+    "json_line",
+]
+
+# Request opcodes (client -> server).
+OP_HELLO = 0x01
+OP_FETCH = 0x02
+OP_STATUS = 0x03
+OP_BYE = 0x04
+
+# Response opcodes (server -> client).
+OP_VALUES = 0x81
+OP_BUSY = 0x82
+OP_ERROR = 0x83
+OP_JSON = 0x84
+
+#: Hard cap on a frame, both directions (16 MiB covers a 2M-number fetch).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Largest single FETCH the server will accept (numbers per request).
+MAX_FETCH_COUNT = (MAX_FRAME_BYTES - 1) // 8
+
+#: Session ids are short opaque strings, not documents.
+MAX_SESSION_ID_BYTES = 256
+
+_LEN = struct.Struct("!I")
+_U32 = struct.Struct("!I")
+
+
+class ServeError(Exception):
+    """Base class for service-layer errors."""
+
+
+class ProtocolError(ServeError):
+    """Malformed or oversized frame, unknown opcode, truncated stream."""
+
+
+class ServerBusyError(ServeError):
+    """The server shed this request (backpressure); retry later."""
+
+
+class SessionRequiredError(ServeError):
+    """A FETCH arrived before HELLO established a session."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def pack_frame(opcode: int, payload: bytes = b"") -> bytes:
+    """One complete wire frame: length prefix + opcode + payload."""
+    if not 0 <= opcode <= 0xFF:
+        raise ProtocolError(f"opcode out of range: {opcode}")
+    body_len = 1 + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame too large: {body_len} > {MAX_FRAME_BYTES} bytes"
+        )
+    return _LEN.pack(body_len) + bytes([opcode]) + payload
+
+
+def pack_hello(session_id: str) -> bytes:
+    raw = session_id.encode("utf-8")
+    if not raw:
+        raise ProtocolError("session id must be non-empty")
+    if len(raw) > MAX_SESSION_ID_BYTES:
+        raise ProtocolError(
+            f"session id too long: {len(raw)} > {MAX_SESSION_ID_BYTES} bytes"
+        )
+    return pack_frame(OP_HELLO, raw)
+
+
+def pack_fetch(count: int) -> bytes:
+    if not 1 <= count <= MAX_FETCH_COUNT:
+        raise ProtocolError(
+            f"fetch count must be in [1, {MAX_FETCH_COUNT}], got {count}"
+        )
+    return pack_frame(OP_FETCH, _U32.pack(count))
+
+
+def encode_values(values: np.ndarray) -> bytes:
+    """uint64 array -> raw big-endian payload bytes."""
+    return np.ascontiguousarray(values, dtype=np.uint64).astype(">u8").tobytes()
+
+
+def decode_values(payload: bytes) -> np.ndarray:
+    """Raw big-endian payload bytes -> uint64 array (copy; writable)."""
+    if len(payload) % 8:
+        raise ProtocolError(
+            f"VALUES payload not a multiple of 8 bytes: {len(payload)}"
+        )
+    return np.frombuffer(payload, dtype=">u8").astype(np.uint64)
+
+
+def _check_length(body_len: int) -> None:
+    if body_len < 1:
+        raise ProtocolError(f"empty frame body (length {body_len})")
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame too large: {body_len} > {MAX_FRAME_BYTES} bytes"
+        )
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    """Read one frame from an asyncio stream; ``(opcode, payload)``.
+
+    Raises :class:`ProtocolError` on a truncated or oversized frame and
+    ``ConnectionError``-family exceptions as asyncio surfaces them.  A
+    clean EOF *between* frames raises ``asyncio.IncompleteReadError``
+    with nothing read (callers treat that as goodbye).
+    """
+    header = await reader.readexactly(4)
+    (body_len,) = _LEN.unpack(header)
+    _check_length(body_len)
+    body = await reader.readexactly(body_len)
+    return body[0], body[1:]
+
+
+def read_frame_socket(sock: socket.socket) -> Tuple[int, bytes]:
+    """Blocking counterpart of :func:`read_frame` for the sync client."""
+    header = _recv_exactly(sock, 4)
+    (body_len,) = _LEN.unpack(header)
+    _check_length(body_len)
+    body = _recv_exactly(sock, body_len)
+    return body[0], body[1:]
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines debug mode
+# ----------------------------------------------------------------------
+
+
+def decode_json_payload(payload: bytes) -> dict:
+    """Parse a JSON response payload (HELLO ack, STATUS, BYE ack)."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("JSON payload must be an object")
+    return doc
+
+
+def json_line(doc: dict) -> bytes:
+    """Encode one JSON-lines message (newline-terminated)."""
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")

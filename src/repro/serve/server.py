@@ -1,0 +1,554 @@
+"""The on-demand RNG service: asyncio TCP server over expander streams.
+
+This is the network face of the paper's ``GetNextRand()`` contract: any
+number of remote consumers draw numbers *on demand*, each from an
+independent, reproducible expander stream ([``session.py``]), with
+requests coalesced into worker-pool batches ([``batching.py``]) and
+overload shed explicitly as ``BUSY`` instead of buffered without bound.
+
+Layering (nothing here generates a number or computes a metric itself):
+
+* streams -- :mod:`repro.serve.session` on top of ``derive_seed``;
+* execution -- :class:`~repro.serve.batching.BatchingExecutor` on a
+  shared thread pool, off the event loop;
+* resilience -- each session's feed is a
+  :class:`~repro.resilience.supervised.SupervisedFeed`; a dying bit
+  source degrades the session (visible in ``STATUS``) instead of
+  killing it;
+* observability -- counters/histograms through
+  :mod:`repro.obs.metrics`, exported by the existing Prometheus/JSONL
+  exporters.
+
+:func:`serve_background` runs a server on a daemon thread with its own
+event loop -- the handle used by the blocking client tests, the
+examples, the throughput benchmark, and ``repro fetch`` smoke tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.bitsource.base import BitSource
+from repro.obs import metrics as obs_metrics
+from repro.resilience.supervised import FeedHealth, RetryPolicy
+from repro.serve import protocol as proto
+from repro.serve.batching import BatchingExecutor, TokenBucket
+from repro.serve.session import DEFAULT_SESSION_LANES, SessionStream
+
+__all__ = ["ServeConfig", "RNGServer", "BackgroundServer", "serve_background"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything a server instance needs, in one reviewable place."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``RNGServer.port``).
+    port: int = 0
+    master_seed: int = 1
+    #: Walker lanes per session stream (part of the stream identity).
+    lanes: int = DEFAULT_SESSION_LANES
+    #: Most in-flight FETCHes per session before ``BUSY``.
+    max_session_queue: int = 8
+    #: Global bound on queued requests before ``BUSY``.
+    max_global_queue: int = 256
+    #: Token-bucket refill in numbers/second per session; ``None`` = off.
+    rate: Optional[float] = None
+    #: Token-bucket capacity in numbers; defaults to one second of rate.
+    burst: Optional[float] = None
+    #: Coalescing window and batch cap of the dispatcher.
+    batch_window_s: float = 0.002
+    max_batch: int = 64
+    #: Worker threads executing batches.
+    workers: int = 2
+    #: ``seed -> BitSource`` for each session's primary feed.
+    source_factory: Optional[Callable[[int], BitSource]] = None
+    #: Install the SplitMix64/OS-entropy failover chain per session.
+    failover: bool = True
+    retry_policy: Optional[RetryPolicy] = None
+    #: Largest single FETCH accepted (numbers).
+    max_fetch: int = 1 << 20
+
+
+@dataclass
+class _ServedSession:
+    """Server-side accounting around one :class:`SessionStream`."""
+
+    stream: SessionStream
+    bucket: TokenBucket
+    inflight: int = 0
+    connections: int = 0
+    created_at: float = field(default_factory=time.monotonic)
+
+
+class RNGServer:
+    """Asyncio TCP server speaking :mod:`repro.serve.protocol`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        if self.config.max_fetch > proto.MAX_FETCH_COUNT:
+            raise ValueError(
+                f"max_fetch {self.config.max_fetch} exceeds the frame cap "
+                f"{proto.MAX_FETCH_COUNT}"
+            )
+        self.executor = BatchingExecutor(
+            max_queue=self.config.max_global_queue,
+            max_batch=self.config.max_batch,
+            window_s=self.config.batch_window_s,
+            workers=self.config.workers,
+        )
+        self.sessions: Dict[str, _ServedSession] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self.port: Optional[int] = None
+        self._started_at = time.monotonic()
+        # Authoritative plain-int counters so STATUS works even when the
+        # obs registry is the disabled no-op.
+        self.requests_total = 0
+        self.numbers_total = 0
+        self.busy_total = 0
+        self.errors_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.executor.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop connections, drain the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        await self.executor.aclose()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def _get_or_create_session(self, session_id: str) -> _ServedSession:
+        served = self.sessions.get(session_id)
+        if served is None:
+            stream = SessionStream(
+                session_id,
+                master_seed=self.config.master_seed,
+                lanes=self.config.lanes,
+                source_factory=self.config.source_factory,
+                failover=self.config.failover,
+                retry_policy=self.config.retry_policy,
+            )
+            served = _ServedSession(
+                stream=stream,
+                bucket=TokenBucket(self.config.rate, self.config.burst),
+            )
+            self.sessions[session_id] = served
+            obs_metrics.counter(
+                "repro_serve_sessions_total", "Sessions ever created"
+            ).inc()
+            obs_metrics.gauge(
+                "repro_serve_sessions_active", "Live session streams"
+            ).set(len(self.sessions))
+        return served
+
+    @property
+    def health(self) -> str:
+        """Worst supervised-feed health across all sessions."""
+        worst = FeedHealth.OK
+        for served in self.sessions.values():
+            worst = max(worst, served.stream.supervisor.health)
+        return worst.name
+
+    def status_doc(self, session: Optional[_ServedSession] = None) -> dict:
+        doc = {
+            "ok": True,
+            "op": "status",
+            "server": {
+                "sessions": len(self.sessions),
+                "queue_depth": self.executor.queue_depth,
+                "health": self.health,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "requests_total": self.requests_total,
+                "numbers_total": self.numbers_total,
+                "busy_total": self.busy_total,
+                "errors_total": self.errors_total,
+                "max_session_queue": self.config.max_session_queue,
+                "max_global_queue": self.config.max_global_queue,
+            },
+        }
+        if session is not None:
+            doc["session"] = session.stream.describe()
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            doc["metrics"] = {
+                name: value
+                for name, value in registry.snapshot().items()
+                if name.startswith("repro_serve_")
+            }
+        return doc
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        connections = obs_metrics.gauge(
+            "repro_serve_connections_active", "Open client connections"
+        )
+        connections.set(len(self._writers))
+        try:
+            first = await reader.read(1)
+            if not first:
+                return
+            if first == b"{":
+                await self._serve_json(reader, writer, first)
+            else:
+                await self._serve_binary(reader, writer, first)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            proto.ProtocolError,
+        ):
+            pass  # client went away or spoke garbage; nothing to salvage
+        finally:
+            self._writers.discard(writer)
+            connections.set(len(self._writers))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _fetch(self, session: Optional[_ServedSession], count: int):
+        """Shared FETCH semantics; ``(values, busy_reason)`` or raises."""
+        if session is None:
+            raise proto.SessionRequiredError("FETCH before HELLO")
+        if not 1 <= count <= self.config.max_fetch:
+            raise proto.ProtocolError(
+                f"fetch count must be in [1, {self.config.max_fetch}], "
+                f"got {count}"
+            )
+        self.requests_total += 1
+        obs_metrics.counter(
+            "repro_serve_requests_total", "FETCH requests received"
+        ).inc()
+        busy_reason = None
+        future = None
+        if not session.bucket.try_acquire(count):
+            busy_reason = "rate-limited"
+        elif session.inflight >= self.config.max_session_queue:
+            busy_reason = "session queue full"
+        else:
+            future = self.executor.try_submit(session.stream, count)
+            if future is None:
+                busy_reason = "server queue full"
+        if busy_reason is not None:
+            self.busy_total += 1
+            obs_metrics.counter(
+                "repro_serve_busy_total", "FETCH requests shed as BUSY"
+            ).inc()
+            return None, busy_reason
+        session.inflight += 1
+        try:
+            values = await future
+        finally:
+            session.inflight -= 1
+        self.numbers_total += len(values)
+        obs_metrics.counter(
+            "repro_serve_numbers_total", "Numbers served to clients"
+        ).inc(len(values))
+        return values, None
+
+    def _record_error(self) -> None:
+        self.errors_total += 1
+        obs_metrics.counter(
+            "repro_serve_errors_total", "FETCH requests failed server-side"
+        ).inc()
+
+    # -- binary mode ---------------------------------------------------
+
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first_byte: bytes,
+    ) -> None:
+        session: Optional[_ServedSession] = None
+        # The mode sniff consumed the first length byte; complete that
+        # header by hand, then fall into the regular framed loop.
+        pending_header: Optional[bytes] = (
+            first_byte + await reader.readexactly(3)
+        )
+        try:
+            while True:
+                if pending_header is not None:
+                    (body_len,) = struct.unpack("!I", pending_header)
+                    pending_header = None
+                    if not 1 <= body_len <= proto.MAX_FRAME_BYTES:
+                        raise proto.ProtocolError(
+                            f"bad frame length {body_len}"
+                        )
+                    body = await reader.readexactly(body_len)
+                    opcode, payload = body[0], body[1:]
+                else:
+                    try:
+                        opcode, payload = await proto.read_frame(reader)
+                    except asyncio.IncompleteReadError as exc:
+                        if exc.partial:
+                            raise proto.ProtocolError(
+                                "connection closed mid-frame"
+                            ) from exc
+                        return  # clean EOF between frames
+                if opcode == proto.OP_HELLO:
+                    if not payload or len(payload) > proto.MAX_SESSION_ID_BYTES:
+                        await self._send(
+                            writer, proto.OP_ERROR, b"bad session id"
+                        )
+                        return
+                    session_id = payload.decode("utf-8", errors="replace")
+                    if session is not None:
+                        session.connections -= 1
+                    session = self._get_or_create_session(session_id)
+                    session.connections += 1
+                    ack = {
+                        "ok": True,
+                        "op": "hello",
+                        "session": session_id,
+                        "stream_index": session.stream.index,
+                        "lanes": self.config.lanes,
+                    }
+                    await self._send(
+                        writer, proto.OP_JSON,
+                        json.dumps(ack, sort_keys=True).encode("utf-8"),
+                    )
+                elif opcode == proto.OP_FETCH:
+                    if len(payload) != 4:
+                        raise proto.ProtocolError(
+                            "FETCH payload must be 4 bytes"
+                        )
+                    (count,) = struct.unpack("!I", payload)
+                    try:
+                        values, busy = await self._fetch(session, count)
+                    except (proto.SessionRequiredError,
+                            proto.ProtocolError) as exc:
+                        await self._send(
+                            writer, proto.OP_ERROR, str(exc).encode("utf-8")
+                        )
+                        continue
+                    except Exception as exc:  # degraded/failed feed et al.
+                        self._record_error()
+                        await self._send(
+                            writer, proto.OP_ERROR,
+                            f"{type(exc).__name__}: {exc}".encode("utf-8"),
+                        )
+                        continue
+                    if busy is not None:
+                        await self._send(
+                            writer, proto.OP_BUSY, busy.encode("utf-8")
+                        )
+                    else:
+                        await self._send(
+                            writer, proto.OP_VALUES,
+                            proto.encode_values(values),
+                        )
+                elif opcode == proto.OP_STATUS:
+                    doc = self.status_doc(session)
+                    await self._send(
+                        writer, proto.OP_JSON,
+                        json.dumps(doc, sort_keys=True).encode("utf-8"),
+                    )
+                elif opcode == proto.OP_BYE:
+                    await self._send(
+                        writer, proto.OP_JSON, b'{"ok": true, "op": "bye"}'
+                    )
+                    return
+                else:
+                    raise proto.ProtocolError(f"unknown opcode {opcode:#x}")
+        finally:
+            if session is not None:
+                session.connections -= 1
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, opcode: int, payload: bytes
+    ) -> None:
+        writer.write(proto.pack_frame(opcode, payload))
+        await writer.drain()
+
+    # -- JSON-lines debug mode -----------------------------------------
+
+    async def _serve_json(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first_byte: bytes,
+    ) -> None:
+        session: Optional[_ServedSession] = None
+        buffered = first_byte
+
+        async def reply(doc: dict) -> None:
+            writer.write(proto.json_line(doc))
+            await writer.drain()
+
+        try:
+            while True:
+                line = buffered + await reader.readline()
+                buffered = b""
+                if not line.strip():
+                    return
+                try:
+                    msg = json.loads(line.decode("utf-8"))
+                    if not isinstance(msg, dict):
+                        raise ValueError("message must be a JSON object")
+                    op = msg.get("op")
+                except (ValueError, UnicodeDecodeError) as exc:
+                    await reply({"ok": False, "error": f"bad JSON: {exc}"})
+                    return
+                if op == "hello":
+                    session_id = str(msg.get("session", ""))
+                    if not session_id:
+                        await reply(
+                            {"ok": False, "error": "missing session id"}
+                        )
+                        continue
+                    if session is not None:
+                        session.connections -= 1
+                    session = self._get_or_create_session(session_id)
+                    session.connections += 1
+                    await reply({
+                        "ok": True,
+                        "op": "hello",
+                        "session": session_id,
+                        "stream_index": session.stream.index,
+                        "lanes": self.config.lanes,
+                    })
+                elif op == "fetch":
+                    try:
+                        count = int(msg.get("n", 0))
+                        values, busy = await self._fetch(session, count)
+                    except proto.ServeError as exc:
+                        await reply({"ok": False, "error": str(exc)})
+                        continue
+                    except Exception as exc:
+                        self._record_error()
+                        await reply({
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        })
+                        continue
+                    if busy is not None:
+                        await reply(
+                            {"ok": False, "busy": True, "reason": busy}
+                        )
+                    else:
+                        await reply({
+                            "ok": True,
+                            "op": "fetch",
+                            "values": [int(v) for v in values],
+                        })
+                elif op == "status":
+                    await reply(self.status_doc(session))
+                elif op == "bye":
+                    await reply({"ok": True, "op": "bye"})
+                    return
+                else:
+                    await reply({"ok": False, "error": f"unknown op {op!r}"})
+        finally:
+            if session is not None:
+                session.connections -= 1
+
+
+class BackgroundServer:
+    """An :class:`RNGServer` on a daemon thread with its own event loop.
+
+    Context-manager handle used by blocking clients, tests, examples,
+    and the throughput benchmark::
+
+        with serve_background(ServeConfig(master_seed=7)) as handle:
+            client = ServeClient(handle.host, handle.port, session="a")
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.server: Optional[RNGServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def _main(self) -> None:
+        async def run() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            server = RNGServer(self.config)
+            try:
+                await server.start()
+            except BaseException as exc:  # bind failure etc.
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self.server = server
+            self._ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server is None:
+            raise proto.ServeError("server failed to start within 30s")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+
+def serve_background(config: Optional[ServeConfig] = None) -> BackgroundServer:
+    """A ready-to-``with`` background server handle."""
+    return BackgroundServer(config)

@@ -1,0 +1,178 @@
+"""Per-client expander streams: the service's seeding and identity model.
+
+Every client session names itself with an opaque string id.  The id is
+hashed (SHA-256, truncated to 64 bits) to a **stream index**, and the
+index is pushed through :func:`repro.core.streams.derive_seed` against
+the server's master seed -- the same SplitMix64 derivation
+``spawn_streams`` uses for in-process substreams -- so:
+
+* two distinct session ids get independent walker banks (disjoint walks
+  on the expander, never a shared feed);
+* the same ``(master_seed, session_id)`` pair reproduces the identical
+  stream on any server, including across a restart (the index depends
+  only on the id, not on arrival order);
+* the derivation is collision-resistant at service scale (the 64-bit
+  index space is bijectively mixed per master seed; tests check 10k ids
+  empirically).
+
+Each :class:`SessionStream` owns a
+:class:`~repro.resilience.supervised.SupervisedFeed` chain (primary
+feed, an independent SplitMix64 fallback, OS entropy last) in front of a
+:class:`~repro.core.parallel.ParallelExpanderPRNG` walker bank, so a
+dying bit source degrades the session instead of killing it; health is
+surfaced through the ``STATUS`` protocol op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+from repro.bitsource.counter import SplitMix64Source
+from repro.bitsource.os_entropy import OsEntropySource
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.streams import derive_seed
+from repro.resilience.supervised import RetryPolicy, SupervisedFeed
+
+__all__ = [
+    "DEFAULT_SESSION_LANES",
+    "SERVE_RETRY_POLICY",
+    "session_index",
+    "session_seed",
+    "SessionStream",
+]
+
+#: Walker lanes per session: small enough that hundreds of sessions are
+#: cheap to hold, large enough that generation stays vectorized.
+DEFAULT_SESSION_LANES = 64
+
+#: Retry budget tuned for a serving worker: fast, bounded backoff so a
+#: flaky feed never stalls a batch for long.
+SERVE_RETRY_POLICY = RetryPolicy(
+    max_retries=2, backoff_base_s=0.001, backoff_cap_s=0.01
+)
+
+
+def session_index(session_id: str) -> int:
+    """Stable 64-bit stream index of a session id (SHA-256 truncation).
+
+    Depends only on the id string, so it is identical across processes,
+    restarts, and Python hash randomization.
+    """
+    digest = hashlib.sha256(session_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def session_seed(master_seed: int, session_id: str) -> int:
+    """The feed seed of ``session_id``'s stream under ``master_seed``."""
+    return derive_seed(master_seed, session_index(session_id))
+
+
+class SessionStream:
+    """One client's independent, supervised expander stream.
+
+    Parameters
+    ----------
+    session_id : str
+        Opaque client-chosen identity; determines the stream.
+    master_seed : int
+        The server's master seed.
+    lanes : int
+        Walker lanes in the session's bank (values depend on it, so it
+        is part of the stream's identity alongside the seed).
+    source_factory : callable, optional
+        ``seed -> BitSource`` for the *primary* feed; defaults to
+        :class:`SplitMix64Source`.  Tests inject fault wrappers here.
+    failover : bool
+        Install the fallback chain (independent SplitMix64 substream,
+        then OS entropy) behind the primary.
+    retry_policy : RetryPolicy, optional
+        Supervision budget; defaults to :data:`SERVE_RETRY_POLICY`.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        master_seed: int,
+        lanes: int = DEFAULT_SESSION_LANES,
+        source_factory: Optional[Callable[[int], BitSource]] = None,
+        failover: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        self.session_id = session_id
+        self.index = session_index(session_id)
+        self.seed = derive_seed(master_seed, self.index)
+        factory = source_factory or SplitMix64Source
+        chain: List[BitSource] = [factory(self.seed)]
+        if failover:
+            chain.append(SplitMix64Source(derive_seed(self.seed, 1)))
+            chain.append(OsEntropySource())
+        self.supervisor = SupervisedFeed(
+            chain,
+            policy=retry_policy or SERVE_RETRY_POLICY,
+            jitter_seed=self.seed,
+        )
+        self.prng = ParallelExpanderPRNG(
+            num_threads=lanes, bit_source=self.supervisor
+        )
+        #: Serializes generation so the worker pool can run batches from
+        #: many sessions concurrently without interleaving one stream.
+        self.lock = threading.Lock()
+        #: Leftover numbers from the last walker round.  The session's
+        #: stream is *one* well-defined sequence (lane-major round
+        #: outputs); fetches slice it, so how a client sizes its
+        #: requests cannot change which numbers it sees -- fetching
+        #: 10 + 1 + 53 equals fetching 64.  (``ParallelExpanderPRNG
+        #: .generate`` alone discards round remainders.)
+        self._remainder = np.empty(0, dtype=np.uint64)
+        self.words_served = 0
+        self.requests = 0
+
+    def generate(self, n: int) -> np.ndarray:
+        """The next ``n`` numbers of this session's stream (thread-safe)."""
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        with self.lock:
+            out = np.empty(n, dtype=np.uint64)
+            pos = 0
+            if self._remainder.size:
+                take = min(self._remainder.size, n)
+                out[:take] = self._remainder[:take]
+                self._remainder = self._remainder[take:]
+                pos = take
+            while pos < n:
+                values = self.prng.next_round()
+                take = min(values.size, n - pos)
+                out[pos : pos + take] = values[:take]
+                if take < values.size:
+                    self._remainder = values[take:].copy()
+                pos += take
+            self.words_served += n
+            self.requests += 1
+            return out
+
+    @property
+    def health(self) -> str:
+        """``OK`` / ``DEGRADED`` / ``FAILED`` from the supervised feed."""
+        return self.supervisor.health.name
+
+    def describe(self) -> dict:
+        """STATUS-op view of the session (no seed material exposed)."""
+        return {
+            "session": self.session_id,
+            "stream_index": self.index,
+            "requests": self.requests,
+            "words_served": self.words_served,
+            "health": self.health,
+            "active_source": self.supervisor.active_source.name,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SessionStream(id={self.session_id!r}, index={self.index:#x}, "
+            f"health={self.health})"
+        )

@@ -199,6 +199,104 @@ class TestChaos:
         assert not obs.tracing_enabled()
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+
+    def test_package_version_is_a_version_string(self):
+        from repro.cli import package_version
+
+        version = package_version()
+        assert version and version[0].isdigit()
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8731
+        assert args.seed == 1
+        assert args.workers == 2
+        assert args.rate is None
+        assert args.duration is None
+
+    def test_fetch_defaults(self):
+        args = build_parser().parse_args(["fetch"])
+        assert args.port == 8731
+        assert args.n == 10
+        assert args.format == "hex"
+        assert args.retries == 5
+        assert not args.status
+
+
+class TestFetchCommand:
+    """``repro fetch`` against a live in-process server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.serve import ServeConfig, serve_background
+
+        with serve_background(ServeConfig(master_seed=77)) as handle:
+            yield handle
+
+    def test_fetch_hex(self, server, capsys):
+        rc = main(["fetch", "--port", str(server.port),
+                   "--session", "cli", "-n", "3"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(line.startswith("0x") and len(line) == 18 for line in lines)
+
+    def test_fetch_reproduces_session_stream(self, server, capsys):
+        from repro.serve.session import SessionStream
+
+        main(["fetch", "--port", str(server.port),
+              "--session", "cli-int", "-n", "4", "--format", "int"])
+        got = [int(v) for v in capsys.readouterr().out.split()]
+        want = SessionStream("cli-int", master_seed=77).generate(4)
+        assert got == [int(v) for v in want]
+
+    def test_fetch_float(self, server, capsys):
+        rc = main(["fetch", "--port", str(server.port),
+                   "--session", "cli-f", "-n", "5", "--format", "float"])
+        assert rc == 0
+        vals = [float(v) for v in capsys.readouterr().out.split()]
+        assert all(0 <= v < 1 for v in vals)
+
+    def test_fetch_status(self, server, capsys):
+        rc = main(["fetch", "--port", str(server.port), "--status"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["server"]["health"] == "OK"
+        assert "queue_depth" in doc["server"]
+
+    def test_fetch_connection_refused_exits_nonzero(self, capsys):
+        # An unused ephemeral port: connecting must fail cleanly, not hang.
+        import socket
+
+        spare = socket.socket()
+        spare.bind(("127.0.0.1", 0))
+        dead_port = spare.getsockname()[1]
+        spare.close()
+        rc = main(["fetch", "--port", str(dead_port), "-n", "1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fetch_server_error_exits_3(self, capsys):
+        from repro.serve import ServeConfig, serve_background
+
+        with serve_background(ServeConfig(max_fetch=10)) as handle:
+            rc = main(["fetch", "--port", str(handle.port),
+                       "--session", "big", "-n", "100"])
+        assert rc == 3
+        assert "fetch count" in capsys.readouterr().err
+
+
 class TestQuality:
     def test_smallcrush_on_fast_generator(self, capsys):
         rc = main([

@@ -1,0 +1,136 @@
+"""Client-side behaviour: blocking and asyncio clients, retry logic."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncServeClient,
+    ServeClient,
+    ServeConfig,
+    ServerBusyError,
+    serve_background,
+)
+from repro.serve.protocol import ProtocolError, ServeError
+from repro.serve.session import SessionStream, session_index
+
+
+class TestBlockingClient:
+    def test_hello_reports_stream_identity(self):
+        with serve_background(ServeConfig(master_seed=1)) as h:
+            with ServeClient(h.host, h.port, session="idme") as c:
+                assert c.stream_index == session_index("idme")
+                assert c.hello_info["lanes"] == 64
+
+    def test_anonymous_sessions_are_distinct(self):
+        with serve_background(ServeConfig(master_seed=1)) as h:
+            with ServeClient(h.host, h.port) as a, \
+                 ServeClient(h.host, h.port) as b:
+                assert a.session != b.session
+                assert a.session.startswith("anon-")
+                va = set(map(int, a.fetch(128)))
+                vb = set(map(int, b.fetch(128)))
+        assert not va & vb
+
+    def test_random_is_unit_interval(self):
+        with serve_background(ServeConfig(master_seed=1)) as h:
+            with ServeClient(h.host, h.port, session="u") as c:
+                u = c.random(512)
+        assert u.dtype == np.float64
+        assert float(u.min()) >= 0.0
+        assert float(u.max()) < 1.0
+
+    def test_invalid_fetch_rejected_client_side(self):
+        with serve_background(ServeConfig()) as h:
+            with ServeClient(h.host, h.port, session="bad") as c:
+                with pytest.raises(ProtocolError):
+                    c.fetch(0)
+                with pytest.raises(ProtocolError):
+                    c.fetch(-3)
+                # Connection still fine afterwards.
+                assert c.fetch(4).size == 4
+
+    def test_server_side_error_raises_serve_error(self):
+        with serve_background(ServeConfig(max_fetch=100)) as h:
+            with ServeClient(h.host, h.port, session="cap") as c:
+                with pytest.raises(ServeError, match="fetch count"):
+                    c.fetch(101)
+
+    def test_busy_without_retries_raises(self):
+        config = ServeConfig(rate=10.0, burst=16)
+        with serve_background(config) as h:
+            with ServeClient(h.host, h.port, session="nb") as c:
+                c.fetch(16)
+                with pytest.raises(ServerBusyError):
+                    c.fetch(16)
+
+
+class TestAsyncClient:
+    def test_async_fetch_matches_reference(self):
+        async def go(host, port):
+            client = await AsyncServeClient.connect(host, port, session="aio")
+            try:
+                return await client.fetch(200)
+            finally:
+                await client.close()
+
+        with serve_background(ServeConfig(master_seed=31)) as h:
+            values = asyncio.run(go(h.host, h.port))
+        reference = SessionStream("aio", master_seed=31).generate(200)
+        np.testing.assert_array_equal(values, reference)
+
+    def test_async_concurrent_clients_disjoint(self):
+        async def go(host, port):
+            clients = await asyncio.gather(*[
+                AsyncServeClient.connect(host, port, session=f"aio-{i}")
+                for i in range(4)
+            ])
+            try:
+                return await asyncio.gather(*[
+                    c.fetch(128) for c in clients
+                ])
+            finally:
+                await asyncio.gather(*[c.close() for c in clients])
+
+        with serve_background(ServeConfig(master_seed=31)) as h:
+            results = asyncio.run(go(h.host, h.port))
+        seen = set()
+        for values in results:
+            chunk = set(map(int, values))
+            assert len(chunk) == 128
+            assert not seen & chunk
+            seen |= chunk
+
+    def test_async_status_and_identity(self):
+        async def go(host, port):
+            client = await AsyncServeClient.connect(host, port, session="st")
+            try:
+                status = await client.status()
+                return client.stream_index, status
+            finally:
+                await client.close()
+
+        with serve_background(ServeConfig(master_seed=1)) as h:
+            index, status = asyncio.run(go(h.host, h.port))
+        assert index == session_index("st")
+        assert status["session"]["session"] == "st"
+        assert status["server"]["health"] == "OK"
+
+    def test_async_busy_retry_budget(self):
+        async def go(host, port):
+            client = await AsyncServeClient.connect(
+                host, port, session="ar", retries=8, backoff_s=0.05
+            )
+            try:
+                first = await client.fetch(64)
+                second = await client.fetch(32)  # needs refill + retries
+                return first, second
+            finally:
+                await client.close()
+
+        config = ServeConfig(rate=2000.0, burst=64)
+        with serve_background(config) as h:
+            first, second = asyncio.run(go(h.host, h.port))
+        assert first.size == 64
+        assert second.size == 32

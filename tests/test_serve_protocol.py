@@ -1,0 +1,121 @@
+"""Wire-protocol tests: framing, payload codecs, and failure modes."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol as proto
+
+
+class TestFraming:
+    def test_pack_frame_layout(self):
+        frame = proto.pack_frame(proto.OP_HELLO, b"abc")
+        (length,) = struct.unpack("!I", frame[:4])
+        assert length == 4  # opcode + 3 payload bytes
+        assert frame[4] == proto.OP_HELLO
+        assert frame[5:] == b"abc"
+
+    def test_pack_frame_rejects_bad_opcode(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_frame(0x1FF)
+
+    def test_pack_frame_rejects_oversize(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_frame(proto.OP_VALUES, b"x" * proto.MAX_FRAME_BYTES)
+
+    def test_hello_validation(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_hello("")
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_hello("x" * (proto.MAX_SESSION_ID_BYTES + 1))
+        frame = proto.pack_hello("worker-1")
+        assert frame[5:] == b"worker-1"
+
+    def test_fetch_validation(self):
+        for bad in (0, -1, proto.MAX_FETCH_COUNT + 1):
+            with pytest.raises(proto.ProtocolError):
+                proto.pack_fetch(bad)
+        frame = proto.pack_fetch(42)
+        assert struct.unpack("!I", frame[5:])[0] == 42
+
+
+class TestValueCodec:
+    def test_roundtrip(self):
+        values = np.array(
+            [0, 1, 2**63, 2**64 - 1, 0xDEADBEEFCAFEBABE], dtype=np.uint64
+        )
+        decoded = proto.decode_values(proto.encode_values(values))
+        assert decoded.dtype == np.uint64
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_big_endian_on_the_wire(self):
+        payload = proto.encode_values(np.array([1], dtype=np.uint64))
+        assert payload == b"\x00\x00\x00\x00\x00\x00\x00\x01"
+
+    def test_decode_rejects_ragged_payload(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_values(b"\x00" * 7)
+
+    def test_decoded_array_is_writable(self):
+        out = proto.decode_values(b"\x00" * 16)
+        out[0] = 7  # frombuffer views are read-only; the codec must copy
+        assert out[0] == 7
+
+
+class TestSocketFraming:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5)
+        b.settimeout(5)
+        return a, b
+
+    def test_roundtrip_over_socketpair(self):
+        a, b = self._pair()
+        try:
+            a.sendall(proto.pack_frame(proto.OP_VALUES, b"\x01" * 8))
+            opcode, payload = proto.read_frame_socket(b)
+            assert opcode == proto.OP_VALUES
+            assert payload == b"\x01" * 8
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = self._pair()
+        try:
+            frame = proto.pack_frame(proto.OP_VALUES, b"\x01" * 8)
+            a.sendall(frame[: len(frame) - 3])
+            a.close()
+            with pytest.raises(proto.ProtocolError, match="mid-frame"):
+                proto.read_frame_socket(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_rejected_before_read(self):
+        a, b = self._pair()
+        try:
+            a.sendall(struct.pack("!I", proto.MAX_FRAME_BYTES + 1))
+            with pytest.raises(proto.ProtocolError, match="too large"):
+                proto.read_frame_socket(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestJsonHelpers:
+    def test_json_payload_roundtrip(self):
+        doc = proto.decode_json_payload(b'{"ok": true, "n": 3}')
+        assert doc == {"ok": True, "n": 3}
+
+    def test_json_payload_must_be_object(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_json_payload(b"[1, 2]")
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_json_payload(b"\xff\xfe")
+
+    def test_json_line_newline_terminated(self):
+        line = proto.json_line({"op": "fetch", "n": 1})
+        assert line.endswith(b"\n")
+        assert b'"op"' in line
