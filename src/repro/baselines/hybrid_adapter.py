@@ -57,26 +57,16 @@ class HybridPRNG(PRNG):
         self.generator = ParallelExpanderPRNG(
             bit_source=source, **self._ctor
         )
-        self._buf = np.empty(0, dtype=_U64)
 
     def u64_array(self, n: int) -> np.ndarray:
-        """Buffered bulk draws.
+        """Bulk draws from the generator's canonical stream.
 
-        Every kernel round produces one number per walker lane; requests
-        smaller than a round are served from the surplus of the previous
-        round, so fine-grained on-demand callers (e.g. the photon
-        simulator's shrinking batches) do not pay a whole round per call.
+        ``ParallelExpanderPRNG.generate`` buffers round remainders (the
+        core stream contract), so fine-grained on-demand callers (e.g.
+        the photon simulator's shrinking batches) do not pay a whole
+        round per call and fetch sizing cannot change the stream.
         """
-        if n < 0:
-            raise ValueError(f"count must be non-negative, got {n}")
-        if self._buf.size < n:
-            need = n - self._buf.size
-            rounds = -(-need // self.generator.num_threads)
-            fresh = [self.generator.next_round() for _ in range(rounds)]
-            self._buf = np.concatenate([self._buf, *fresh])
-        out = self._buf[:n]
-        self._buf = self._buf[n:]
-        return out
+        return self.generator.generate(n)
 
     def u32_array(self, n: int) -> np.ndarray:
         if n < 0:

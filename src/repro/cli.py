@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["hex", "int", "float"], default="hex"
     )
     gen.add_argument("--threads", type=int, default=4096)
+    gen.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes: > 1 generates on a ShardedEngine pool "
+             "(a different, also-reproducible stream for the same seed)",
+    )
     add_obs_flags(gen)
 
     qual = sub.add_parser("quality", help="run a statistical battery")
@@ -206,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None,
         help="serve for this many seconds, then exit (default: forever)",
     )
+    serve.add_argument(
+        "--engine-shards", type=int, default=0,
+        help="back sessions with a shard pool of this many worker "
+             "processes (0: in-process sessions; values are identical)",
+    )
     add_obs_flags(serve)
 
     fetch = sub.add_parser(
@@ -259,7 +269,40 @@ def _obs_session(args):
                 sys.stderr.write(obs.prometheus_text(registry))
 
 
+def _cmd_generate_sharded(args) -> int:
+    """``generate --shards N``: stream from a ShardedEngine pool."""
+    from repro.engine import EngineConfig, ShardedEngine
+
+    config = EngineConfig(
+        seed=args.seed,
+        shards=args.shards,
+        lanes=max(1, args.threads // args.shards),
+        source_factory=GlibcRandom,  # the paper's feed, per shard
+    )
+    out = sys.stdout
+    with _obs_session(args), ShardedEngine(config) as engine:
+        written = 0
+        while written < args.n:
+            k = min(GENERATE_CHUNK, args.n - written)
+            values = engine.generate(k)
+            if args.format == "float":
+                floats = (values >> np.uint64(11)).astype(np.float64) \
+                    * (1.0 / 9007199254740992.0)
+                lines = [f"{v:.17f}" for v in floats]
+            elif args.format == "hex":
+                lines = [f"{int(v):#018x}" for v in values]
+            else:
+                lines = [str(int(v)) for v in values]
+            out.write("\n".join(lines))
+            out.write("\n")
+            out.flush()
+            written += k
+    return 0
+
+
 def _cmd_generate(args) -> int:
+    if args.shards > 1:
+        return _cmd_generate_sharded(args)
     with _obs_session(args) as session:
         if session is not None:
             # Route the feed through a BufferedFeed so the trace covers
@@ -384,6 +427,7 @@ def _cmd_serve(args) -> int:
         burst=args.burst,
         batch_window_s=args.batch_window_ms / 1000.0,
         workers=args.workers,
+        engine_shards=args.engine_shards,
     )
 
     async def run() -> None:

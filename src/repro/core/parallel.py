@@ -93,13 +93,23 @@ class ParallelExpanderPRNG:
             self._state = self.engine.make_state(starts)
             self.engine.walk(self._state, self.source, self.walk_length)
         self.numbers_generated = 0
+        #: Numbers produced by the last round but not yet handed out.
+        #: Part of the stream contract: the stream is one lane-major
+        #: round sequence and ``generate`` slices it, so fetch sizing
+        #: cannot change which numbers a caller sees.
+        self._remainder = np.empty(0, dtype=np.uint64)
 
     # ------------------------------------------------------------------
     # Bulk generation
     # ------------------------------------------------------------------
 
     def next_round(self) -> np.ndarray:
-        """One ``GetNextRand`` per thread: ``num_threads`` fresh numbers."""
+        """One ``GetNextRand`` per thread: ``num_threads`` fresh numbers.
+
+        This is the raw round primitive: it advances the round stream
+        directly and neither consumes nor clears :meth:`generate`'s
+        buffered round remainder.
+        """
         steps_before = self._state.steps_taken
         chunks_before = self._state.chunks_consumed
         with span("generate", lanes=self.num_threads):
@@ -120,12 +130,50 @@ class ParallelExpanderPRNG:
         ).inc(3 * (self._state.chunks_consumed - chunks_before))
         return out
 
-    def generate(self, n: int, batch_size: Optional[int] = None) -> np.ndarray:
-        """Generate ``n`` numbers.
+    def _launch(self, num_rounds: int) -> np.ndarray:
+        """One kernel launch: ``num_rounds`` rounds under a single span.
 
-        ``batch_size`` (the paper's ``S``) is accepted for interface parity
-        with the timing model; it chunks work into launches of
-        ``num_threads * batch_size`` numbers but cannot change the values.
+        Returns the launch's numbers round-by-round, thread-major within
+        each round -- the same stream :meth:`next_round` walks, so launch
+        grouping cannot change values, only tracing granularity.
+        """
+        if num_rounds == 1:
+            return self.next_round()
+        steps_before = self._state.steps_taken
+        chunks_before = self._state.chunks_consumed
+        with span("generate", lanes=self.num_threads, rounds=num_rounds):
+            blocks = []
+            for _ in range(num_rounds):
+                self.engine.walk(self._state, self.source, self.walk_length)
+                blocks.append(self.engine.outputs(self._state))
+            out = np.concatenate(blocks)
+        self.numbers_generated += out.size
+        obs_metrics.counter(
+            "repro_prng_numbers_total", "64-bit numbers emitted"
+        ).inc(out.size)
+        obs_metrics.counter(
+            "repro_prng_rounds_total", "GetNextRand rounds executed"
+        ).inc(num_rounds)
+        obs_metrics.counter(
+            "repro_prng_steps_total", "Walker steps taken (all lanes)"
+        ).inc(self._state.steps_taken - steps_before)
+        obs_metrics.counter(
+            "repro_prng_feed_bits_total", "Feed bits consumed (3 per chunk)"
+        ).inc(3 * (self._state.chunks_consumed - chunks_before))
+        return out
+
+    def generate(self, n: int, batch_size: Optional[int] = None) -> np.ndarray:
+        """The next ``n`` numbers of the generator's stream.
+
+        The stream is *one* well-defined sequence (round-by-round,
+        thread-major within a round) and ``generate`` slices it: a round
+        remainder is buffered, never discarded, so ``generate(4);
+        generate(4)`` equals ``generate(8)`` from the same seed.
+
+        ``batch_size`` (the paper's ``S``, Figure 5) groups the work into
+        kernel launches of up to ``num_threads * batch_size`` numbers --
+        one tracing span per launch instead of per round.  It cannot
+        change the values; ``None`` launches round by round.
         """
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")
@@ -133,10 +181,19 @@ class ParallelExpanderPRNG:
             check_positive("batch_size", batch_size)
         out = np.empty(n, dtype=np.uint64)
         pos = 0
+        if self._remainder.size:
+            take = min(self._remainder.size, n)
+            out[:take] = self._remainder[:take]
+            self._remainder = self._remainder[take:]
+            pos = take
         while pos < n:
-            vals = self.next_round()
+            rounds_left = -(-(n - pos) // self.num_threads)
+            k = 1 if batch_size is None else min(rounds_left, batch_size)
+            vals = self._launch(k)
             take = min(vals.size, n - pos)
             out[pos : pos + take] = vals[:take]
+            if take < vals.size:
+                self._remainder = vals[take:].copy()
             pos += take
         return out
 
@@ -155,20 +212,51 @@ class ParallelExpanderPRNG:
         return u01_from_u64(self.generate(n))
 
     def integers(self, lo: int, hi: int, n: int) -> np.ndarray:
-        """``n`` integers uniform in ``[lo, hi)`` (unbiased, via rejection)."""
+        """``n`` integers uniform in ``[lo, hi)`` (unbiased, via rejection).
+
+        Returns ``int64`` when the range fits in it, ``uint64`` when it
+        only fits unsigned (``lo >= 0`` and ``hi > 2**63``).  When the
+        range size divides ``2**64`` -- any power of two, including the
+        full 64-bit range -- every raw word maps uniformly and no
+        rejection happens at all.
+        """
         if hi <= lo:
             raise ValueError(f"empty range [{lo}, {hi})")
-        span = hi - lo
-        limit = np.uint64((2**64 // span) * span)
-        out = np.empty(n, dtype=np.int64)
+        range_size = hi - lo
+        if range_size > 2**64:
+            raise ValueError(
+                f"range [{lo}, {hi}) spans more than 2**64 values"
+            )
+        if lo >= 0 and hi > 2**63:
+            dtype = np.dtype(np.uint64)
+        elif lo >= -(2**63) and hi <= 2**63:
+            dtype = np.dtype(np.int64)
+        else:
+            raise ValueError(
+                f"range [{lo}, {hi}) fits neither int64 nor uint64"
+            )
+        # Largest multiple of range_size representable in the draw space;
+        # when range_size divides 2**64 this is 2**64 itself and the
+        # rejection limit would overflow uint64 -- but then no draw can
+        # be biased, so rejection is skipped entirely.
+        full = (2**64 // range_size) * range_size
+        reject = full != 2**64
+        limit = np.uint64(full) if reject else None
+        offset = np.uint64(lo & (2**64 - 1))
+        out = np.empty(n, dtype=dtype)
         pos = 0
         while pos < n:
             raw = self.generate(max(n - pos, 1))
-            good = raw[raw < limit]
+            good = raw[raw < limit] if reject else raw
             take = min(good.size, n - pos)
+            vals = good[:take]
+            if range_size != 2**64:
+                vals = vals % np.uint64(range_size)
+            with np.errstate(over="ignore"):
+                vals = vals + offset  # two's-complement wrap is intended
             out[pos : pos + take] = (
-                good[:take] % np.uint64(span)
-            ).astype(np.int64) + lo
+                vals if dtype.kind == "u" else vals.view(np.int64)
+            )
             pos += take
         return out
 

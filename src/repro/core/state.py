@@ -24,7 +24,11 @@ from repro.core.parallel import ParallelExpanderPRNG
 
 __all__ = ["capture_state", "restore_state"]
 
-_FORMAT_VERSION = 1
+#: v2 added the stream-contract buffers: the walker bank's ``feed_buffer``
+#: (tail chunks of the last feed word) and, for the parallel generator,
+#: the round remainder of ``generate``.  v1 snapshots predate the
+#: canonical stream and cannot resume it bit-for-bit, so they are refused.
+_FORMAT_VERSION = 2
 
 
 def _source_state(source) -> Dict[str, Any]:
@@ -78,7 +82,7 @@ def capture_state(prng) -> Dict[str, Any]:
     if not isinstance(prng, (ExpanderWalkPRNG, ParallelExpanderPRNG)):
         raise TypeError(f"unsupported generator type {type(prng).__name__}")
     state = prng._state
-    return {
+    snapshot = {
         "version": _FORMAT_VERSION,
         "kind": type(prng).__name__,
         "m": prng.graph.m,
@@ -88,9 +92,13 @@ def capture_state(prng) -> Dict[str, Any]:
         "y": [int(v) for v in np.atleast_1d(state.y)],
         "steps_taken": int(state.steps_taken),
         "chunks_consumed": int(state.chunks_consumed),
+        "feed_buffer": [int(v) for v in state.feed_buffer],
         "numbers_generated": int(prng.numbers_generated),
         "source": _source_state(prng.source),
     }
+    if isinstance(prng, ParallelExpanderPRNG):
+        snapshot["remainder"] = [int(v) for v in prng._remainder]
+    return snapshot
 
 
 def restore_state(prng, snapshot: Dict[str, Any]) -> None:
@@ -117,5 +125,10 @@ def restore_state(prng, snapshot: Dict[str, Any]) -> None:
     prng._state.y = np.array(snapshot["y"]).astype(dtype)
     prng._state.steps_taken = snapshot["steps_taken"]
     prng._state.chunks_consumed = snapshot["chunks_consumed"]
+    prng._state.feed_buffer = np.array(
+        snapshot["feed_buffer"], dtype=np.uint8
+    )
     prng.numbers_generated = snapshot["numbers_generated"]
+    if isinstance(prng, ParallelExpanderPRNG):
+        prng._remainder = np.array(snapshot["remainder"], dtype=np.uint64)
     _restore_source(prng.source, snapshot["source"])

@@ -19,6 +19,22 @@ name a neighbour.  Three policies are implemented and ablated:
     Map 7 to 0 (the identity map), i.e. a lazy walk that stays put with
     probability 2/8.  Same bit cost as ``mod``; bias only towards
     self-loops, which provably cannot hurt the stationary distribution.
+
+The stream contract
+-------------------
+A walker bank's trajectory is a pure function of ``(start vertices,
+feed, policy)`` -- *never* of how callers slice their requests.  The
+feed is consumed as one canonical chunk stream: whole 64-bit words are
+pulled in order, each yielding 21 chunks, and the tail chunks of the
+last word are buffered on the :class:`WalkState` (``feed_buffer``)
+instead of being discarded.  Under the ``reject`` policy, redraws for a
+step happen *immediately after* that step's base chunks, before the
+next step draws anything.  Consequences, guaranteed by tests:
+
+* ``walk(state, src, a)`` then ``walk(state, src, b)`` equals
+  ``walk(state, src, a + b)``;
+* ``length`` repeated ``step()`` calls equal one ``walk(length)``,
+  bit-for-bit, under all three policies.
 """
 
 from __future__ import annotations
@@ -31,11 +47,24 @@ from repro.bitsource.base import BitSource
 from repro.core.expander import DEGREE, GabberGalilExpander
 from repro.utils.checks import check_positive
 
-__all__ = ["WalkEngine", "WalkState", "POLICIES"]
+__all__ = ["WalkEngine", "WalkState", "POLICIES", "CHUNKS_PER_WORD"]
 
 POLICIES = ("reject", "mod", "lazy")
 
+#: 3-bit chunks yielded per 64-bit feed word (the last bit is unused).
+CHUNKS_PER_WORD = 21
+
+#: Minimum words pulled per feed-buffer refill.  Refill granularity
+#: amortizes chunk extraction across steps; it cannot affect emitted
+#: values, because the chunk stream is a fixed function of the word
+#: stream and buffered chunks are consumed strictly in order.
+PREFETCH_WORDS = 1 << 12
+
 _U8 = np.uint8
+
+
+def _empty_chunks() -> np.ndarray:
+    return np.empty(0, dtype=np.uint8)
 
 
 @dataclass
@@ -48,6 +77,10 @@ class WalkState:
     steps_taken: int = 0
     #: Total 3-bit chunks drawn from the feed (includes rejected draws).
     chunks_consumed: int = 0
+    #: Chunks already pulled from the feed but not yet consumed: the tail
+    #: of the last 64-bit word.  Part of the stream state -- it is what
+    #: makes feed consumption independent of how draws are sliced.
+    feed_buffer: np.ndarray = field(default_factory=_empty_chunks)
 
     def __post_init__(self):
         if self.x.shape != self.y.shape:
@@ -59,7 +92,11 @@ class WalkState:
 
     def copy(self) -> "WalkState":
         return WalkState(
-            self.x.copy(), self.y.copy(), self.steps_taken, self.chunks_consumed
+            self.x.copy(),
+            self.y.copy(),
+            self.steps_taken,
+            self.chunks_consumed,
+            self.feed_buffer.copy(),
         )
 
 
@@ -120,13 +157,36 @@ class WalkEngine:
     # Stepping
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _take_chunks(state: WalkState, source: BitSource, n: int) -> np.ndarray:
+        """The next ``n`` chunks of the canonical chunk stream.
+
+        Words are pulled whole (21 chunks each) and the tail is kept in
+        ``state.feed_buffer``, so after any call pattern that consumed
+        ``T`` chunks in total, exactly ``ceil(T / 21)`` feed words have
+        been read.  The returned slice may view already-consumed buffer
+        memory; callers may mutate it freely (nothing re-reads it).
+        """
+        buf = state.feed_buffer
+        if buf.size >= n:
+            state.feed_buffer = buf[n:]
+            return buf[:n]
+        deficit = n - buf.size
+        nwords = max(-(-deficit // CHUNKS_PER_WORD), PREFETCH_WORDS)
+        fresh = source.chunks3(nwords * CHUNKS_PER_WORD)
+        state.feed_buffer = fresh[deficit:]
+        if not buf.size:
+            return fresh[:deficit]
+        return np.concatenate([buf, fresh[:deficit]])
+
     def _draw_indices(self, n: int, source: BitSource, state: WalkState) -> np.ndarray:
         """Draw ``n`` neighbour indices (0..6) under the configured policy.
 
         The returned array may be any shape-(n,) uint8; the 'reject' policy
-        redraws offending entries in vectorized rounds (expected < 2).
+        redraws offending entries in vectorized rounds (expected < 2),
+        taking each redraw batch from the same canonical chunk stream.
         """
-        chunks = source.chunks3(n)
+        chunks = self._take_chunks(state, source, n)
         state.chunks_consumed += n
         if self.policy == "mod":
             return np.where(chunks >= DEGREE, chunks - _U8(DEGREE), chunks)
@@ -137,7 +197,7 @@ class WalkEngine:
         # rejection set instead of rescanning the full array.
         idx = np.flatnonzero(chunks == _U8(7))
         while idx.size:
-            redraw = source.chunks3(idx.size)
+            redraw = self._take_chunks(state, source, idx.size)
             state.chunks_consumed += idx.size
             chunks[idx] = redraw
             idx = idx[redraw == _U8(7)]
@@ -195,12 +255,19 @@ class WalkEngine:
     def walk(self, state: WalkState, source: BitSource, length: int) -> None:
         """Advance every walker by ``length`` steps, in place.
 
-        Feed chunks for all ``length`` steps are drawn up front in one
-        vectorized request (step-major order), then applied step by step;
-        under the 'reject' policy, offending draws are replaced from
-        subsequent feed chunks, also in bulk.
+        Bit-for-bit equal to ``length`` separate :meth:`step` calls under
+        every policy (the stream contract).  For 'mod' and 'lazy' that
+        equivalence lets all ``length * n`` chunks be drawn in one bulk
+        request (step-major order) -- the chunk stream is continuous, so
+        slicing cannot change it.  'reject' must interleave each step's
+        redraws with the next step's base draw, so it steps one at a
+        time.
         """
         check_positive("length", length)
+        if self.policy == "reject":
+            for _ in range(length):
+                self.step(state, source)
+            return
         n = state.num_walkers
         ks = self._draw_indices(length * n, source, state).reshape(length, n)
         for i in range(length):

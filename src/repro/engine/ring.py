@@ -1,0 +1,190 @@
+"""Shared-memory SPSC rings: the shard pool's zero-copy output transport.
+
+Each worker shard owns exactly one :class:`SharedRing` and is its only
+*writer*; the engine's reader thread in the parent process is the only
+*consumer*.  A ring is a fixed number of equally sized ``uint64``
+records (one record = one walker-bank round) living in a
+:mod:`multiprocessing.shared_memory` segment, guarded by two counting
+semaphores:
+
+``free``
+    Slots the writer may fill.  Starts at ``slots``; the writer blocks
+    (or skips, with a zero timeout) when the reader falls behind --
+    that is the engine's backpressure.
+``filled``
+    Committed records the reader may consume, in FIFO order.
+
+The reader *peeks* a record as a NumPy view straight into the shared
+segment -- no pickling, no socket, no copy until the caller slices the
+values it wants -- and *consumes* it to hand the slot back.
+
+Ownership: the parent creates the ring (and later unlinks the segment);
+workers attach by name through the picklable :class:`RingHandle`.  The
+attach path unregisters the segment from the child's
+``resource_tracker`` so a dying worker cannot unlink memory the parent
+still reads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.checks import check_positive
+
+__all__ = ["SharedRing", "RingHandle", "RingWriter"]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with the caller's
+    resource tracker even on plain attach (CPython gh-82300), which
+    would let a worker's exit unlink memory the parent still reads (and
+    double-unregister under fork, where the tracker is shared).  The
+    parent owns the segment; suppress registration for the attach.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class RingHandle:
+    """Picklable description of a ring, for handing to a worker process."""
+
+    def __init__(self, name: str, slots: int, record_size: int,
+                 free, filled):
+        self.name = name
+        self.slots = slots
+        self.record_size = record_size
+        self.free = free
+        self.filled = filled
+
+    def attach(self) -> "RingWriter":
+        """Open the writer end inside the worker process."""
+        return RingWriter(self)
+
+
+class RingWriter:
+    """The single-producer end of a ring (lives in the worker)."""
+
+    def __init__(self, handle: RingHandle):
+        self._shm = _attach_untracked(handle.name)
+        self._buf = np.ndarray(
+            (handle.slots, handle.record_size),
+            dtype=np.uint64,
+            buffer=self._shm.buf,
+        )
+        self._free = handle.free
+        self._filled = handle.filled
+        self._slots = handle.slots
+        self._widx = 0
+        self._reserved = False
+
+    def try_reserve(self, timeout: float = 0.0) -> Optional[np.ndarray]:
+        """A writable view of the next slot, or ``None`` if the ring is
+        full for ``timeout`` seconds (backpressure)."""
+        if self._reserved:
+            raise RuntimeError("previous reservation was never committed")
+        ok = self._free.acquire(True, timeout) if timeout > 0 \
+            else self._free.acquire(False)
+        if not ok:
+            return None
+        self._reserved = True
+        return self._buf[self._widx]
+
+    def commit(self) -> None:
+        """Publish the reserved slot to the reader."""
+        if not self._reserved:
+            raise RuntimeError("no reservation to commit")
+        self._reserved = False
+        self._widx = (self._widx + 1) % self._slots
+        self._filled.release()
+
+    def close(self) -> None:
+        self._buf = None
+        self._shm.close()
+
+
+class SharedRing:
+    """Owner/reader end of a ring (lives in the parent process).
+
+    Parameters
+    ----------
+    slots : int
+        Records the ring buffers; the writer stalls once all are full.
+    record_size : int
+        ``uint64`` values per record (the shard's lane count).
+    ctx : multiprocessing context, optional
+        Supplies the semaphores (must match the worker start method).
+    """
+
+    def __init__(self, slots: int, record_size: int, ctx=None):
+        check_positive("slots", slots)
+        check_positive("record_size", record_size)
+        ctx = ctx or mp.get_context()
+        self.slots = slots
+        self.record_size = record_size
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=slots * record_size * 8
+        )
+        self._buf = np.ndarray(
+            (slots, record_size), dtype=np.uint64, buffer=self._shm.buf
+        )
+        self._free = ctx.Semaphore(slots)
+        self._filled = ctx.Semaphore(0)
+        self._ridx = 0
+        self._peeked = False
+        self._closed = False
+
+    def handle(self) -> RingHandle:
+        """The picklable writer-side handle for the worker process."""
+        return RingHandle(
+            self._shm.name, self.slots, self.record_size,
+            self._free, self._filled,
+        )
+
+    def peek(self, timeout: Optional[float] = None) -> Optional[np.ndarray]:
+        """View of the oldest committed record (zero-copy), or ``None``
+        if nothing is committed within ``timeout`` seconds.
+
+        Peeking is idempotent until :meth:`consume` is called; the view
+        stays valid exactly that long.
+        """
+        if not self._peeked:
+            if not self._filled.acquire(True, timeout):
+                return None
+            self._peeked = True
+        return self._buf[self._ridx]
+
+    def consume(self) -> None:
+        """Release the peeked record's slot back to the writer."""
+        if not self._peeked:
+            raise RuntimeError("consume() without a successful peek()")
+        self._peeked = False
+        self._ridx = (self._ridx + 1) % self.slots
+        self._free.release()
+
+    def close(self, unlink: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        self._shm.close()
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,595 @@
+"""Process-sharded generation behind one canonical stream.
+
+:class:`ShardedEngine` runs ``shards`` worker processes.  Worker ``i``
+owns a :class:`~repro.core.parallel.ParallelExpanderPRNG` walker bank --
+the lane range ``[i * lanes, (i + 1) * lanes)`` of a virtual global
+bank -- fed by the master seed's substream ``derive_seed(seed, i)``, so
+shards are exactly as independent as any two
+:func:`~repro.core.streams.spawn_streams` substreams.  Each worker
+writes whole rounds into its own shared-memory
+:class:`~repro.engine.ring.SharedRing`; the parent assembles the
+engine's **bulk stream** by consuming one round from every ring in
+shard order:
+
+    round 0: shard 0 lanes, shard 1 lanes, ..., round 1: shard 0, ...
+
+That stream is a pure function of ``(seed, shards, lanes, walk_length,
+policy)`` -- :func:`serial_reference` produces the identical values in
+process, and ``generate`` buffers round remainders so fetch sizing
+cannot change it (the same stream contract the core obeys).
+
+Workers also answer **named stream fetches** (the serving path): a
+fetch names a ``(stream_seed, lanes)`` stream, is routed to the shard
+``stream_seed % shards``, and is served from a per-stream walker bank
+inside that worker -- byte-identical to running the same bank in
+process, which is what lets ``repro.serve`` sessions move onto the
+shard pool without changing a single client-visible value.  Requests
+carry the stream's cumulative word count, so a respawned worker
+deterministically fast-forwards before serving (the same trick bulk
+restart uses with the round counter).
+
+Health follows :mod:`repro.resilience`: worker feeds run behind
+:class:`~repro.resilience.supervised.SupervisedFeed` failover chains, a
+dead worker surfaces as
+:class:`~repro.resilience.errors.WorkerFailedError` (or is respawned
+when ``auto_restart`` is on, with the engine reporting ``DEGRADED``),
+and ``repro_engine_*`` metrics/spans flow through :mod:`repro.obs`.
+
+NOTE: wall-clock speedup requires actual cores; on a single-core
+container (such as the reproduction environment) the decomposition is
+correct but not faster -- ``benchmarks/bench_engine_scaling.py``
+measures the scaling where cores exist.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bitsource.base import BitSource
+from repro.bitsource.counter import SplitMix64Source
+from repro.bitsource.os_entropy import OsEntropySource
+from repro.core.generator import DEFAULT_WALK_LENGTH
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.streams import derive_seed
+from repro.core.walk import POLICIES
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.resilience.errors import WorkerFailedError
+from repro.resilience.supervised import RetryPolicy, SupervisedFeed
+from repro.utils.checks import check_positive
+
+from repro.engine.ring import RingHandle, SharedRing
+
+__all__ = [
+    "DEFAULT_ENGINE_LANES",
+    "DEFAULT_RING_SLOTS",
+    "ENGINE_RETRY_POLICY",
+    "EngineConfig",
+    "ShardedEngine",
+    "serial_reference",
+]
+
+#: Lanes per shard: big enough to stay vectorized, small enough that a
+#: round is quick to assemble and the rings stay compact.
+DEFAULT_ENGINE_LANES = 4096
+
+#: Rounds buffered per shard ring; the writer stalls when all are full,
+#: which is the engine's built-in backpressure.
+DEFAULT_RING_SLOTS = 4
+
+#: Fast, bounded supervision budget for worker feeds (mirrors serving).
+ENGINE_RETRY_POLICY = RetryPolicy(
+    max_retries=2, backoff_base_s=0.001, backoff_cap_s=0.01
+)
+
+#: Worker poll interval while idle (ring full, no pending requests).
+_IDLE_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything that identifies a shard pool *and* its streams.
+
+    ``(seed, shards, lanes, walk_length, policy)`` are part of the bulk
+    stream's identity; the rest is operational.
+    """
+
+    seed: int = 0
+    shards: int = 2
+    lanes: int = DEFAULT_ENGINE_LANES
+    walk_length: int = DEFAULT_WALK_LENGTH
+    policy: str = "reject"
+    #: Rounds buffered per shard; ``0`` disables the bulk stream (a
+    #: serve-only pool answers stream fetches but assembles no rounds).
+    ring_slots: int = DEFAULT_RING_SLOTS
+    #: Wrap worker feeds in a SupervisedFeed failover chain.  Value-
+    #: transparent while healthy, so it never changes the stream.
+    supervised: bool = True
+    #: Deadline for one round / one fetch response before the engine
+    #: inspects the worker (dead -> restart or WorkerFailedError).
+    fetch_timeout_s: float = 60.0
+    #: Respawn dead workers (deterministic fast-forward) instead of
+    #: raising; the engine reports DEGRADED afterwards.
+    auto_restart: bool = False
+    #: Picklable ``seed -> BitSource`` override for the *primary* feed
+    #: of every worker bank and stream (fault injection in tests).
+    source_factory: Optional[Callable[[int], BitSource]] = None
+
+    def __post_init__(self):
+        check_positive("shards", self.shards)
+        check_positive("lanes", self.lanes)
+        check_positive("walk_length", self.walk_length)
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.ring_slots < 0:
+            raise ValueError(
+                f"ring_slots must be >= 0, got {self.ring_slots}"
+            )
+        if self.fetch_timeout_s <= 0:
+            raise ValueError(
+                f"fetch_timeout_s must be > 0, got {self.fetch_timeout_s}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Bank construction (shared by workers and the serial reference)
+# ----------------------------------------------------------------------
+
+def _make_feed(config: EngineConfig, feed_seed: int) -> BitSource:
+    factory = config.source_factory or SplitMix64Source
+    primary = factory(feed_seed)
+    if not config.supervised:
+        return primary
+    return SupervisedFeed(
+        [
+            primary,
+            SplitMix64Source(derive_seed(feed_seed, 1)),
+            OsEntropySource(),
+        ],
+        policy=ENGINE_RETRY_POLICY,
+        jitter_seed=feed_seed,
+    )
+
+
+def _make_bank(config: EngineConfig, shard_index: int) -> ParallelExpanderPRNG:
+    """Shard ``shard_index``'s bulk walker bank."""
+    return ParallelExpanderPRNG(
+        num_threads=config.lanes,
+        bit_source=_make_feed(config, derive_seed(config.seed, shard_index)),
+        walk_length=config.walk_length,
+        policy=config.policy,
+    )
+
+
+def _make_stream(config: EngineConfig, stream_seed: int,
+                 lanes: int) -> ParallelExpanderPRNG:
+    """A named stream's walker bank (identical to an in-process one)."""
+    return ParallelExpanderPRNG(
+        num_threads=lanes,
+        bit_source=_make_feed(config, stream_seed),
+        walk_length=config.walk_length,
+        policy=config.policy,
+    )
+
+
+def serial_reference(config: EngineConfig, n: int) -> np.ndarray:
+    """The exact bulk stream the shard pool produces, single-process.
+
+    Used by tests to prove the decomposition changes nothing: round
+    ``r`` of the engine is shard 0's round ``r``, then shard 1's, ...
+    """
+    check_positive("n", n)
+    banks = [_make_bank(config, i) for i in range(config.shards)]
+    parts: List[np.ndarray] = []
+    total = 0
+    while total < n:
+        for bank in banks:
+            vals = bank.next_round()
+            parts.append(vals)
+            total += vals.size
+    return np.concatenate(parts)[:n]
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _serve_request(req, streams: Dict[Tuple[int, int], list],
+                   config: EngineConfig, resp_q) -> None:
+    try:
+        op = req[0]
+        if op == "ping":
+            resp_q.put(("ok", None))
+            return
+        if op != "fetch":
+            raise ValueError(f"unknown engine request {op!r}")
+        _, stream_seed, lanes, words_done, n = req
+        key = (stream_seed, lanes)
+        entry = streams.get(key)
+        if entry is None:
+            entry = [_make_stream(config, stream_seed, lanes), 0]
+            streams[key] = entry
+        prng, served = entry
+        if served < words_done:
+            # Fresh worker behind a long-lived stream (post-restart):
+            # regenerate the already-served prefix, deterministically.
+            prng.generate(words_done - served)
+            entry[1] = served = words_done
+        vals = prng.generate(n)
+        entry[1] = served + n
+        resp_q.put(("ok", vals))
+    except Exception as exc:  # noqa: BLE001 - shipped to the caller
+        try:
+            resp_q.put(("err", exc))
+        except Exception:  # unpicklable exception: degrade to a string
+            resp_q.put(("err", f"{type(exc).__name__}: {exc}"))
+
+
+def _shard_main(config: EngineConfig, shard_index: int,
+                ring_handle: Optional[RingHandle], req_q, resp_q,
+                stop, resume_rounds: int, ready) -> None:
+    """Worker body: produce ring rounds, answer stream fetches.
+
+    ``resume_rounds`` > 0 means this process replaces a dead shard: the
+    bank regenerates (and discards) that many rounds first, so the ring
+    resumes at exactly the round the reader expects.
+    """
+    bank = _make_bank(config, shard_index) if ring_handle is not None else None
+    if bank is not None:
+        for _ in range(resume_rounds):
+            bank.next_round()
+    writer = ring_handle.attach() if ring_handle is not None else None
+    streams: Dict[Tuple[int, int], list] = {}
+    ready.set()
+    try:
+        while not stop.is_set():
+            produced = False
+            if writer is not None:
+                slot = writer.try_reserve()
+                if slot is not None:
+                    slot[:] = bank.next_round()
+                    writer.commit()
+                    produced = True
+            try:
+                if produced:
+                    req = req_q.get(False)
+                else:
+                    req = req_q.get(True, _IDLE_POLL_S)
+            except queue_mod.Empty:
+                continue
+            if req is None:
+                break
+            _serve_request(req, streams, config, resp_q)
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class ShardedEngine:
+    """A pool of generation shards behind one stream-exact interface.
+
+    Use as a context manager, or call :meth:`close` explicitly; worker
+    processes and shared-memory rings are real OS resources.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None, **overrides):
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config or keyword overrides")
+        self.config = config
+        self._ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context("spawn")
+        )
+        self._stop = self._ctx.Event()
+        n = config.shards
+        self._procs: List[Optional[mp.Process]] = [None] * n
+        self._rings: List[Optional[SharedRing]] = [None] * n
+        self._req_qs: List = [None] * n
+        self._resp_qs: List = [None] * n
+        #: Rounds of each shard the reader has consumed -- the restart
+        #: fast-forward target.
+        self._rounds_consumed = [0] * n
+        #: Cumulative words handed out per (stream_seed, lanes) -- the
+        #: stream-side fast-forward target.
+        self._stream_words: Dict[Tuple[int, int], int] = {}
+        self._shard_locks = [threading.Lock() for _ in range(n)]
+        self._gen_lock = threading.Lock()
+        self._remainder = np.empty(0, dtype=np.uint64)
+        self.rounds_assembled = 0
+        self.restarts = 0
+        self._closed = False
+        obs_metrics.gauge(
+            "repro_engine_shards", "Worker shards in the generation engine"
+        ).set(n)
+        try:
+            for i in range(n):
+                self._spawn(i, resume_rounds=0)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self, i: int, resume_rounds: int) -> None:
+        cfg = self.config
+        ring = (
+            SharedRing(cfg.ring_slots, cfg.lanes, self._ctx)
+            if cfg.ring_slots
+            else None
+        )
+        req_q = self._ctx.Queue()
+        resp_q = self._ctx.Queue()
+        ready = self._ctx.Event()
+        proc = self._ctx.Process(
+            target=_shard_main,
+            args=(cfg, i, ring.handle() if ring else None, req_q, resp_q,
+                  self._stop, resume_rounds, ready),
+            daemon=True,
+            name=f"repro-engine-shard-{i}",
+        )
+        proc.start()
+        self._rings[i], self._req_qs[i], self._resp_qs[i] = ring, req_q, resp_q
+        self._procs[i] = proc
+        if not ready.wait(cfg.fetch_timeout_s) or not proc.is_alive():
+            alive = proc.is_alive()
+            self._reap(i)
+            raise WorkerFailedError(
+                f"engine shard {i} "
+                + ("timed out during startup"
+                   if alive else "died during startup")
+                + f" (resume_rounds={resume_rounds})",
+                worker_index=i,
+                attempts=1,
+            )
+
+    def _reap(self, i: int) -> None:
+        """Tear down shard ``i``'s process, ring, and queues."""
+        proc = self._procs[i]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+        if self._rings[i] is not None:
+            self._rings[i].close(unlink=True)
+        for q in (self._req_qs[i], self._resp_qs[i]):
+            if q is not None:
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except Exception:  # pragma: no cover - platform quirks
+                    pass
+        self._procs[i] = self._rings[i] = None
+        self._req_qs[i] = self._resp_qs[i] = None
+
+    def _revive(self, i: int) -> None:
+        """Replace a dead shard with a deterministic respawn."""
+        obs_metrics.counter(
+            "repro_engine_restarts_total", "Engine shards respawned"
+        ).inc()
+        self.restarts += 1
+        self._reap(i)
+        with span("engine.restart", shard=i,
+                  resume_rounds=self._rounds_consumed[i]):
+            self._spawn(i, resume_rounds=self._rounds_consumed[i])
+
+    def _shard_down(self, i: int, doing: str) -> None:
+        """A shard missed a deadline: revive it or raise, never hang."""
+        proc = self._procs[i]
+        if proc is not None and proc.is_alive():
+            raise WorkerFailedError(
+                f"engine shard {i} timed out {doing} after "
+                f"{self.config.fetch_timeout_s}s (process alive but "
+                f"unresponsive); no partial results were returned",
+                worker_index=i,
+                attempts=1,
+            )
+        if self.config.auto_restart:
+            self._revive(i)
+            return
+        raise WorkerFailedError(
+            f"engine shard {i} died {doing} (exitcode="
+            f"{proc.exitcode if proc is not None else '?'}); "
+            f"no partial results were returned",
+            worker_index=i,
+            attempts=1,
+        )
+
+    def close(self) -> None:
+        """Stop all workers and release rings/queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        for q in self._req_qs:
+            if q is not None:
+                try:
+                    q.put_nowait(None)
+                except Exception:  # pragma: no cover - full/closed queue
+                    pass
+        for i in range(self.config.shards):
+            self._reap(i)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- bulk stream ---------------------------------------------------
+
+    def _next_round(self) -> np.ndarray:
+        """Assemble one engine round: every shard's round, shard-major."""
+        cfg = self.config
+        parts = []
+        for i in range(cfg.shards):
+            while True:
+                ring = self._rings[i]
+                view = (
+                    ring.peek(timeout=cfg.fetch_timeout_s)
+                    if ring is not None else None
+                )
+                if view is not None:
+                    break
+                self._shard_down(i, "producing a round")
+            parts.append(view)
+        out = np.concatenate(parts)  # one copy, straight from the rings
+        for i in range(cfg.shards):
+            self._rings[i].consume()
+            self._rounds_consumed[i] += 1
+        self.rounds_assembled += 1
+        obs_metrics.counter(
+            "repro_engine_rounds_total", "Engine rounds assembled"
+        ).inc()
+        return out
+
+    def generate(self, n: int) -> np.ndarray:
+        """The next ``n`` numbers of the engine's bulk stream.
+
+        Fetch-size transparent: remainders of assembled rounds are
+        buffered, so any split of ``n`` across calls yields the same
+        stream (equal to :func:`serial_reference`).
+        """
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        if not self.config.ring_slots:
+            raise RuntimeError(
+                "bulk stream disabled: this engine was built with "
+                "ring_slots=0 (serve-only)"
+            )
+        with self._gen_lock:
+            with span("engine.generate", n=n, shards=self.config.shards):
+                out = np.empty(n, dtype=np.uint64)
+                pos = 0
+                if self._remainder.size:
+                    take = min(self._remainder.size, n)
+                    out[:take] = self._remainder[:take]
+                    self._remainder = self._remainder[take:]
+                    pos = take
+                while pos < n:
+                    vals = self._next_round()
+                    take = min(vals.size, n - pos)
+                    out[pos : pos + take] = vals[:take]
+                    if take < vals.size:
+                        self._remainder = vals[take:].copy()
+                    pos += take
+            obs_metrics.counter(
+                "repro_engine_numbers_total", "Numbers served (bulk stream)"
+            ).inc(n)
+            return out
+
+    # -- named streams (the serving path) ------------------------------
+
+    def stream_shard(self, stream_seed: int) -> int:
+        """Which shard owns the stream seeded ``stream_seed``."""
+        return stream_seed % self.config.shards
+
+    def fetch_stream(self, stream_seed: int, lanes: int, n: int) -> np.ndarray:
+        """The next ``n`` numbers of the named stream (thread-safe).
+
+        Byte-identical to ``ParallelExpanderPRNG(num_threads=lanes,
+        bit_source=<same feed chain>(stream_seed)).generate(...)`` run
+        in process, regardless of fetch sizing or worker restarts.
+        """
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        check_positive("lanes", lanes)
+        i = self.stream_shard(stream_seed)
+        key = (stream_seed, lanes)
+        with self._shard_locks[i]:
+            words_done = self._stream_words.get(key, 0)
+            with span("engine.fetch", shard=i, n=n):
+                while True:
+                    self._req_qs[i].put(
+                        ("fetch", stream_seed, lanes, words_done, n)
+                    )
+                    try:
+                        status, payload = self._resp_qs[i].get(
+                            timeout=self.config.fetch_timeout_s
+                        )
+                        break
+                    except queue_mod.Empty:
+                        # Dead shard: _shard_down revives (words_done
+                        # makes the retried fetch exact) or raises.
+                        self._shard_down(i, "serving a stream fetch")
+            if status == "err":
+                if isinstance(payload, BaseException):
+                    raise payload
+                raise WorkerFailedError(
+                    f"engine shard {i} failed a stream fetch: {payload}",
+                    worker_index=i,
+                    attempts=1,
+                )
+            self._stream_words[key] = words_done + n
+            obs_metrics.counter(
+                "repro_engine_fetch_words_total",
+                "Numbers served to named streams",
+            ).inc(n)
+            return payload
+
+    def ping(self, shard: int) -> bool:
+        """Round-trip a no-op through a shard (health probe)."""
+        with self._shard_locks[shard]:
+            self._req_qs[shard].put(("ping",))
+            try:
+                status, _ = self._resp_qs[shard].get(
+                    timeout=self.config.fetch_timeout_s
+                )
+                return status == "ok"
+            except queue_mod.Empty:
+                return False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def shards_alive(self) -> List[bool]:
+        return [p is not None and p.is_alive() for p in self._procs]
+
+    @property
+    def health(self) -> str:
+        """``OK`` / ``DEGRADED`` / ``FAILED`` in the resilience idiom:
+        dead shard -> FAILED (DEGRADED if auto_restart will revive it);
+        any past restart is sticky DEGRADED."""
+        alive = self.shards_alive
+        if not all(alive):
+            return "DEGRADED" if self.config.auto_restart else "FAILED"
+        return "DEGRADED" if self.restarts else "OK"
+
+    def describe(self) -> dict:
+        """STATUS-op view of the pool (no seed material exposed)."""
+        return {
+            "shards": self.config.shards,
+            "lanes_per_shard": self.config.lanes,
+            "policy": self.config.policy,
+            "rounds_assembled": self.rounds_assembled,
+            "streams": len(self._stream_words),
+            "restarts": self.restarts,
+            "alive": self.shards_alive,
+            "health": self.health,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ShardedEngine(shards={self.config.shards}, "
+            f"lanes={self.config.lanes}, health={self.health})"
+        )

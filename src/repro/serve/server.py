@@ -74,6 +74,14 @@ class ServeConfig:
     retry_policy: Optional[RetryPolicy] = None
     #: Largest single FETCH accepted (numbers).
     max_fetch: int = 1 << 20
+    #: > 0 backs all sessions with a :class:`repro.engine.ShardedEngine`
+    #: shard pool of that many worker processes (serve-only: no bulk
+    #: rings).  Session values are byte-identical to the in-process
+    #: path; ``source_factory`` must then be picklable.
+    engine_shards: int = 0
+    #: Respawn dead engine shards (deterministic fast-forward) instead
+    #: of failing their sessions' fetches.
+    engine_auto_restart: bool = True
 
 
 @dataclass
@@ -103,6 +111,18 @@ class RNGServer:
             window_s=self.config.batch_window_s,
             workers=self.config.workers,
         )
+        self.engine = None
+        if self.config.engine_shards > 0:
+            from repro.engine import EngineConfig, ShardedEngine
+
+            self.engine = ShardedEngine(EngineConfig(
+                seed=self.config.master_seed,
+                shards=self.config.engine_shards,
+                ring_slots=0,  # serve-only: no bulk stream
+                supervised=self.config.failover,
+                source_factory=self.config.source_factory,
+                auto_restart=self.config.engine_auto_restart,
+            ))
         self.sessions: Dict[str, _ServedSession] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
@@ -140,6 +160,8 @@ class RNGServer:
         for writer in list(self._writers):
             writer.close()
         await self.executor.aclose()
+        if self.engine is not None:
+            self.engine.close()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -148,14 +170,22 @@ class RNGServer:
     def _get_or_create_session(self, session_id: str) -> _ServedSession:
         served = self.sessions.get(session_id)
         if served is None:
-            stream = SessionStream(
-                session_id,
-                master_seed=self.config.master_seed,
-                lanes=self.config.lanes,
-                source_factory=self.config.source_factory,
-                failover=self.config.failover,
-                retry_policy=self.config.retry_policy,
-            )
+            if self.engine is not None:
+                stream = SessionStream(
+                    session_id,
+                    master_seed=self.config.master_seed,
+                    lanes=self.config.lanes,
+                    engine=self.engine,
+                )
+            else:
+                stream = SessionStream(
+                    session_id,
+                    master_seed=self.config.master_seed,
+                    lanes=self.config.lanes,
+                    source_factory=self.config.source_factory,
+                    failover=self.config.failover,
+                    retry_policy=self.config.retry_policy,
+                )
             served = _ServedSession(
                 stream=stream,
                 bucket=TokenBucket(self.config.rate, self.config.burst),
@@ -171,10 +201,12 @@ class RNGServer:
 
     @property
     def health(self) -> str:
-        """Worst supervised-feed health across all sessions."""
+        """Worst health across all sessions (and the shard pool)."""
         worst = FeedHealth.OK
+        if self.engine is not None:
+            worst = max(worst, FeedHealth[self.engine.health])
         for served in self.sessions.values():
-            worst = max(worst, served.stream.supervisor.health)
+            worst = max(worst, FeedHealth[served.stream.health])
         return worst.name
 
     def status_doc(self, session: Optional[_ServedSession] = None) -> dict:
@@ -194,6 +226,8 @@ class RNGServer:
                 "max_global_queue": self.config.max_global_queue,
             },
         }
+        if self.engine is not None:
+            doc["engine"] = self.engine.describe()
         if session is not None:
             doc["session"] = session.stream.describe()
         registry = obs_metrics.get_registry()

@@ -92,6 +92,13 @@ class SessionStream:
         then OS entropy) behind the primary.
     retry_policy : RetryPolicy, optional
         Supervision budget; defaults to :data:`SERVE_RETRY_POLICY`.
+    engine : ShardedEngine, optional
+        Draw from a :class:`~repro.engine.sharded.ShardedEngine` shard
+        pool instead of an in-process walker bank.  The engine worker
+        builds the *same* supervised feed chain from the same session
+        seed, so the values a client sees are byte-identical either
+        way; ``source_factory``/``failover``/``retry_policy`` are then
+        configured on the engine, not here.
     """
 
     def __init__(
@@ -102,73 +109,78 @@ class SessionStream:
         source_factory: Optional[Callable[[int], BitSource]] = None,
         failover: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
+        engine=None,
     ):
         self.session_id = session_id
         self.index = session_index(session_id)
         self.seed = derive_seed(master_seed, self.index)
-        factory = source_factory or SplitMix64Source
-        chain: List[BitSource] = [factory(self.seed)]
-        if failover:
-            chain.append(SplitMix64Source(derive_seed(self.seed, 1)))
-            chain.append(OsEntropySource())
-        self.supervisor = SupervisedFeed(
-            chain,
-            policy=retry_policy or SERVE_RETRY_POLICY,
-            jitter_seed=self.seed,
-        )
-        self.prng = ParallelExpanderPRNG(
-            num_threads=lanes, bit_source=self.supervisor
-        )
+        self.lanes = lanes
+        self.engine = engine
+        if engine is not None:
+            self.supervisor = None
+            self.prng = None
+        else:
+            factory = source_factory or SplitMix64Source
+            chain: List[BitSource] = [factory(self.seed)]
+            if failover:
+                chain.append(SplitMix64Source(derive_seed(self.seed, 1)))
+                chain.append(OsEntropySource())
+            self.supervisor = SupervisedFeed(
+                chain,
+                policy=retry_policy or SERVE_RETRY_POLICY,
+                jitter_seed=self.seed,
+            )
+            self.prng = ParallelExpanderPRNG(
+                num_threads=lanes, bit_source=self.supervisor
+            )
         #: Serializes generation so the worker pool can run batches from
         #: many sessions concurrently without interleaving one stream.
         self.lock = threading.Lock()
-        #: Leftover numbers from the last walker round.  The session's
-        #: stream is *one* well-defined sequence (lane-major round
-        #: outputs); fetches slice it, so how a client sizes its
-        #: requests cannot change which numbers it sees -- fetching
-        #: 10 + 1 + 53 equals fetching 64.  (``ParallelExpanderPRNG
-        #: .generate`` alone discards round remainders.)
-        self._remainder = np.empty(0, dtype=np.uint64)
         self.words_served = 0
         self.requests = 0
 
     def generate(self, n: int) -> np.ndarray:
-        """The next ``n`` numbers of this session's stream (thread-safe)."""
+        """The next ``n`` numbers of this session's stream (thread-safe).
+
+        The session's stream is *one* well-defined sequence (lane-major
+        round outputs) and fetches slice it, so how a client sizes its
+        requests cannot change which numbers it sees -- fetching
+        10 + 1 + 53 equals fetching 64.  Round-remainder buffering lives
+        in :meth:`ParallelExpanderPRNG.generate` (the core stream
+        contract); this wrapper only adds locking and accounting.
+        """
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")
         with self.lock:
-            out = np.empty(n, dtype=np.uint64)
-            pos = 0
-            if self._remainder.size:
-                take = min(self._remainder.size, n)
-                out[:take] = self._remainder[:take]
-                self._remainder = self._remainder[take:]
-                pos = take
-            while pos < n:
-                values = self.prng.next_round()
-                take = min(values.size, n - pos)
-                out[pos : pos + take] = values[:take]
-                if take < values.size:
-                    self._remainder = values[take:].copy()
-                pos += take
+            if self.engine is not None:
+                out = self.engine.fetch_stream(self.seed, self.lanes, n)
+            else:
+                out = self.prng.generate(n)
             self.words_served += n
             self.requests += 1
             return out
 
     @property
     def health(self) -> str:
-        """``OK`` / ``DEGRADED`` / ``FAILED`` from the supervised feed."""
+        """``OK`` / ``DEGRADED`` / ``FAILED`` -- from the supervised
+        feed, or from the shard pool when engine-backed."""
+        if self.engine is not None:
+            return self.engine.health
         return self.supervisor.health.name
 
     def describe(self) -> dict:
         """STATUS-op view of the session (no seed material exposed)."""
+        if self.engine is not None:
+            active = f"engine-shard-{self.engine.stream_shard(self.seed)}"
+        else:
+            active = self.supervisor.active_source.name
         return {
             "session": self.session_id,
             "stream_index": self.index,
             "requests": self.requests,
             "words_served": self.words_served,
             "health": self.health,
-            "active_source": self.supervisor.active_source.name,
+            "active_source": active,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

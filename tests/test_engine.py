@@ -1,0 +1,191 @@
+"""Tests for the process-sharded generation engine."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.streams import derive_seed
+from repro.engine import EngineConfig, ShardedEngine, serial_reference
+from repro.engine.sharded import _make_feed
+from repro.resilience.errors import WorkerFailedError
+from repro.serve.session import SessionStream
+
+CONFIG = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=2)
+
+
+def kill_shard(eng, i):
+    proc = eng._procs[i]
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=5)
+    assert not proc.is_alive()
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        EngineConfig()
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            EngineConfig(policy="bogus")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(shards=0)
+        with pytest.raises(ValueError):
+            EngineConfig(lanes=0)
+        with pytest.raises(ValueError):
+            EngineConfig(ring_slots=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(fetch_timeout_s=0)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(TypeError, match="either a config"):
+            ShardedEngine(EngineConfig(), shards=2)
+
+
+class TestBulkStream:
+    def test_matches_serial_reference(self):
+        ref = serial_reference(CONFIG, 200)
+        with ShardedEngine(CONFIG) as eng:
+            np.testing.assert_array_equal(eng.generate(200), ref)
+
+    def test_round_is_shard_major(self):
+        """Round r of the stream = shard 0's round r, then shard 1's."""
+        banks = [
+            ParallelExpanderPRNG(
+                num_threads=CONFIG.lanes,
+                bit_source=_make_feed(CONFIG, derive_seed(CONFIG.seed, i)),
+            )
+            for i in range(2)
+        ]
+        with ShardedEngine(CONFIG) as eng:
+            round0 = eng.generate(16)
+        np.testing.assert_array_equal(round0[:8], banks[0].next_round())
+        np.testing.assert_array_equal(round0[8:], banks[1].next_round())
+
+    def test_negative_count_rejected(self):
+        with ShardedEngine(CONFIG) as eng:
+            with pytest.raises(ValueError):
+                eng.generate(-1)
+
+    def test_serve_only_pool_has_no_bulk_stream(self):
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=0)
+        with ShardedEngine(cfg) as eng:
+            with pytest.raises(RuntimeError, match="serve-only"):
+                eng.generate(16)
+            # ...but named streams still work.
+            assert eng.fetch_stream(5, 4, 12).size == 12
+
+
+class TestNamedStreams:
+    def test_matches_in_process_bank(self):
+        """A stream fetch is byte-identical to the same bank run locally."""
+        seed, lanes = 41, 16
+        local = ParallelExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(CONFIG, seed)
+        )
+        with ShardedEngine(CONFIG) as eng:
+            np.testing.assert_array_equal(
+                eng.fetch_stream(seed, lanes, 100), local.generate(100)
+            )
+
+    def test_streams_are_independent(self):
+        with ShardedEngine(CONFIG) as eng:
+            a = eng.fetch_stream(6, 8, 64)
+            b = eng.fetch_stream(7, 8, 64)
+        assert not np.array_equal(a, b)
+
+    def test_routing_is_stable(self):
+        with ShardedEngine(CONFIG) as eng:
+            assert eng.stream_shard(6) == 0
+            assert eng.stream_shard(7) == 1
+
+    def test_bad_lane_count_rejected(self):
+        with ShardedEngine(CONFIG) as eng:
+            with pytest.raises(ValueError):
+                eng.fetch_stream(1, 0, 16)
+
+
+class TestServeIntegration:
+    def test_engine_backed_session_matches_in_process(self):
+        """Moving a session onto the shard pool changes no values."""
+        local = SessionStream("alice", master_seed=9, lanes=16)
+        with ShardedEngine(
+            EngineConfig(seed=9, shards=2, lanes=8, ring_slots=0)
+        ) as eng:
+            remote = SessionStream("alice", master_seed=9, lanes=16,
+                                   engine=eng)
+            np.testing.assert_array_equal(
+                np.concatenate([remote.generate(40), remote.generate(60)]),
+                local.generate(100),
+            )
+            assert remote.health == "OK"
+            desc = remote.describe()
+        assert desc["active_source"].startswith("engine-shard-")
+        assert desc["words_served"] == 100
+
+
+class TestFailure:
+    def test_dead_shard_raises_worker_failed(self):
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=2,
+                           fetch_timeout_s=3.0)
+        with ShardedEngine(cfg) as eng:
+            eng.generate(16)
+            kill_shard(eng, 1)
+            with pytest.raises(WorkerFailedError) as err:
+                eng.generate(200)
+            assert err.value.worker_index == 1
+            assert eng.health == "FAILED"
+
+    def test_bulk_restart_is_deterministic(self):
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=2,
+                           fetch_timeout_s=3.0, auto_restart=True)
+        ref = serial_reference(cfg, 150)
+        with ShardedEngine(cfg) as eng:
+            head = eng.generate(50)
+            kill_shard(eng, 1)
+            tail = eng.generate(100)
+            assert eng.restarts >= 1
+            assert eng.health == "DEGRADED"
+        np.testing.assert_array_equal(np.concatenate([head, tail]), ref)
+
+    def test_stream_restart_is_deterministic(self):
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=0,
+                           fetch_timeout_s=3.0, auto_restart=True)
+        seed, lanes = 40, 8  # seed % 2 == 0: shard 0 owns the stream
+        local = ParallelExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(cfg, seed)
+        )
+        with ShardedEngine(cfg) as eng:
+            head = eng.fetch_stream(seed, lanes, 30)
+            kill_shard(eng, 0)
+            tail = eng.fetch_stream(seed, lanes, 70)
+        np.testing.assert_array_equal(
+            np.concatenate([head, tail]), local.generate(100)
+        )
+
+
+class TestIntrospection:
+    def test_ping(self):
+        with ShardedEngine(CONFIG) as eng:
+            assert eng.ping(0) and eng.ping(1)
+
+    def test_describe(self):
+        with ShardedEngine(CONFIG) as eng:
+            eng.generate(16)
+            eng.fetch_stream(1, 4, 8)
+            doc = eng.describe()
+        assert doc["shards"] == 2
+        assert doc["lanes_per_shard"] == 8
+        assert doc["rounds_assembled"] >= 1
+        assert doc["streams"] == 1
+        assert doc["health"] == "OK"
+
+    def test_close_is_idempotent(self):
+        eng = ShardedEngine(CONFIG)
+        eng.close()
+        eng.close()
+        assert eng.shards_alive == [False, False]

@@ -1,0 +1,123 @@
+"""Unit tests for the shared-memory SPSC ring (single process)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.ring import SharedRing
+
+
+@pytest.fixture
+def ring():
+    r = SharedRing(slots=2, record_size=4)
+    try:
+        yield r
+    finally:
+        r.close()
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, ring):
+        w = ring.handle().attach()
+        try:
+            slot = w.try_reserve()
+            slot[:] = np.arange(4, dtype=np.uint64)
+            w.commit()
+            view = ring.peek(timeout=1.0)
+            np.testing.assert_array_equal(
+                view, np.arange(4, dtype=np.uint64)
+            )
+            ring.consume()
+        finally:
+            w.close()
+
+    def test_fifo_order(self, ring):
+        w = ring.handle().attach()
+        try:
+            for fill in (1, 2):
+                slot = w.try_reserve()
+                slot[:] = fill
+                w.commit()
+            for expect in (1, 2):
+                assert ring.peek(timeout=1.0)[0] == np.uint64(expect)
+                ring.consume()
+        finally:
+            w.close()
+
+    def test_peek_is_idempotent_until_consume(self, ring):
+        w = ring.handle().attach()
+        try:
+            w.try_reserve()[:] = 7
+            w.commit()
+            first = ring.peek(timeout=1.0)
+            again = ring.peek(timeout=0)
+            np.testing.assert_array_equal(first, again)
+            ring.consume()
+        finally:
+            w.close()
+
+    def test_zero_copy_views_share_the_segment(self, ring):
+        """peek() views the shared segment itself; a commit into the
+        same slot after consume is visible without re-reading."""
+        w = ring.handle().attach()
+        try:
+            w.try_reserve()[:] = 1
+            w.commit()
+            view = ring.peek(timeout=1.0)
+            assert view.base is not None  # a view, not a copy
+            ring.consume()
+        finally:
+            w.close()
+
+
+class TestBackpressure:
+    def test_writer_stalls_when_full(self, ring):
+        w = ring.handle().attach()
+        try:
+            for _ in range(2):  # fill both slots
+                w.try_reserve()[:] = 0
+                w.commit()
+            assert w.try_reserve() is None
+            assert w.try_reserve(timeout=0.05) is None
+            ring.peek(timeout=1.0)
+            ring.consume()  # free one slot
+            assert w.try_reserve(timeout=1.0) is not None
+            w.commit()
+        finally:
+            w.close()
+
+    def test_reader_times_out_when_empty(self, ring):
+        assert ring.peek(timeout=0.05) is None
+
+
+class TestMisuse:
+    def test_double_reserve_rejected(self, ring):
+        w = ring.handle().attach()
+        try:
+            w.try_reserve()
+            with pytest.raises(RuntimeError, match="never committed"):
+                w.try_reserve()
+        finally:
+            w.close()
+
+    def test_commit_without_reserve_rejected(self, ring):
+        w = ring.handle().attach()
+        try:
+            with pytest.raises(RuntimeError, match="no reservation"):
+                w.commit()
+        finally:
+            w.close()
+
+    def test_consume_without_peek_rejected(self, ring):
+        with pytest.raises(RuntimeError, match="without a successful peek"):
+            ring.consume()
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRing(slots=0, record_size=4)
+        with pytest.raises(ValueError):
+            SharedRing(slots=2, record_size=0)
+
+    def test_close_is_idempotent(self):
+        r = SharedRing(slots=1, record_size=1)
+        r.close()
+        r.close()

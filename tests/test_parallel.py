@@ -75,6 +75,101 @@ class TestGeneration:
             make().generate(-1)
 
 
+class TestStreamContract:
+    """generate() serves one canonical stream regardless of fetch sizes.
+
+    Regression tests: generate() used to discard the tail of the last
+    round whenever ``n`` was not a multiple of ``num_threads``, so
+    ``generate(4); generate(4)`` skipped numbers that ``generate(8)``
+    emitted -- the fetch size leaked into the stream.
+    """
+
+    def test_two_fetches_equal_one(self):
+        p, q = make(threads=32, seed=9), make(threads=32, seed=9)
+        split = np.concatenate([p.generate(4), p.generate(4)])
+        assert np.array_equal(split, q.generate(8))
+
+    def test_arbitrary_split_equals_bulk(self):
+        sizes = [1, 37, 2, 300, 64, 96]
+        p, q = make(threads=64, seed=10), make(threads=64, seed=10)
+        split = np.concatenate([p.generate(s) for s in sizes])
+        assert np.array_equal(split, q.generate(sum(sizes)))
+
+    def test_batch_size_orthogonal_to_split(self):
+        p, q = make(threads=48, seed=11), make(threads=48, seed=11)
+        a = np.concatenate([
+            p.generate(30, batch_size=2), p.generate(70, batch_size=5)
+        ])
+        assert np.array_equal(a, q.generate(100))
+
+    def test_remainder_survives_zero_fetch(self):
+        p, q = make(threads=32, seed=12), make(threads=32, seed=12)
+        head = p.generate(5)
+        mid = p.generate(0)
+        assert mid.size == 0
+        got = np.concatenate([head, p.generate(27)])
+        assert np.array_equal(got, q.generate(32))
+
+    def test_next_round_bypasses_remainder(self):
+        """next_round() is the raw per-round API: it neither serves nor
+        disturbs generate()'s buffered tail."""
+        p = make(threads=16, seed=13)
+        ref = make(threads=16, seed=13).generate(48)
+        head = p.generate(8)           # buffers 8 tail numbers
+        skipped = p.next_round()       # round 2, raw
+        tail = p.generate(24)          # rest of round 1, then round 3
+        got = np.concatenate([head, tail])
+        assert np.array_equal(np.concatenate([got[:16], skipped, got[16:]]),
+                              ref)
+
+
+class TestIntegersRegressions:
+    """integers() across power-of-two and full-width ranges.
+
+    Regression tests: ranges whose size divides 2**64 made the
+    rejection limit ``(2**64 // size) * size == 2**64`` overflow
+    ``np.uint64`` and raise OverflowError (e.g. ``integers(0, 2**32)``).
+    """
+
+    def test_power_of_two_range(self):
+        vals = make(seed=21).integers(0, 2**32, 1000)
+        assert vals.dtype == np.int64
+        assert vals.min() >= 0 and vals.max() < 2**32
+        # Power-of-two spans take the no-rejection path; the top 32 bits
+        # of a healthy stream keep the mean near the middle.
+        assert abs(vals.mean() / 2**32 - 0.5) < 0.05
+
+    def test_full_uint64_range(self):
+        vals = make(seed=22).integers(0, 2**64, 500)
+        assert vals.dtype == np.uint64
+        assert vals.max() > np.uint64(2**63)  # top bit exercised
+
+    def test_full_int64_range(self):
+        vals = make(seed=23).integers(-(2**63), 2**63, 500)
+        assert vals.dtype == np.int64
+        assert vals.min() < 0 < vals.max()
+
+    def test_high_uint64_range(self):
+        vals = make(seed=24).integers(2**63, 2**64, 200)
+        assert vals.dtype == np.uint64
+        assert (vals >= np.uint64(2**63)).all()
+
+    def test_span_too_wide_rejected(self):
+        with pytest.raises(ValueError, match="spans more than"):
+            make().integers(-1, 2**64, 10)
+
+    def test_bounds_not_representable_rejected(self):
+        with pytest.raises(ValueError, match="fits neither"):
+            make().integers(-1, 2**63 + 1, 10)
+
+    def test_matches_fetch_split(self):
+        """integers() draws from the same canonical stream."""
+        p, q = make(seed=25), make(seed=25)
+        a = np.concatenate([p.integers(0, 1000, 70),
+                            p.integers(0, 1000, 30)])
+        assert np.array_equal(a, q.integers(0, 1000, 100))
+
+
 class TestDistributions:
     def test_random_range(self):
         u = make(seed=2).random(5000)

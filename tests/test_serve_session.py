@@ -84,11 +84,13 @@ class TestSessionStream:
                 SplitMix64Source(seed), "failover", sleep=lambda s: None
             )
 
+        # Enough traffic to exhaust the walk engine's prefetched feed
+        # buffer and force fresh draws from the (now dead) primary.
         s = SessionStream(
             "sick", master_seed=1, source_factory=factory,
             retry_policy=SERVE_RETRY_POLICY,
         )
-        for _ in range(8):
+        for _ in range(40):
             assert s.generate(128).size == 128
         assert s.health == "DEGRADED"
         assert s.supervisor.stats.failovers >= 1

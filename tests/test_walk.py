@@ -90,11 +90,9 @@ class TestPolicies:
 
 class TestStepping:
     def test_walk_consumption_order_is_step_major(self):
-        """walk(l) draws chunks3(l*n) once and applies rows as steps.
-
-        (It intentionally differs from l separate step() calls, which
-        each waste the tail chunks of their last feed word.)
-        """
+        """walk(l) consumes the chunk stream step-major: step i of a
+        bank of n walkers reads chunks [i*n, (i+1)*n) of the canonical
+        stream (which, on a fresh source, is chunks3's prefix)."""
         g = GabberGalilExpander()
         eng = WalkEngine(g, policy="mod")
         starts = SplitMix64Source(7).words64(33)
@@ -180,3 +178,78 @@ class TestStepping:
         before = state.x.copy()
         eng.walk(state, RawCounterSource(1), 8)
         assert not np.array_equal(before, state.x)
+
+
+class TestStreamContract:
+    """The canonical chunk stream: trajectories are a pure function of
+    (starts, feed, policy), never of how callers slice their requests.
+
+    Regression tests for the reject-policy walk()/step() divergence:
+    walk() used to draw all redraw chunks up front (bulk, walk-level)
+    while repeated step() redrew per step, so the two call patterns
+    consumed the feed in different orders and produced different walks.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_walk_equals_repeated_step(self, policy):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy=policy)
+        starts = SplitMix64Source(7).words64(33)
+        s_walk = eng.make_state(starts.copy())
+        s_step = eng.make_state(starts.copy())
+        src_walk, src_step = SplitMix64Source(11), SplitMix64Source(11)
+        eng.walk(s_walk, src_walk, 24)
+        for _ in range(24):
+            eng.step(s_step, src_step)
+        np.testing.assert_array_equal(s_walk.x, s_step.x)
+        np.testing.assert_array_equal(s_walk.y, s_step.y)
+        assert s_walk.chunks_consumed == s_step.chunks_consumed
+        # Same stream position too: both patterns pulled the same words.
+        assert src_walk._state == src_step._state
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_split_walks_equal_one_walk(self, policy):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy=policy)
+        starts = SplitMix64Source(3).words64(17)
+        s_split = eng.make_state(starts.copy())
+        s_bulk = eng.make_state(starts.copy())
+        src_split, src_bulk = SplitMix64Source(5), SplitMix64Source(5)
+        for length in (1, 7, 2, 13):
+            eng.walk(s_split, src_split, length)
+        eng.walk(s_bulk, src_bulk, 23)
+        np.testing.assert_array_equal(s_split.x, s_bulk.x)
+        np.testing.assert_array_equal(s_split.y, s_bulk.y)
+        assert src_split._state == src_bulk._state
+
+    def test_copy_carries_the_feed_buffer(self):
+        """A copied state replays the same stream as the original --
+        including the buffered tail chunks of the last feed word."""
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="reject")
+        state = eng.make_state(SplitMix64Source(1).words64(9))
+        src = SplitMix64Source(2)
+        eng.walk(state, src, 5)  # leaves a partial word in the buffer
+        fork = state.copy()
+        src_fork = SplitMix64Source(2)
+        src_fork._state = np.uint64(src._state)
+        eng.walk(state, src, 11)
+        eng.walk(fork, src_fork, 11)
+        np.testing.assert_array_equal(state.x, fork.x)
+        np.testing.assert_array_equal(state.y, fork.y)
+
+    def test_buffered_chunks_are_a_chunks3_prefix(self):
+        """Slicing cannot change the stream: any draw pattern consumes
+        the same chunk sequence chunks3 yields on a fresh source."""
+        from repro.core.walk import WalkEngine as WE
+
+        state = WalkState(
+            np.zeros(1, dtype=np.uint32), np.zeros(1, dtype=np.uint32)
+        )
+        src = SplitMix64Source(9)
+        got = np.concatenate([
+            WE._take_chunks(state, src, n) for n in (5, 1, 40, 17, 100)
+        ])
+        np.testing.assert_array_equal(
+            got, SplitMix64Source(9).chunks3(163)
+        )
