@@ -68,6 +68,15 @@ class HybridPRNG(PRNG):
         """
         return self.generator.generate(n)
 
+    def u64_into(self, out: np.ndarray) -> None:
+        """Fill ``out`` in place with the next ``out.size`` stream values.
+
+        Zero-copy counterpart of :meth:`u64_array` for callers that pool
+        their buffers (``repro generate`` streams through one); same
+        stream, same remainder behaviour.
+        """
+        self.generator.generate_into(out)
+
     def u32_array(self, n: int) -> np.ndarray:
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")

@@ -282,9 +282,13 @@ def _cmd_generate_sharded(args) -> int:
     out = sys.stdout
     with _obs_session(args), ShardedEngine(config) as engine:
         written = 0
+        # One pooled buffer for the whole run: rounds are written into
+        # it straight from the shard rings (no per-chunk arrays).
+        buf = np.empty(GENERATE_CHUNK, dtype=np.uint64)
         while written < args.n:
             k = min(GENERATE_CHUNK, args.n - written)
-            values = engine.generate(k)
+            values = buf[:k]
+            engine.generate_into(values)
             if args.format == "float":
                 floats = (values >> np.uint64(11)).astype(np.float64) \
                     * (1.0 / 9007199254740992.0)
@@ -315,18 +319,26 @@ def _cmd_generate(args) -> int:
             )
         else:
             gen = HybridPRNG(seed=args.seed, num_threads=args.threads)
-        # Stream in chunks: large -n must not buffer the whole run in
-        # memory, and output must flush as it goes.
+        # Stream in chunks through one pooled buffer: large -n must not
+        # buffer the whole run in memory, output must flush as it goes,
+        # and rounds are written straight into the pool (no per-chunk
+        # arrays).  The float path derives uniform53's exact values
+        # from the same 64-bit words.
         out = sys.stdout
         written = 0
+        buf = np.empty(GENERATE_CHUNK, dtype=np.uint64)
         while written < args.n:
             k = min(GENERATE_CHUNK, args.n - written)
+            values = buf[:k]
+            gen.u64_into(values)
             if args.format == "float":
-                lines = [f"{v:.17f}" for v in gen.uniform53(k)]
+                floats = (values >> np.uint64(11)).astype(np.float64) \
+                    * (1.0 / 9007199254740992.0)
+                lines = [f"{v:.17f}" for v in floats]
             elif args.format == "hex":
-                lines = [f"{int(v):#018x}" for v in gen.u64_array(k)]
+                lines = [f"{int(v):#018x}" for v in values]
             else:
-                lines = [str(int(v)) for v in gen.u64_array(k)]
+                lines = [str(int(v)) for v in values]
             out.write("\n".join(lines))
             out.write("\n")
             out.flush()

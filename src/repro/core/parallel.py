@@ -65,6 +65,7 @@ class ParallelExpanderPRNG:
         bit_source: Optional[BitSource] = None,
         walk_length: int = DEFAULT_WALK_LENGTH,
         policy: str = "reject",
+        fused: bool = True,
     ):
         check_positive("num_threads", num_threads)
         check_positive("walk_length", walk_length)
@@ -74,7 +75,10 @@ class ParallelExpanderPRNG:
             bit_source if bit_source is not None else GlibcRandom(seed)
         )
         self.walk_length = int(walk_length)
-        self.engine = WalkEngine(self.graph, policy=policy)
+        # ``fused`` selects the allocation-free walk kernel (default) or
+        # the legacy reference kernel; the stream is identical either
+        # way -- benchmarks use the flag to compare the two.
+        self.engine = WalkEngine(self.graph, policy=policy, fused=fused)
         self._state: Optional[WalkState] = None
         self.numbers_generated = 0
         self.initialize()
@@ -130,23 +134,24 @@ class ParallelExpanderPRNG:
         ).inc(3 * (self._state.chunks_consumed - chunks_before))
         return out
 
-    def _launch(self, num_rounds: int) -> np.ndarray:
-        """One kernel launch: ``num_rounds`` rounds under a single span.
+    def _launch_into(self, out: np.ndarray, num_rounds: int) -> None:
+        """One kernel launch: ``num_rounds`` full rounds under one span.
 
-        Returns the launch's numbers round-by-round, thread-major within
-        each round -- the same stream :meth:`next_round` walks, so launch
-        grouping cannot change values, only tracing granularity.
+        Writes the launch's numbers round-by-round, thread-major within
+        each round, directly into ``out`` (size ``num_rounds *
+        num_threads``) -- the same stream :meth:`next_round` walks, so
+        launch grouping cannot change values, only tracing granularity.
+        No intermediate per-round arrays are allocated.
         """
-        if num_rounds == 1:
-            return self.next_round()
+        nt = self.num_threads
         steps_before = self._state.steps_taken
         chunks_before = self._state.chunks_consumed
-        with span("generate", lanes=self.num_threads, rounds=num_rounds):
-            blocks = []
-            for _ in range(num_rounds):
+        with span("generate", lanes=nt, rounds=num_rounds):
+            for i in range(num_rounds):
                 self.engine.walk(self._state, self.source, self.walk_length)
-                blocks.append(self.engine.outputs(self._state))
-            out = np.concatenate(blocks)
+                self.engine.outputs_into(
+                    self._state, out[i * nt : (i + 1) * nt]
+                )
         self.numbers_generated += out.size
         obs_metrics.counter(
             "repro_prng_numbers_total", "64-bit numbers emitted"
@@ -160,7 +165,48 @@ class ParallelExpanderPRNG:
         obs_metrics.counter(
             "repro_prng_feed_bits_total", "Feed bits consumed (3 per chunk)"
         ).inc(3 * (self._state.chunks_consumed - chunks_before))
-        return out
+
+    def generate_into(
+        self, out: np.ndarray, batch_size: Optional[int] = None
+    ) -> None:
+        """Fill ``out`` with the next ``out.size`` numbers of the stream.
+
+        Zero-copy variant of :meth:`generate`: full rounds are written
+        straight from the walker state into the caller's buffer, with no
+        intermediate arrays.  ``out`` must be a one-dimensional,
+        C-contiguous, writeable ``uint64`` array; values and remainder
+        behaviour are identical to ``generate(out.size)``.
+        """
+        if not isinstance(out, np.ndarray):
+            raise TypeError(f"out must be a numpy array, got {type(out)!r}")
+        if out.dtype != np.uint64:
+            raise TypeError(f"out must have dtype uint64, got {out.dtype}")
+        if out.ndim != 1:
+            raise ValueError(f"out must be one-dimensional, got shape {out.shape}")
+        if not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        if not out.flags.writeable:
+            raise ValueError("out must be writeable")
+        if batch_size is not None:
+            check_positive("batch_size", batch_size)
+        n = out.size
+        pos = 0
+        if self._remainder.size:
+            take = min(self._remainder.size, n)
+            out[:take] = self._remainder[:take]
+            self._remainder = self._remainder[take:]
+            pos = take
+        nt = self.num_threads
+        while n - pos >= nt:
+            full_rounds = (n - pos) // nt
+            k = 1 if batch_size is None else min(full_rounds, batch_size)
+            self._launch_into(out[pos : pos + k * nt], k)
+            pos += k * nt
+        if pos < n:
+            vals = self.next_round()
+            take = n - pos
+            out[pos:] = vals[:take]
+            self._remainder = vals[take:].copy()
 
     def generate(self, n: int, batch_size: Optional[int] = None) -> np.ndarray:
         """The next ``n`` numbers of the generator's stream.
@@ -177,24 +223,8 @@ class ParallelExpanderPRNG:
         """
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")
-        if batch_size is not None:
-            check_positive("batch_size", batch_size)
         out = np.empty(n, dtype=np.uint64)
-        pos = 0
-        if self._remainder.size:
-            take = min(self._remainder.size, n)
-            out[:take] = self._remainder[:take]
-            self._remainder = self._remainder[take:]
-            pos = take
-        while pos < n:
-            rounds_left = -(-(n - pos) // self.num_threads)
-            k = 1 if batch_size is None else min(rounds_left, batch_size)
-            vals = self._launch(k)
-            take = min(vals.size, n - pos)
-            out[pos : pos + take] = vals[:take]
-            if take < vals.size:
-                self._remainder = vals[take:].copy()
-            pos += take
+        self.generate_into(out, batch_size)
         return out
 
     def rounds(self, num_rounds: int) -> Iterator[np.ndarray]:

@@ -54,7 +54,10 @@ POLICIES = ("reject", "mod", "lazy")
 #: 3-bit chunks yielded per 64-bit feed word (the last bit is unused).
 CHUNKS_PER_WORD = 21
 
-#: Minimum words pulled per feed-buffer refill.  Refill granularity
+#: Prefetch quantum for feed-buffer refills.  Below it, refills round
+#: the cumulative word demand up to a power of two (so small banks ramp
+#: geometrically instead of paying a 4096-word first fetch); above it,
+#: demand rounds up to a multiple of this quantum.  Refill granularity
 #: amortizes chunk extraction across steps; it cannot affect emitted
 #: values, because the chunk stream is a fixed function of the word
 #: stream and buffered chunks are consumed strictly in order.
@@ -115,7 +118,12 @@ class WalkEngine:
         One of :data:`POLICIES`; see module docstring.
     """
 
-    def __init__(self, graph: GabberGalilExpander, policy: str = "reject"):
+    def __init__(
+        self,
+        graph: GabberGalilExpander,
+        policy: str = "reject",
+        fused: bool = True,
+    ):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
         self.graph = graph
@@ -133,6 +141,16 @@ class WalkEngine:
         # zero wherever `is` is zero, so no second mask is needed).
         self._a_y = (dtype(2) * is_y).astype(dtype)
         self._a_x = (dtype(2) * is_x).astype(dtype)
+        # Packed (2, 8) tables for the fused kernel: with positions held
+        # as a (2, n) array `pos` (row 0 = x, row 1 = y) the whole step
+        # is one broadcast update,
+        #     pos' = pos + a2[:, k] * pos[::-1] + c2[:, k],
+        # because x reads y and y reads x (`pos[::-1]` swaps the rows)
+        # and at most one row's coefficient is nonzero per k.
+        self._a2 = np.stack([self._a_x, self._a_y])
+        self._c2 = np.stack([c_x, c_y])
+        # The fused kernel relies on uint32 wraparound (native m only).
+        self._fused = bool(fused) and dtype is np.uint32
 
     # ------------------------------------------------------------------
     # State construction
@@ -162,18 +180,36 @@ class WalkEngine:
         """The next ``n`` chunks of the canonical chunk stream.
 
         Words are pulled whole (21 chunks each) and the tail is kept in
-        ``state.feed_buffer``, so after any call pattern that consumed
-        ``T`` chunks in total, exactly ``ceil(T / 21)`` feed words have
-        been read.  The returned slice may view already-consumed buffer
-        memory; callers may mutate it freely (nothing re-reads it).
+        ``state.feed_buffer``, so the *values* drawn are a fixed function
+        of the word stream regardless of request slicing.  The number of
+        words *read ahead* is too: a refill pulls up to ``F(T)`` total
+        words, where ``T`` is the cumulative chunks requested so far and
+        ``F`` rounds ``ceil(T / 21)`` up to a power of two (below
+        :data:`PREFETCH_WORDS`) or to a multiple of the quantum (above).
+        Because ``F`` is a monotone pure function of ``T`` and its image
+        is totally ordered, any two request patterns with the same total
+        demand leave the source at the same position -- while small
+        banks ramp up geometrically instead of over-fetching thousands
+        of words on their first step.
+
+        The returned slice may view already-consumed buffer memory;
+        callers may mutate it freely (nothing re-reads it).
         """
         buf = state.feed_buffer
         if buf.size >= n:
             state.feed_buffer = buf[n:]
             return buf[:n]
         deficit = n - buf.size
-        nwords = max(-(-deficit // CHUNKS_PER_WORD), PREFETCH_WORDS)
-        fresh = source.chunks3(nwords * CHUNKS_PER_WORD)
+        # Invariant: every chunk requested so far has been counted into
+        # ``chunks_consumed`` (callers increment right after each take),
+        # so words pulled so far = (consumed + buffered) / 21, exactly.
+        pulled = (state.chunks_consumed + buf.size) // CHUNKS_PER_WORD
+        need = -(-(state.chunks_consumed + n) // CHUNKS_PER_WORD)
+        if need <= PREFETCH_WORDS:
+            target = 1 << (need - 1).bit_length()
+        else:
+            target = -(-need // PREFETCH_WORDS) * PREFETCH_WORDS
+        fresh = source.chunks3((target - pulled) * CHUNKS_PER_WORD)
         state.feed_buffer = fresh[deficit:]
         if not buf.size:
             return fresh[:deficit]
@@ -203,6 +239,49 @@ class WalkEngine:
             idx = idx[redraw == _U8(7)]
         return chunks
 
+    # -- fused kernel plumbing -----------------------------------------
+
+    def _fused_buffers(self, state: WalkState):
+        """Per-state (2, n) double-buffer scratch for the fused kernel.
+
+        ``state.x`` / ``state.y`` are row views into the current buffer
+        after a fused step; the stored view identities detect external
+        reassignment (snapshot restore, legacy interleave, fresh state)
+        and copy the positions back in.  Returns ``(cur, nxt, ta, tc)``
+        with ``cur`` holding the current positions.
+        """
+        n = state.num_walkers
+        bufs = getattr(state, "_fused_bufs", None)
+        if bufs is None or bufs[0].shape[1] != n:
+            bufs = tuple(np.empty((2, n), dtype=np.uint32) for _ in range(4))
+            state._fused_bufs = bufs
+            state._fused_xy = (None, None)
+        cur = bufs[0]
+        xv, yv = state._fused_xy
+        if state.x is not xv or state.y is not yv:
+            cur[0] = state.x
+            cur[1] = state.y
+        return bufs
+
+    def _fused_commit(self, state: WalkState, cur, nxt, ta, tc) -> None:
+        """Publish ``cur`` as the new positions and keep the buffers."""
+        state._fused_bufs = (cur, nxt, ta, tc)
+        x, y = cur[0], cur[1]
+        state.x = x
+        state.y = y
+        state._fused_xy = (x, y)
+
+    def _apply_indices_fused(self, state: WalkState, ks: np.ndarray) -> None:
+        """One fused step: 5 small numpy calls, zero allocations."""
+        cur, nxt, ta, tc = self._fused_buffers(state)
+        np.take(self._a2, ks, axis=1, out=ta)
+        np.take(self._c2, ks, axis=1, out=tc)
+        np.multiply(ta, cur[::-1], out=ta)
+        np.add(ta, tc, out=ta)
+        np.add(cur, ta, out=nxt)
+        self._fused_commit(state, nxt, cur, ta, tc)
+        state.steps_taken += state.num_walkers
+
     def _apply_indices(self, state: WalkState, ks: np.ndarray) -> None:
         """Advance all walkers by one step given neighbour indices ``ks``.
 
@@ -212,6 +291,9 @@ class WalkEngine:
         (both zero for k == 0), so both updates can read the pre-step
         x and y.
         """
+        if self._fused:
+            self._apply_indices_fused(state, ks)
+            return
         n = state.num_walkers
         if self._dtype is np.uint32:
             # Scratch lives on the state (never shared across states).
@@ -276,6 +358,24 @@ class WalkEngine:
     def outputs(self, state: WalkState) -> np.ndarray:
         """Current vertex ids of all walkers -- the emitted random numbers."""
         return self.graph.pack(state.x, state.y)
+
+    def outputs_into(self, state: WalkState, out: np.ndarray) -> None:
+        """Write the walkers' vertex ids into ``out`` (uint64, size n).
+
+        The zero-copy delivery primitive: for the native graph the pack
+        ``(x << 32) | y`` is computed in-place in the caller's buffer,
+        with no intermediate array.
+        """
+        if out.shape != state.x.shape:
+            raise ValueError(
+                f"out has shape {out.shape}, expected {state.x.shape}"
+            )
+        if self._dtype is np.uint32 and out.dtype == np.uint64:
+            np.copyto(out, state.x, casting="safe")
+            np.left_shift(out, np.uint64(32), out=out)
+            np.bitwise_or(out, state.y, out=out)
+            return
+        out[...] = self.graph.pack(state.x, state.y)
 
     # ------------------------------------------------------------------
     # Analysis helpers

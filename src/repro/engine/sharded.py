@@ -438,8 +438,13 @@ class ShardedEngine:
 
     # -- bulk stream ---------------------------------------------------
 
-    def _next_round(self) -> np.ndarray:
-        """Assemble one engine round: every shard's round, shard-major."""
+    def _peek_round(self) -> list:
+        """Zero-copy ring views of every shard's next round, shard-major.
+
+        Blocks (reviving dead shards) until *all* shards have a round
+        ready; nothing is consumed, so a failure mid-peek leaves every
+        ring intact (the no-partial-results contract).
+        """
         cfg = self.config
         parts = []
         for i in range(cfg.shards):
@@ -453,15 +458,72 @@ class ShardedEngine:
                     break
                 self._shard_down(i, "producing a round")
             parts.append(view)
-        out = np.concatenate(parts)  # one copy, straight from the rings
-        for i in range(cfg.shards):
+        return parts
+
+    def _consume_round(self) -> None:
+        """Release the round returned by the last :meth:`_peek_round`."""
+        for i in range(self.config.shards):
             self._rings[i].consume()
             self._rounds_consumed[i] += 1
         self.rounds_assembled += 1
         obs_metrics.counter(
             "repro_engine_rounds_total", "Engine rounds assembled"
         ).inc()
+
+    def _next_round(self) -> np.ndarray:
+        """Assemble one engine round: every shard's round, shard-major."""
+        parts = self._peek_round()
+        out = np.concatenate(parts)  # one copy, straight from the rings
+        self._consume_round()
         return out
+
+    def generate_into(self, out: np.ndarray) -> None:
+        """Fill ``out`` with the next ``out.size`` numbers of the stream.
+
+        Zero-copy variant of :meth:`generate`: full rounds are copied
+        straight from the shards' ring views into the caller's buffer
+        (no intermediate round array); only a trailing partial round
+        goes through the remainder buffer.  ``out`` must be a
+        one-dimensional, C-contiguous, writeable ``uint64`` array.
+        """
+        if not isinstance(out, np.ndarray):
+            raise TypeError(f"out must be a numpy array, got {type(out)!r}")
+        if out.dtype != np.uint64:
+            raise TypeError(f"out must have dtype uint64, got {out.dtype}")
+        if out.ndim != 1:
+            raise ValueError(f"out must be one-dimensional, got shape {out.shape}")
+        if not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        if not out.flags.writeable:
+            raise ValueError("out must be writeable")
+        if not self.config.ring_slots:
+            raise RuntimeError(
+                "bulk stream disabled: this engine was built with "
+                "ring_slots=0 (serve-only)"
+            )
+        n = out.size
+        round_size = self.config.shards * self.config.lanes
+        with self._gen_lock:
+            with span("engine.generate", n=n, shards=self.config.shards):
+                pos = 0
+                if self._remainder.size:
+                    take = min(self._remainder.size, n)
+                    out[:take] = self._remainder[:take]
+                    self._remainder = self._remainder[take:]
+                    pos = take
+                while n - pos >= round_size:
+                    for view in self._peek_round():
+                        out[pos : pos + view.size] = view
+                        pos += view.size
+                    self._consume_round()
+                if pos < n:
+                    vals = self._next_round()
+                    take = n - pos
+                    out[pos:] = vals[:take]
+                    self._remainder = vals[take:].copy()
+            obs_metrics.counter(
+                "repro_engine_numbers_total", "Numbers served (bulk stream)"
+            ).inc(n)
 
     def generate(self, n: int) -> np.ndarray:
         """The next ``n`` numbers of the engine's bulk stream.
@@ -472,31 +534,9 @@ class ShardedEngine:
         """
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")
-        if not self.config.ring_slots:
-            raise RuntimeError(
-                "bulk stream disabled: this engine was built with "
-                "ring_slots=0 (serve-only)"
-            )
-        with self._gen_lock:
-            with span("engine.generate", n=n, shards=self.config.shards):
-                out = np.empty(n, dtype=np.uint64)
-                pos = 0
-                if self._remainder.size:
-                    take = min(self._remainder.size, n)
-                    out[:take] = self._remainder[:take]
-                    self._remainder = self._remainder[take:]
-                    pos = take
-                while pos < n:
-                    vals = self._next_round()
-                    take = min(vals.size, n - pos)
-                    out[pos : pos + take] = vals[:take]
-                    if take < vals.size:
-                        self._remainder = vals[take:].copy()
-                    pos += take
-            obs_metrics.counter(
-                "repro_engine_numbers_total", "Numbers served (bulk stream)"
-            ).inc(n)
-            return out
+        out = np.empty(n, dtype=np.uint64)
+        self.generate_into(out)
+        return out
 
     # -- named streams (the serving path) ------------------------------
 

@@ -185,22 +185,37 @@ class HybridScheduler:
         than lanes simply means lanes are reused round-robin, which
         cannot change the emitted stream's statistics.
         """
+        out = np.empty(plan.total_numbers, dtype=np.uint64)
+        self.generate_into(plan, out)
+        return out
+
+    def generate_into(self, plan: GenerationPlan, out: np.ndarray) -> None:
+        """Zero-copy :meth:`generate`: fill ``out`` with ``plan``'s numbers.
+
+        ``out`` must be a one-dimensional, C-contiguous, writeable
+        ``uint64`` array of size ``plan.total_numbers``; rounds are
+        written straight from walker state (or the shard rings) into it.
+        """
+        if out.size != plan.total_numbers:
+            raise ValueError(
+                f"out has {out.size} slots, plan produces "
+                f"{plan.total_numbers} numbers"
+            )
         lanes = min(plan.num_threads, self.max_threads)
         obs_metrics.gauge(
             "repro_scheduler_lanes", "Walker lanes used by the scheduler"
         ).set(lanes)
         if self.shards is not None and self.shards > 1:
-            return self._engine_generate(plan, lanes)
+            self._ensure_engine(lanes).generate_into(out)
+            return
         if self._prng is None or self._prng.num_threads != lanes:
             self._prng = ParallelExpanderPRNG(
                 num_threads=lanes, bit_source=self.feed
             )
-        return self._prng.generate(
-            plan.total_numbers, batch_size=plan.batch_size
-        )
+        self._prng.generate_into(out, batch_size=plan.batch_size)
 
-    def _engine_generate(self, plan: GenerationPlan, lanes: int) -> np.ndarray:
-        """Execute a plan on the shard pool (built lazily, reused)."""
+    def _ensure_engine(self, lanes: int):
+        """The shard pool for ``lanes`` total lanes (built lazily, reused)."""
         from repro.engine import EngineConfig, ShardedEngine
 
         per_shard = max(1, lanes // self.shards)
@@ -218,7 +233,7 @@ class HybridScheduler:
                 source_factory=GlibcRandom,
                 supervised=self.supervisor is not None,
             ))
-        return self._engine.generate(plan.total_numbers)
+        return self._engine
 
     def run(self, total_numbers: int, batch_size: Optional[int] = None):
         """Plan, simulate, and generate; returns (values, plan, prediction)."""

@@ -37,6 +37,7 @@ import asyncio
 import json
 import socket
 import struct
+import sys
 from typing import Tuple
 
 import numpy as np
@@ -60,7 +61,9 @@ __all__ = [
     "pack_frame",
     "pack_fetch",
     "pack_hello",
+    "frame_header",
     "encode_values",
+    "values_payload",
     "decode_values",
     "read_frame",
     "read_frame_socket",
@@ -145,9 +148,49 @@ def pack_fetch(count: int) -> bytes:
     return pack_frame(OP_FETCH, _U32.pack(count))
 
 
+def frame_header(opcode: int, payload_len: int) -> bytes:
+    """Length prefix + opcode for a frame whose payload travels separately.
+
+    Enables zero-copy sends: write the 5 header bytes, then the payload
+    buffer itself (e.g. a :func:`values_payload` memoryview), instead of
+    concatenating them into one intermediate ``bytes``.
+    """
+    if not 0 <= opcode <= 0xFF:
+        raise ProtocolError(f"opcode out of range: {opcode}")
+    body_len = 1 + payload_len
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame too large: {body_len} > {MAX_FRAME_BYTES} bytes"
+        )
+    return _LEN.pack(body_len) + bytes([opcode])
+
+
 def encode_values(values: np.ndarray) -> bytes:
     """uint64 array -> raw big-endian payload bytes."""
     return np.ascontiguousarray(values, dtype=np.uint64).astype(">u8").tobytes()
+
+
+def values_payload(values: np.ndarray) -> memoryview:
+    """uint64 array -> big-endian VALUES payload, zero-copy when possible.
+
+    **Consumes the array**: a C-contiguous ``uint64`` input is
+    byte-swapped *in place* on little-endian hosts and the returned
+    memoryview aliases its memory -- the caller must own ``values`` and
+    must not read it (or reuse its buffer) until the payload has been
+    fully written out.  Inputs that cannot be swapped in place fall back
+    to :func:`encode_values` (one copy).
+    """
+    if (
+        isinstance(values, np.ndarray)
+        and values.dtype == np.uint64
+        and values.ndim == 1
+        and values.flags.c_contiguous
+        and values.flags.writeable
+    ):
+        if sys.byteorder == "little":
+            values.byteswap(inplace=True)
+        return values.data.cast("B")
+    return memoryview(encode_values(values))
 
 
 def decode_values(payload: bytes) -> np.ndarray:

@@ -402,10 +402,7 @@ class RNGServer:
                             writer, proto.OP_BUSY, busy.encode("utf-8")
                         )
                     else:
-                        await self._send(
-                            writer, proto.OP_VALUES,
-                            proto.encode_values(values),
-                        )
+                        await self._send_values(writer, values)
                 elif opcode == proto.OP_STATUS:
                     doc = self.status_doc(session)
                     await self._send(
@@ -427,6 +424,20 @@ class RNGServer:
         self, writer: asyncio.StreamWriter, opcode: int, payload: bytes
     ) -> None:
         writer.write(proto.pack_frame(opcode, payload))
+        await writer.drain()
+
+    async def _send_values(
+        self, writer: asyncio.StreamWriter, values
+    ) -> None:
+        """Frame a VALUES response with zero intermediate copies.
+
+        The header and the payload are written as two buffers; the
+        payload memoryview aliases the (byte-swapped in place) result
+        array, which the fetch path owns and never re-reads.
+        """
+        payload = proto.values_payload(values)
+        writer.write(proto.frame_header(proto.OP_VALUES, payload.nbytes))
+        writer.write(payload)
         await writer.drain()
 
     # -- JSON-lines debug mode -----------------------------------------

@@ -155,7 +155,11 @@ class SessionStream:
             if self.engine is not None:
                 out = self.engine.fetch_stream(self.seed, self.lanes, n)
             else:
-                out = self.prng.generate(n)
+                # Fresh per-request buffer filled in place: the caller
+                # owns it outright (the serve framing path byte-swaps
+                # it in place for the wire).
+                out = np.empty(n, dtype=np.uint64)
+                self.prng.generate_into(out)
             self.words_served += n
             self.requests += 1
             return out

@@ -1,0 +1,169 @@
+"""Zero-copy delivery: ``generate_into`` across the stack.
+
+The in-place variants must be *the same stream* as their allocating
+counterparts -- remainder buffering included -- while rejecting buffers
+they cannot fill safely (wrong dtype, shape, layout, writability).
+Covers :class:`ParallelExpanderPRNG`, :class:`ShardedEngine`,
+:class:`HybridScheduler`, and the :class:`HybridPRNG` adapter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.engine import EngineConfig, ShardedEngine, serial_reference
+
+
+def make(threads=32, seed=3, **kw):
+    return ParallelExpanderPRNG(num_threads=threads, seed=seed, **kw)
+
+
+class TestValidation:
+    @pytest.fixture()
+    def prng(self):
+        return make()
+
+    def test_rejects_non_array(self, prng):
+        with pytest.raises(TypeError, match="numpy array"):
+            prng.generate_into([0] * 8)
+
+    def test_rejects_wrong_dtype(self, prng):
+        with pytest.raises(TypeError, match="uint64"):
+            prng.generate_into(np.empty(8, dtype=np.uint32))
+
+    def test_rejects_2d(self, prng):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            prng.generate_into(np.empty((2, 4), dtype=np.uint64))
+
+    def test_rejects_non_contiguous(self, prng):
+        with pytest.raises(ValueError, match="contiguous"):
+            prng.generate_into(np.empty(16, dtype=np.uint64)[::2])
+
+    def test_rejects_readonly(self, prng):
+        buf = np.empty(8, dtype=np.uint64)
+        buf.flags.writeable = False
+        with pytest.raises(ValueError, match="writeable"):
+            prng.generate_into(buf)
+
+    def test_rejected_buffer_does_not_advance_stream(self, prng):
+        ref = make().generate(8)
+        with pytest.raises(TypeError):
+            prng.generate_into(np.empty(8, dtype=np.uint32))
+        assert np.array_equal(prng.generate(8), ref)
+
+    def test_empty_buffer_is_a_noop(self, prng):
+        ref = make().generate(8)
+        prng.generate_into(np.empty(0, dtype=np.uint64))
+        assert np.array_equal(prng.generate(8), ref)
+
+
+class TestParallelStream:
+    def test_equals_generate(self):
+        buf = np.empty(100, dtype=np.uint64)
+        make().generate_into(buf)
+        assert np.array_equal(buf, make().generate(100))
+
+    def test_remainder_interaction(self):
+        """generate(4) then generate_into(buf8) equals generate(12)."""
+        p, q = make(), make()
+        head = p.generate(4)
+        buf = np.empty(8, dtype=np.uint64)
+        p.generate_into(buf)
+        want = q.generate(12)
+        assert np.array_equal(np.concatenate([head, buf]), want)
+
+    def test_leaves_a_remainder_for_generate(self):
+        p, q = make()  , make()
+        buf = np.empty(5, dtype=np.uint64)
+        p.generate_into(buf)
+        got = np.concatenate([buf, p.generate(27)])
+        assert np.array_equal(got, q.generate(32))
+
+    def test_batch_size_cannot_change_values(self):
+        p, q = make(), make()
+        a = np.empty(300, dtype=np.uint64)
+        b = np.empty(300, dtype=np.uint64)
+        p.generate_into(a, batch_size=7)
+        q.generate_into(b)
+        assert np.array_equal(a, b)
+
+    def test_writes_only_the_given_slice(self):
+        pool = np.zeros(96, dtype=np.uint64)
+        make().generate_into(pool[32:64])
+        assert not pool[:32].any() and not pool[64:].any()
+        assert np.array_equal(pool[32:64], make().generate(32))
+
+    def test_fused_flag_does_not_change_values(self):
+        a = np.empty(200, dtype=np.uint64)
+        b = np.empty(200, dtype=np.uint64)
+        make(fused=True).generate_into(a)
+        make(fused=False).generate_into(b)
+        assert np.array_equal(a, b)
+
+
+class TestEngineStream:
+    CONFIG = EngineConfig(seed=5, shards=2, lanes=8, ring_slots=2)
+
+    def test_matches_serial_reference(self):
+        want = serial_reference(self.CONFIG, 200)
+        buf = np.empty(200, dtype=np.uint64)
+        with ShardedEngine(self.CONFIG) as eng:
+            eng.generate_into(buf)
+        assert np.array_equal(buf, want)
+
+    def test_split_fills_equal_one_fill(self):
+        want = serial_reference(self.CONFIG, 100)
+        parts = []
+        with ShardedEngine(self.CONFIG) as eng:
+            for n in (7, 16, 33, 44):
+                buf = np.empty(n, dtype=np.uint64)
+                eng.generate_into(buf)
+                parts.append(buf)
+        assert np.array_equal(np.concatenate(parts), want)
+
+    def test_mixes_with_generate(self):
+        want = serial_reference(self.CONFIG, 96)
+        with ShardedEngine(self.CONFIG) as eng:
+            head = eng.generate(20)
+            buf = np.empty(50, dtype=np.uint64)
+            eng.generate_into(buf)
+            tail = eng.generate(26)
+        assert np.array_equal(np.concatenate([head, buf, tail]), want)
+
+    def test_validation(self):
+        with ShardedEngine(self.CONFIG) as eng:
+            with pytest.raises(TypeError, match="uint64"):
+                eng.generate_into(np.empty(8, dtype=np.float64))
+            with pytest.raises(ValueError, match="contiguous"):
+                eng.generate_into(np.empty(16, dtype=np.uint64)[::2])
+
+
+class TestHigherLayers:
+    def test_scheduler_generate_into(self):
+        from repro.hybrid.scheduler import HybridScheduler
+
+        with HybridScheduler(seed=11) as a, HybridScheduler(seed=11) as b:
+            plan = a.plan(500)
+            buf = np.empty(500, dtype=np.uint64)
+            a.generate_into(plan, buf)
+            want = b.generate(b.plan(500))
+        assert np.array_equal(buf, want)
+
+    def test_scheduler_size_mismatch(self):
+        from repro.hybrid.scheduler import HybridScheduler
+
+        with HybridScheduler(seed=11) as sched:
+            plan = sched.plan(500)
+            with pytest.raises(ValueError, match="slots"):
+                sched.generate_into(plan, np.empty(8, dtype=np.uint64))
+
+    def test_adapter_u64_into(self):
+        from repro.baselines.hybrid_adapter import HybridPRNG
+
+        gen_a = HybridPRNG(seed=2, num_threads=64)
+        gen_b = HybridPRNG(seed=2, num_threads=64)
+        buf = np.empty(100, dtype=np.uint64)
+        gen_a.u64_into(buf)
+        assert np.array_equal(buf, gen_b.u64_array(100))

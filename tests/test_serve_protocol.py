@@ -64,6 +64,66 @@ class TestValueCodec:
         assert out[0] == 7
 
 
+class TestZeroCopyPayload:
+    def test_frame_header_matches_pack_frame_prefix(self):
+        frame = proto.pack_frame(proto.OP_VALUES, b"abc")
+        assert proto.frame_header(proto.OP_VALUES, 3) == frame[:5]
+
+    def test_frame_header_rejects_oversize(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.frame_header(proto.OP_VALUES, proto.MAX_FRAME_BYTES)
+
+    def test_values_payload_roundtrips(self):
+        values = np.array(
+            [0, 1, 2**63, 2**64 - 1, 0xDEADBEEFCAFEBABE], dtype=np.uint64
+        )
+        payload = proto.values_payload(values.copy())
+        assert isinstance(payload, memoryview)
+        np.testing.assert_array_equal(
+            proto.decode_values(bytes(payload)), values
+        )
+
+    def test_values_payload_equals_encode_values(self):
+        values = np.arange(64, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        assert bytes(proto.values_payload(values.copy())) == (
+            proto.encode_values(values)
+        )
+
+    def test_values_payload_consumes_the_array(self):
+        """The fast path byteswaps in place: the caller's array is NOT
+        usable afterwards (documented contract; fetch paths hand over
+        freshly produced arrays)."""
+        import sys
+
+        values = np.array([1, 2, 3], dtype=np.uint64)
+        payload = proto.values_payload(values)
+        assert bytes(payload) == proto.encode_values(
+            np.array([1, 2, 3], dtype=np.uint64)
+        )
+        if sys.byteorder == "little":
+            assert values[0] == np.uint64(1 << 56)  # swapped in place
+
+    def test_values_payload_is_a_view_not_a_copy(self):
+        values = np.arange(8, dtype=np.uint64)
+        payload = proto.values_payload(values)
+        assert payload.obj is values.data.obj or np.shares_memory(
+            np.frombuffer(payload, dtype=np.uint64), values
+        )
+
+    def test_values_payload_falls_back_for_nonconforming_input(self):
+        strided = np.arange(16, dtype=np.uint64)[::2]
+        want = proto.encode_values(strided.copy())
+        assert bytes(proto.values_payload(strided)) == want
+        # Fallback must not mutate the input.
+        np.testing.assert_array_equal(strided, np.arange(0, 16, 2))
+
+        readonly = np.arange(4, dtype=np.uint64)
+        readonly.flags.writeable = False
+        assert bytes(proto.values_payload(readonly)) == (
+            proto.encode_values(readonly)
+        )
+
+
 class TestSocketFraming:
     def _pair(self):
         a, b = socket.socketpair()

@@ -17,6 +17,22 @@ def make_state(n, m=2**32, seed=5):
     return g, eng, eng.make_state(starts)
 
 
+class CountingSource:
+    """Feed wrapper counting the chunks (and so the words) pulled."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.chunks_served = 0
+
+    @property
+    def words_served(self):
+        return self.chunks_served // 21
+
+    def chunks3(self, n):
+        self.chunks_served += n
+        return self.inner.chunks3(n)
+
+
 class TestWalkState:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError, match="identical shapes"):
@@ -253,3 +269,118 @@ class TestStreamContract:
         np.testing.assert_array_equal(
             got, SplitMix64Source(9).chunks3(163)
         )
+
+
+class TestFusedKernel:
+    """The fused walk kernel must be bit-identical to the reference
+    scratch-array path -- same positions, same feed consumption, same
+    buffered tail -- under every policy and call pattern."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_reference_kernel(self, policy):
+        g = GabberGalilExpander()
+        fused = WalkEngine(g, policy=policy, fused=True)
+        ref = WalkEngine(g, policy=policy, fused=False)
+        assert fused._fused and not ref._fused
+        starts = SplitMix64Source(9).words64(50)
+        sf = fused.make_state(starts.copy())
+        sr = ref.make_state(starts.copy())
+        src_f, src_r = SplitMix64Source(4), SplitMix64Source(4)
+        for length in (5, 1, 24):
+            fused.walk(sf, src_f, length)
+            ref.walk(sr, src_r, length)
+            np.testing.assert_array_equal(fused.outputs(sf), ref.outputs(sr))
+        fused.step(sf, src_f)
+        ref.step(sr, src_r)
+        np.testing.assert_array_equal(fused.outputs(sf), ref.outputs(sr))
+        assert sf.chunks_consumed == sr.chunks_consumed
+        assert sf.steps_taken == sr.steps_taken
+        np.testing.assert_array_equal(sf.feed_buffer, sr.feed_buffer)
+
+    def test_disabled_for_non_native_modulus(self):
+        assert not WalkEngine(GabberGalilExpander(m=97))._fused
+        assert WalkEngine(GabberGalilExpander())._fused
+
+    def test_survives_external_position_assignment(self):
+        """Snapshot restore assigns fresh x/y arrays straight onto the
+        state; the fused kernel must copy them in, not keep walking its
+        stale internal views."""
+        g = GabberGalilExpander()
+        eng = WalkEngine(g)
+        state = eng.make_state(SplitMix64Source(1).words64(8))
+        eng.walk(state, SplitMix64Source(2), 3)  # fused buffers now live
+        fresh = eng.make_state(SplitMix64Source(1).words64(8))
+        state.x = fresh.x.copy()
+        state.y = fresh.y.copy()
+        state.feed_buffer = fresh.feed_buffer
+        state.chunks_consumed = fresh.chunks_consumed
+        eng.walk(state, SplitMix64Source(2), 3)
+        eng.walk(fresh, SplitMix64Source(2), 3)
+        np.testing.assert_array_equal(state.x, fresh.x)
+        np.testing.assert_array_equal(state.y, fresh.y)
+
+    def test_outputs_into_matches_outputs(self):
+        g, eng, state = make_state(20)
+        eng.walk(state, SplitMix64Source(3), 4)
+        out = np.empty(20, dtype=np.uint64)
+        eng.outputs_into(state, out)
+        np.testing.assert_array_equal(out, eng.outputs(state))
+
+    def test_outputs_into_non_native_graph(self):
+        g, eng, state = make_state(6, m=97)
+        eng.walk(state, SplitMix64Source(3), 2)
+        out = np.empty(6, dtype=np.uint64)
+        eng.outputs_into(state, out)
+        np.testing.assert_array_equal(out, eng.outputs(state).astype(np.uint64))
+
+    def test_outputs_into_shape_check(self):
+        _, eng, state = make_state(8)
+        with pytest.raises(ValueError, match="shape"):
+            eng.outputs_into(state, np.empty(9, dtype=np.uint64))
+
+
+class TestPrefetchSchedule:
+    """Refills pull ``F(T)`` total words for cumulative chunk demand
+    ``T``: the word need rounded up to a power of two below
+    ``PREFETCH_WORDS``, to a quantum multiple above.  Small banks must
+    not pay a 4096-word first fetch, and the total pulled must depend
+    only on total demand -- never on how requests were sliced."""
+
+    def test_small_bank_first_step_pulls_one_word(self):
+        g = GabberGalilExpander()
+        eng = WalkEngine(g, policy="mod")
+        state = eng.make_state(SplitMix64Source(1).words64(16))
+        src = CountingSource(SplitMix64Source(2))
+        eng.step(state, src)
+        assert src.words_served == 1  # ceil(16 / 21) = 1 word, not 4096
+
+    def test_pulled_words_are_a_pure_function_of_demand(self):
+        from repro.core.walk import CHUNKS_PER_WORD, WalkEngine as WE
+
+        totals = set()
+        for pattern in ([16] * 40, [640], [1, 5, 300, 1, 333]):
+            state = WalkState(
+                np.zeros(1, dtype=np.uint32), np.zeros(1, dtype=np.uint32)
+            )
+            src = CountingSource(SplitMix64Source(3))
+            for n in pattern:
+                WE._take_chunks(state, src, n)
+                state.chunks_consumed += n  # the caller contract
+            assert sum(pattern) == 640
+            totals.add(src.words_served)
+        need = -(-640 // CHUNKS_PER_WORD)  # 31 words
+        assert totals == {1 << (need - 1).bit_length()}  # every pattern: 32
+
+    def test_overfetch_bounded_above_the_quantum(self):
+        from repro.core.walk import (
+            CHUNKS_PER_WORD, PREFETCH_WORDS, WalkEngine as WE,
+        )
+
+        state = WalkState(
+            np.zeros(1, dtype=np.uint32), np.zeros(1, dtype=np.uint32)
+        )
+        src = CountingSource(SplitMix64Source(3))
+        n = 3 * PREFETCH_WORDS * CHUNKS_PER_WORD + 5
+        WE._take_chunks(state, src, n)
+        need = -(-n // CHUNKS_PER_WORD)
+        assert need <= src.words_served < need + PREFETCH_WORDS
