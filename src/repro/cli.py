@@ -16,9 +16,16 @@ Commands
                failover chain absorb the faults, 1 with a
                ``FeedFailedError`` diagnosis when they cannot;
 ``serve``      run the on-demand RNG service (asyncio TCP server,
-               per-session expander streams, batching, backpressure);
+               per-session expander streams, batching, backpressure,
+               per-session statistical sentinels);
 ``fetch``      fetch numbers from a running server (or query its
-               ``STATUS`` document with ``--status``).
+               ``STATUS`` document with ``--status``);
+``sentinel``   statistical health checks: watch a live generation run
+               through the sentinel tap (optionally under an injected
+               fault profile) and/or run the offline pair detectors
+               (substream cross-correlation, weak-seed screening,
+               glibc lag-structure leakage); exits 1 when anything is
+               flagged.
 
 ``repro --version`` reports the installed package version, so deployed
 servers and clients can say what they run.
@@ -216,7 +223,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="back sessions with a shard pool of this many worker "
              "processes (0: in-process sessions; values are identical)",
     )
+    serve.add_argument(
+        "--no-sentinel", action="store_true",
+        help="disable the per-session statistical sentinels",
+    )
+    serve.add_argument(
+        "--sentinel-sample", type=int, default=16,
+        help="sentinel sampling: keep one served word in this many",
+    )
+    serve.add_argument(
+        "--sentinel-window", type=int, default=4096,
+        help="sampled words per evaluated sentinel window",
+    )
     add_obs_flags(serve)
+
+    sent = sub.add_parser(
+        "sentinel",
+        help="statistical health checks (live watch + pair detectors)",
+    )
+    sent.add_argument(
+        "--check", default="all",
+        choices=["watch", "pairs", "weak-seeds", "lag", "all"],
+        help="which detector(s) to run",
+    )
+    sent.add_argument("--seed", type=int, default=1, help="master seed")
+    sent.add_argument(
+        "-n", type=int, default=1 << 16,
+        help="words generated for the watch and lag checks",
+    )
+    sent.add_argument("--threads", type=int, default=4096)
+    sent.add_argument(
+        "--profile", default=None, choices=sorted(PROFILES),
+        help="inject a named fault profile into the watch feed "
+             "(e.g. 'biased' demonstrates a detection)",
+    )
+    sent.add_argument(
+        "--sample-every", type=int, default=1,
+        help="watch sampling: keep one generated word in this many",
+    )
+    sent.add_argument(
+        "--window-words", type=int, default=4096,
+        help="sampled words per evaluated watch window",
+    )
+    sent.add_argument(
+        "--streams", type=int, default=8,
+        help="derive_seed substreams for the pairs check",
+    )
+    sent.add_argument(
+        "--words", type=int, default=4096,
+        help="words per substream for the pairs check",
+    )
+    sent.add_argument(
+        "--json", action="store_true", help="emit results as JSON"
+    )
 
     fetch = sub.add_parser(
         "fetch",
@@ -376,18 +435,115 @@ def _cmd_quality(args) -> int:
 
 def _cmd_stats(args) -> int:
     from repro.hybrid.scheduler import HybridScheduler
+    from repro.obs import sentinel as sentinel_mod
 
+    guard = sentinel_mod.StreamSentinel(
+        sentinel_mod.SentinelConfig(
+            window_words=1024, sample_every=1, seed=args.seed
+        ),
+        name="stats",
+    )
     with obs.observed() as (registry, tracer):
-        with HybridScheduler(
+        with sentinel_mod.tapped(guard), HybridScheduler(
             seed=args.seed, async_feed=args.async_feed
         ) as sched:
             _values, plan, prediction = sched.run(args.n, args.batch_size)
             report = sched.report(plan=plan, prediction=prediction)
+        report.add_section("sentinel", guard.summary())
         if args.trace:
             obs.export_jsonl(
                 args.trace, registry, tracer, meta={"command": "stats"}
             )
     print(report.to_json(indent=2) if args.json else report.render())
+    return 0
+
+
+def _cmd_sentinel(args) -> int:
+    from repro.obs import sentinel as sentinel_mod
+    from repro.obs.sentinel import pairs as pair_checks
+
+    checks = (
+        ["watch", "pairs", "weak-seeds", "lag"]
+        if args.check == "all"
+        else [args.check]
+    )
+    results = {}
+    flagged = []
+
+    if "watch" in checks or "lag" in checks:
+        source = GlibcRandom(args.seed)
+        if args.profile:
+            from repro.resilience.faults import FaultyBitSource
+
+            source = FaultyBitSource(source, args.profile)
+        guard = sentinel_mod.StreamSentinel(
+            sentinel_mod.SentinelConfig(
+                window_words=args.window_words,
+                sample_every=args.sample_every,
+                seed=args.seed,
+            ),
+            name="watch",
+        )
+        gen = HybridPRNG(
+            seed=args.seed, num_threads=args.threads, bit_source=source
+        )
+        buf = np.empty(GENERATE_CHUNK, dtype=np.uint64)
+        lag_words = []
+        with sentinel_mod.tapped(guard):
+            remaining = args.n
+            while remaining > 0:
+                k = min(GENERATE_CHUNK, remaining)
+                gen.u64_into(buf[:k])
+                if "lag" in checks:
+                    lag_words.append(buf[:k].copy())
+                remaining -= k
+        if "watch" in checks:
+            results["watch"] = guard.state()
+            if guard.verdict is not sentinel_mod.Verdict.STAT_OK:
+                flagged.append(f"watch: {guard.verdict.name}")
+        if "lag" in checks:
+            # Screen the generator's primary 31-bit output field for the
+            # glibc feed's additive-feedback lattice; the raw feed is the
+            # positive control proving the detector fires.
+            outputs = np.concatenate(lag_words) >> np.uint64(33)
+            leak = pair_checks.lag_structure(outputs)
+            control = pair_checks.glibc_lag_reference(args.seed, n=4096)
+            results["lag"] = {
+                "output_field": leak,
+                "feed_control": control,
+            }
+            if leak["leaky"]:
+                flagged.append("lag: feed structure leaks into outputs")
+            if not control["leaky"]:
+                flagged.append("lag: positive control failed to fire")
+
+    if "pairs" in checks:
+        corr = pair_checks.substream_correlation(
+            args.seed, streams=args.streams, words=args.words
+        )
+        results["pairs"] = corr
+        if not corr["ok"]:
+            flagged.append(f"pairs: {len(corr['flagged'])} correlated")
+
+    if "weak-seeds" in checks:
+        weak = pair_checks.weak_seed_screen(
+            args.seed, streams=max(64, args.streams)
+        )
+        results["weak_seeds"] = weak
+        if not weak["ok"]:
+            flagged.append(f"weak-seeds: {len(weak['flagged'])} collisions")
+
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        for name, result in sorted(results.items()):
+            print(f"== {name} ==")
+            print(json.dumps(result, indent=2, sort_keys=True))
+    if flagged:
+        for reason in flagged:
+            print(f"repro sentinel: FLAGGED {reason}", file=sys.stderr)
+        return 1
+    print("repro sentinel: all checks clean", file=sys.stderr)
     return 0
 
 
@@ -440,6 +596,9 @@ def _cmd_serve(args) -> int:
         batch_window_s=args.batch_window_ms / 1000.0,
         workers=args.workers,
         engine_shards=args.engine_shards,
+        sentinel=not args.no_sentinel,
+        sentinel_sample=args.sentinel_sample,
+        sentinel_window=args.sentinel_window,
     )
 
     async def run() -> None:
@@ -575,6 +734,8 @@ def main(argv=None) -> int:
             return _cmd_chaos(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "sentinel":
+            return _cmd_sentinel(args)
         if args.command == "fetch":
             return _cmd_fetch(args)
         return _cmd_figures(args)

@@ -24,6 +24,7 @@ from repro.core.expander import GabberGalilExpander
 from repro.core.generator import DEFAULT_WALK_LENGTH
 from repro.core.walk import WalkEngine, WalkState
 from repro.obs import metrics as obs_metrics
+from repro.obs.sentinel.tap import maybe_observe
 from repro.obs.trace import span
 from repro.utils.bits import u01_from_u64
 from repro.utils.checks import check_positive
@@ -207,6 +208,11 @@ class ParallelExpanderPRNG:
             take = n - pos
             out[pos:] = vals[:take]
             self._remainder = vals[take:].copy()
+        # Sentinel tap: a read-only look at the delivered words.  The
+        # tap copies what it samples and never touches the stream, so
+        # values (and golden streams) are unchanged; with no tap
+        # installed this is a global load and a None check.
+        maybe_observe(out)
 
     def generate(self, n: int, batch_size: Optional[int] = None) -> np.ndarray:
         """The next ``n`` numbers of the generator's stream.

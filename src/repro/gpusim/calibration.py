@@ -16,16 +16,30 @@ bottleneck (FEED) yields 0.07 GNumbers/s.  Baseline generator costs are
 set so the simulated Figure 3 reproduces the paper's *relative* result
 (hybrid ~2x faster than GPU Mersenne Twister and CURAND), with the
 batch/on-demand overhead structure of each library preserved.
+
+The defaults model the paper's *scalar* glibc feed.  This codebase's
+default FEED kernel is the blocked linear-map kernel (see
+``docs/performance.md``), which is :data:`BLOCKED_FEED_SPEEDUP` times
+faster on the words64 hot loop and deliberately breaks Figure 4's cost
+structure -- FEED drops from dominant to marginal and GENERATE becomes
+the bottleneck.  :meth:`PipelineCosts.blocked_feed` is the matching
+calibration entry for runs on the blocked kernel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["PipelineCosts", "BaselineCosts", "PAPER_THROUGHPUT_GN_S"]
+__all__ = ["PipelineCosts", "BaselineCosts", "PAPER_THROUGHPUT_GN_S",
+           "BLOCKED_FEED_SPEEDUP"]
 
 #: The headline throughput claim (GNumbers/second).
 PAPER_THROUGHPUT_GN_S = 0.07
+
+#: Measured words64 speedup of the blocked FEED kernel over the scalar
+#: reference on the CI-class host (``BENCH_core.json``; see
+#: docs/performance.md).  Used by :meth:`PipelineCosts.blocked_feed`.
+BLOCKED_FEED_SPEEDUP = 17.2
 
 # Figure 4 proportions (arbitrary units).
 _FEED_RAW = 81.2
@@ -58,6 +72,24 @@ class PipelineCosts:
     #: Extra steps per thread for Algorithm 1's initial 64-step mix,
     #: expressed as numbers-equivalent (one number = one 64-step walk).
     init_numbers_per_thread: float = 1.0
+
+    @classmethod
+    def blocked_feed(
+        cls, speedup: float = BLOCKED_FEED_SPEEDUP, **overrides
+    ) -> "PipelineCosts":
+        """Costs recalibrated for the blocked FEED kernel.
+
+        Divides the scalar-feed ``feed_ns`` by the measured blocked
+        kernel ``speedup`` (other costs and any ``overrides`` pass
+        through), so predictions for runs on the default blocked kernel
+        carry the *inverted* cost structure the kernel actually has:
+        GENERATE dominant, FEED marginal.  Not the paper's Figure 4 --
+        the defaults remain the faithful scalar calibration.
+        """
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        overrides.setdefault("feed_ns", _FEED_RAW * _SCALE / speedup)
+        return cls(**overrides)
 
     def occupancy(self, threads: int) -> float:
         """GPU efficiency factor in (0, 1] given resident thread count."""

@@ -1,0 +1,75 @@
+"""Zero-copy observation tap for the generation hot path.
+
+The tap is the *only* coupling between the generators and the sentinel:
+:func:`maybe_observe` is called from
+:meth:`repro.core.parallel.ParallelExpanderPRNG.generate_into` (which
+also covers ``HybridPRNG.u64_into`` and the hybrid scheduler) with a
+read-only view of the freshly produced words.  When no tap is installed
+-- the default -- the call is one global load and a ``None`` check, so
+the canonical stream path pays nothing.
+
+Non-consuming guarantee
+-----------------------
+A tap only ever *reads* the array it is handed and copies what it keeps
+(the sentinel samples into its own window buffer).  It never advances,
+buffers, or perturbs the stream, so golden streams stay bit-identical
+with a tap installed.  This module deliberately imports nothing from
+``repro`` -- it must be importable from the innermost core module
+without any risk of an import cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["install_tap", "uninstall_tap", "get_tap", "maybe_observe",
+           "tapped"]
+
+#: The process-global tap: any object with ``observe(values)``.
+_tap = None
+
+
+def install_tap(sentinel) -> None:
+    """Make ``sentinel.observe`` see every subsequently generated batch.
+
+    ``sentinel`` is any object with an ``observe(values)`` method (in
+    practice a :class:`repro.obs.sentinel.StreamSentinel`).  Installing
+    replaces any previous tap; there is exactly one process-global tap.
+    """
+    global _tap
+    _tap = sentinel
+
+
+def uninstall_tap() -> None:
+    """Remove the global tap (generation reverts to zero overhead)."""
+    global _tap
+    _tap = None
+
+
+def get_tap() -> Optional[object]:
+    """The currently installed tap, or ``None``."""
+    return _tap
+
+
+def maybe_observe(values) -> None:
+    """Hot-path hook: hand ``values`` to the tap if one is installed.
+
+    Called with the buffer a generator just filled.  The tap must treat
+    it as read-only and must not retain references to it (the serve
+    framing path byte-swaps result buffers in place after this returns).
+    """
+    tap = _tap
+    if tap is not None:
+        tap.observe(values)
+
+
+@contextmanager
+def tapped(sentinel):
+    """Install ``sentinel`` as the tap for the duration of a block."""
+    previous = _tap
+    install_tap(sentinel)
+    try:
+        yield sentinel
+    finally:
+        install_tap(previous)

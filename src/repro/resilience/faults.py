@@ -54,6 +54,14 @@ class FaultProfile:
     #: Calls >= this index always raise (None: never).  0 kills the
     #: source outright, modelling a producer that is dead on arrival.
     fail_after: Optional[int] = None
+    #: AND-mask every returned word with this value (None: off).  This
+    #: is the *silent degradation* mode: nothing raises, health stays
+    #: OK, but the entropy of the data plane collapses -- only a
+    #: statistical watcher (the sentinel) can see it.  The mask must
+    #: clear bits, never set them: an all-ones feed chunk maps to the
+    #: expander's rejected chunk 7 and would spin the reject policy
+    #: forever, so OR-style bias is deliberately not offered.
+    bias_and: Optional[int] = None
 
     def __post_init__(self):
         check_probability("error_rate", self.error_rate)
@@ -64,6 +72,12 @@ class FaultProfile:
             raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
         if self.fail_after is not None and self.fail_after < 0:
             raise ValueError(f"fail_after must be >= 0, got {self.fail_after}")
+        if self.bias_and is not None and not (
+            0 <= self.bias_and < 2**64
+        ):
+            raise ValueError(
+                f"bias_and must be a 64-bit mask, got {self.bias_and}"
+            )
 
     @property
     def benign(self) -> bool:
@@ -74,6 +88,7 @@ class FaultProfile:
             and self.short_read_rate == 0.0
             and self.corrupt_rate == 0.0
             and self.fail_after is None
+            and self.bias_and is None
         )
 
 
@@ -97,6 +112,11 @@ PROFILES: Dict[str, FaultProfile] = {
     "failover": FaultProfile(name="failover", fail_after=2),
     # Nothing works, ever: the whole chain must exhaust.
     "fatal": FaultProfile(name="fatal", error_rate=1.0),
+    # Silent degradation: the feed answers promptly with all-zero words,
+    # so supervision sees a healthy source while every walker is pinned
+    # to the expander's identity map.  Only the statistical sentinel
+    # (repro.obs.sentinel) catches this one.
+    "biased": FaultProfile(name="biased", bias_and=0x0),
 }
 
 
@@ -147,6 +167,7 @@ class FaultyBitSource(BitSource):
         self._calls = 0
         self._injected = {
             "errors": 0, "latencies": 0, "short_reads": 0, "corruptions": 0,
+            "biases": 0,
         }
         if sleep is None:
             import time
@@ -214,6 +235,9 @@ class FaultyBitSource(BitSource):
             word = int(self._roll(call, 5) * out.size)
             bit = int(self._roll(call, 6) * 64)
             out[word] ^= np.uint64(1) << np.uint64(bit)
+        if prof.bias_and is not None and out.size:
+            self._note("biases")
+            out = out & np.uint64(prof.bias_and)
         return out
 
     def reseed(self, seed: int) -> None:

@@ -17,7 +17,13 @@ Layering (nothing here generates a number or computes a metric itself):
   killing it;
 * observability -- counters/histograms through
   :mod:`repro.obs.metrics`, exported by the existing Prometheus/JSONL
-  exporters.
+  exporters;
+* statistical health -- each session carries a
+  :class:`repro.obs.sentinel.StreamSentinel` (tap-only: served values
+  are byte-identical with it on or off) whose sticky
+  STAT_SUSPECT/STAT_BAD verdict folds into session and server health
+  and the ``STATUS`` body, so a silently-degraded stream fails health
+  checks even when the resilience layer sees a live feed.
 
 :func:`serve_background` runs a server on a daemon thread with its own
 event loop -- the handle used by the blocking client tests, the
@@ -82,6 +88,15 @@ class ServeConfig:
     #: Respawn dead engine shards (deterministic fast-forward) instead
     #: of failing their sessions' fetches.
     engine_auto_restart: bool = True
+    #: Attach a statistical sentinel to every session stream.  The
+    #: sentinel is tap-only (reads and copies; served values are
+    #: byte-identical with it on or off); its sticky verdict folds into
+    #: session and server health and the STATUS payload.
+    sentinel: bool = True
+    #: Sentinel sampling: keep one served word in this many.
+    sentinel_sample: int = 16
+    #: Sampled words per evaluated sentinel window.
+    sentinel_window: int = 4096
 
 
 @dataclass
@@ -167,15 +182,32 @@ class RNGServer:
     # Sessions
     # ------------------------------------------------------------------
 
+    def _make_sentinel(self, session_id: str):
+        """One per-session sentinel, or ``None`` when disabled."""
+        if not self.config.sentinel:
+            return None
+        from repro.obs.sentinel import SentinelConfig, StreamSentinel
+
+        return StreamSentinel(
+            SentinelConfig(
+                window_words=self.config.sentinel_window,
+                sample_every=self.config.sentinel_sample,
+                seed=self.config.master_seed,
+            ),
+            name=session_id,
+        )
+
     def _get_or_create_session(self, session_id: str) -> _ServedSession:
         served = self.sessions.get(session_id)
         if served is None:
+            sentinel = self._make_sentinel(session_id)
             if self.engine is not None:
                 stream = SessionStream(
                     session_id,
                     master_seed=self.config.master_seed,
                     lanes=self.config.lanes,
                     engine=self.engine,
+                    sentinel=sentinel,
                 )
             else:
                 stream = SessionStream(
@@ -185,6 +217,7 @@ class RNGServer:
                     source_factory=self.config.source_factory,
                     failover=self.config.failover,
                     retry_policy=self.config.retry_policy,
+                    sentinel=sentinel,
                 )
             served = _ServedSession(
                 stream=stream,
@@ -209,6 +242,42 @@ class RNGServer:
             worst = max(worst, FeedHealth[served.stream.health])
         return worst.name
 
+    def sentinel_summary(self) -> dict:
+        """Fleet view of the per-session sentinels (STATUS `sentinel`).
+
+        ``worst`` is the worst sticky verdict across sessions;
+        ``suspect``/``bad`` count sessions in each state; window and
+        failure totals aggregate over all sessions.
+        """
+        summary = {
+            "enabled": bool(self.config.sentinel),
+            "worst": "STAT_OK",
+            "suspect": 0,
+            "bad": 0,
+            "windows_total": 0,
+            "failures_total": 0,
+        }
+        if not self.config.sentinel:
+            return summary
+        from repro.obs.sentinel import Verdict
+
+        worst = Verdict.STAT_OK
+        for served in self.sessions.values():
+            sentinel = served.stream.sentinel
+            if sentinel is None:
+                continue
+            verdict = sentinel.verdict
+            worst = max(worst, verdict)
+            if verdict is Verdict.STAT_SUSPECT:
+                summary["suspect"] += 1
+            elif verdict is Verdict.STAT_BAD:
+                summary["bad"] += 1
+            state = sentinel.state()
+            summary["windows_total"] += state["windows"]
+            summary["failures_total"] += state["failures"]
+        summary["worst"] = worst.name
+        return summary
+
     def status_doc(self, session: Optional[_ServedSession] = None) -> dict:
         doc = {
             "ok": True,
@@ -224,6 +293,7 @@ class RNGServer:
                 "errors_total": self.errors_total,
                 "max_session_queue": self.config.max_session_queue,
                 "max_global_queue": self.config.max_global_queue,
+                "sentinel": self.sentinel_summary(),
             },
         }
         if self.engine is not None:

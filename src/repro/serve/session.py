@@ -36,7 +36,7 @@ from repro.bitsource.counter import SplitMix64Source
 from repro.bitsource.os_entropy import OsEntropySource
 from repro.core.parallel import ParallelExpanderPRNG
 from repro.core.streams import derive_seed
-from repro.resilience.supervised import RetryPolicy, SupervisedFeed
+from repro.resilience.supervised import FeedHealth, RetryPolicy, SupervisedFeed
 
 __all__ = [
     "DEFAULT_SESSION_LANES",
@@ -99,6 +99,12 @@ class SessionStream:
         seed, so the values a client sees are byte-identical either
         way; ``source_factory``/``failover``/``retry_policy`` are then
         configured on the engine, not here.
+    sentinel : StreamSentinel, optional
+        A :class:`repro.obs.sentinel.StreamSentinel` watching this
+        session's served words.  It only *reads* (and copies what it
+        samples), so the stream stays byte-identical; its sticky
+        verdict folds into :attr:`health` (STAT_SUSPECT -> DEGRADED,
+        STAT_BAD -> FAILED) and :meth:`describe`.
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class SessionStream:
         failover: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         engine=None,
+        sentinel=None,
     ):
         self.session_id = session_id
         self.index = session_index(session_id)
@@ -133,6 +140,7 @@ class SessionStream:
             self.prng = ParallelExpanderPRNG(
                 num_threads=lanes, bit_source=self.supervisor
             )
+        self.sentinel = sentinel
         #: Serializes generation so the worker pool can run batches from
         #: many sessions concurrently without interleaving one stream.
         self.lock = threading.Lock()
@@ -160,17 +168,35 @@ class SessionStream:
                 # it in place for the wire).
                 out = np.empty(n, dtype=np.uint64)
                 self.prng.generate_into(out)
+            # The sentinel looks *before* the framing path byte-swaps
+            # the buffer; it copies what it samples and never mutates,
+            # so served values are unaffected.
+            if self.sentinel is not None:
+                self.sentinel.observe(out)
             self.words_served += n
             self.requests += 1
             return out
 
     @property
-    def health(self) -> str:
-        """``OK`` / ``DEGRADED`` / ``FAILED`` -- from the supervised
-        feed, or from the shard pool when engine-backed."""
+    def feed_health(self) -> str:
+        """Resilience-layer health alone (ignores the sentinel)."""
         if self.engine is not None:
             return self.engine.health
         return self.supervisor.health.name
+
+    @property
+    def health(self) -> str:
+        """``OK`` / ``DEGRADED`` / ``FAILED`` -- the worse of the
+        supervised feed (or shard pool) and the statistical sentinel.
+
+        A stream can be resilience-healthy yet statistically bad (a
+        biased-but-alive feed); folding the sentinel verdict in here is
+        what makes serve health checks fail on such streams.
+        """
+        worst = FeedHealth[self.feed_health]
+        if self.sentinel is not None:
+            worst = max(worst, FeedHealth[self.sentinel.health_name()])
+        return worst.name
 
     def describe(self) -> dict:
         """STATUS-op view of the session (no seed material exposed)."""
@@ -178,14 +204,18 @@ class SessionStream:
             active = f"engine-shard-{self.engine.stream_shard(self.seed)}"
         else:
             active = self.supervisor.active_source.name
-        return {
+        doc = {
             "session": self.session_id,
             "stream_index": self.index,
             "requests": self.requests,
             "words_served": self.words_served,
             "health": self.health,
+            "feed_health": self.feed_health,
             "active_source": active,
         }
+        if self.sentinel is not None:
+            doc["sentinel"] = self.sentinel.state()
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

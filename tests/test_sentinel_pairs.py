@@ -1,0 +1,103 @@
+"""Tests for the offline pair-level sentinel detectors."""
+
+import numpy as np
+import pytest
+
+from repro.obs.sentinel import pairs
+
+
+class TestSubstreamCorrelation:
+    def test_independent_substreams_pass(self):
+        result = pairs.substream_correlation(
+            master_seed=1, streams=4, words=1024, lanes=32
+        )
+        assert result["ok"] is True
+        assert result["flagged"] == []
+        assert result["pairs_tested"] == 6
+        assert result["worst_p"] > pairs.CORRELATION_ALPHA
+
+    def test_identical_streams_are_flagged(self, monkeypatch):
+        # Collapse every derived seed onto one value: all "independent"
+        # substreams become the same stream, r = 1 for every pair.
+        import repro.core.streams as streams_mod
+
+        monkeypatch.setattr(
+            streams_mod, "derive_seed", lambda master, index: 42
+        )
+        result = pairs.substream_correlation(
+            master_seed=1, streams=3, words=512, lanes=16
+        )
+        assert result["ok"] is False
+        assert len(result["flagged"]) == 3
+        assert all(abs(f["r"]) > 0.99 for f in result["flagged"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairs.substream_correlation(1, streams=1)
+        with pytest.raises(ValueError):
+            pairs.substream_correlation(1, streams=2, words=4)
+
+
+class TestWeakSeedScreen:
+    def test_healthy_derivation_is_clean(self):
+        result = pairs.weak_seed_screen(master_seed=1, streams=128)
+        assert result["ok"] is True
+        assert result["seed_collisions"] == 0
+        assert result["effective_glibc_collisions"] == 0
+        assert result["prefix_collisions"] == 0
+
+    def test_collapsed_derivation_is_flagged(self, monkeypatch):
+        import repro.core.streams as streams_mod
+
+        monkeypatch.setattr(
+            streams_mod, "derive_seed", lambda master, index: index % 2
+        )
+        result = pairs.weak_seed_screen(master_seed=1, streams=8)
+        assert result["ok"] is False
+        assert result["seed_collisions"] == 6
+        assert result["prefix_collisions"] == 6
+        assert result["flagged"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairs.weak_seed_screen(1, streams=1)
+
+
+class TestLagStructure:
+    def test_glibc_feed_is_fully_lagged(self):
+        result = pairs.glibc_lag_reference(seed=1, n=2048)
+        assert result["leaky"] is True
+        assert result["fraction"] == 1.0
+        assert result["p_value"] < pairs.LAG_ALPHA
+
+    def test_iid_stream_is_clean(self):
+        outputs = np.random.default_rng(3).integers(
+            0, 2**31, size=4096, dtype=np.uint64
+        )
+        result = pairs.lag_structure(outputs)
+        assert result["leaky"] is False
+        assert result["hits"] == 0
+        assert result["p_value"] == 1.0
+
+    def test_synthetic_recurrence_is_detected(self):
+        # Hand-built TYPE_3 lattice: o[i] = o[i-3] + o[i-31] mod 2**31.
+        rng = np.random.default_rng(9)
+        o = list(rng.integers(0, 2**31, size=31, dtype=np.uint64))
+        for i in range(31, 1024):
+            o.append((o[i - 3] + o[i - 31]) % np.uint64(2**31))
+        result = pairs.lag_structure(np.array(o, dtype=np.uint64))
+        assert result["leaky"] is True
+        assert result["fraction"] == 1.0
+
+    def test_expander_output_field_is_clean(self):
+        # The end-to-end leak check the CLI runs: the generator's primary
+        # 31-bit output field must not carry the feed's lattice.
+        from repro.core.parallel import ParallelExpanderPRNG
+
+        words = ParallelExpanderPRNG(num_threads=64, seed=1).generate(4096)
+        result = pairs.lag_structure(words >> np.uint64(33))
+        assert result["leaky"] is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairs.lag_structure(np.zeros(10, dtype=np.uint64))

@@ -1,0 +1,180 @@
+"""Chaos and end-to-end tests for the served-randomness sentinel.
+
+Two sides of one guarantee:
+
+* a silently degraded feed (bias that raises no exception, so the
+  resilience layer's health stays OK) must be caught *statistically*
+  within a bounded served-word budget; and
+* the canonical streams must never trip the sentinel -- on any kernel
+  variant -- and installing it must not change a single served bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitsource.counter import SplitMix64Source
+from repro.bitsource.glibc import GlibcRandom
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.obs.sentinel import SentinelConfig, StreamSentinel, Verdict
+from repro.resilience.faults import FaultyBitSource
+from repro.serve import ServeClient, ServeConfig, serve_background
+from repro.serve.session import SessionStream
+
+
+def _biased_factory(seed):
+    """A feed whose words are AND-masked to zero: no exception is ever
+    raised, so only statistics can catch it."""
+    return FaultyBitSource(SplitMix64Source(seed), "biased")
+
+
+class TestChaosDetection:
+    def test_silently_biased_feed_goes_stat_bad_within_budget(self):
+        """Acceptance: bias that the fault layer cannot see (feed_health
+        stays OK) drives the sentinel to STAT_BAD -- and the session and
+        server to FAILED -- within a bounded number of served words."""
+        config = ServeConfig(
+            master_seed=1,
+            source_factory=_biased_factory,
+            failover=False,
+            sentinel_sample=2,
+            sentinel_window=512,
+        )
+        budget_words = 8192  # detection must land inside this many words
+        with serve_background(config) as h:
+            with ServeClient(h.host, h.port, session="sick") as c:
+                served = 0
+                status = None
+                while served < budget_words:
+                    c.fetch(512)
+                    served += 512
+                    status = c.status()
+                    if status["session"]["sentinel"]["verdict"] == "STAT_BAD":
+                        break
+                else:
+                    pytest.fail(
+                        f"sentinel missed the biased feed within "
+                        f"{budget_words} served words"
+                    )
+        sent = status["session"]["sentinel"]
+        assert sent["verdict"] == "STAT_BAD"
+        assert sent["failures"] >= 1
+        # The fault layer saw nothing wrong; statistics did.
+        assert status["session"]["feed_health"] == "OK"
+        assert status["session"]["health"] == "FAILED"
+        assert status["server"]["health"] == "FAILED"
+        summary = status["server"]["sentinel"]
+        assert summary["enabled"] is True
+        assert summary["worst"] == "STAT_BAD"
+        assert summary["bad"] >= 1
+
+    def test_healthy_session_unaffected_by_bad_one(self):
+        """Sentinel verdicts are per-session: a biased session must not
+        poison the health of a clean one."""
+        config = ServeConfig(
+            master_seed=1,
+            sentinel_sample=2,
+            sentinel_window=512,
+        )
+        with serve_background(config) as h:
+            with ServeClient(h.host, h.port, session="fine") as c:
+                for _ in range(4):
+                    c.fetch(512)
+                status = c.status()
+        assert status["session"]["sentinel"]["verdict"] == "STAT_OK"
+        assert status["session"]["health"] == "OK"
+        assert status["server"]["health"] == "OK"
+
+
+class TestCanonicalNeverFlips:
+    """The sentinel must stay STAT_OK on every canonical kernel variant.
+
+    sample_every=1 (every word inspected) over ~64k words per variant:
+    16 windows of 4096, a far harder setting than the serving default.
+    """
+
+    WORDS = 1 << 16
+
+    @pytest.mark.parametrize("fused", [True, False])
+    @pytest.mark.parametrize("blocked", [True, False])
+    def test_expander_stream_stays_stat_ok(self, fused, blocked):
+        s = StreamSentinel(
+            SentinelConfig(window_words=4096, sample_every=1),
+            name=f"fused={fused},blocked={blocked}",
+        )
+        prng = ParallelExpanderPRNG(
+            num_threads=4096,
+            seed=2,
+            bit_source=GlibcRandom(2, blocked=blocked),
+            fused=fused,
+        )
+        done = 0
+        while done < self.WORDS:
+            n = min(8192, self.WORDS - done)
+            s.observe(prng.generate(n))
+            done += n
+        assert s.verdict is Verdict.STAT_OK, s.state()
+        assert s.state()["windows"] == self.WORDS // 4096
+        assert s.state()["failures"] == 0
+
+
+class TestServedStreamUnchanged:
+    def test_sentinel_on_off_serve_identical_values(self):
+        """The tap is read-only: the same session id serves bit-identical
+        values with the sentinel enabled and disabled."""
+        with serve_background(
+            ServeConfig(master_seed=7, sentinel=True, sentinel_sample=1)
+        ) as h:
+            with ServeClient(h.host, h.port, session="gold") as c:
+                with_sentinel = c.fetch(1024)
+        with serve_background(
+            ServeConfig(master_seed=7, sentinel=False)
+        ) as h:
+            with ServeClient(h.host, h.port, session="gold") as c:
+                without = c.fetch(1024)
+        np.testing.assert_array_equal(with_sentinel, without)
+        reference = SessionStream("gold", master_seed=7).generate(1024)
+        np.testing.assert_array_equal(with_sentinel, reference)
+
+    def test_disabled_sentinel_absent_from_status(self):
+        with serve_background(ServeConfig(master_seed=1, sentinel=False)) as h:
+            with ServeClient(h.host, h.port, session="plain") as c:
+                c.fetch(64)
+                status = c.status()
+        assert "sentinel" not in status["session"]
+        assert status["server"]["sentinel"]["enabled"] is False
+        assert status["session"]["health"] == "OK"
+
+
+class TestStatusSchema:
+    def test_session_sentinel_state_shape(self):
+        with serve_background(
+            ServeConfig(master_seed=3, sentinel_sample=1, sentinel_window=512)
+        ) as h:
+            with ServeClient(h.host, h.port, session="schema") as c:
+                c.fetch(1024)
+                status = c.status()
+        sent = status["session"]["sentinel"]
+        assert set(sent) >= {
+            "verdict",
+            "windows",
+            "failures",
+            "words_seen",
+            "words_sampled",
+            "worst_p",
+            "entropy_rate",
+            "last_window",
+            "sample_every",
+            "window_words",
+        }
+        assert sent["words_seen"] == 1024
+        assert sent["sample_every"] == 1
+        assert sent["window_words"] == 512
+        server = status["server"]["sentinel"]
+        assert set(server) >= {
+            "enabled",
+            "worst",
+            "suspect",
+            "bad",
+            "windows_total",
+            "failures_total",
+        }
