@@ -16,7 +16,25 @@ import abc
 
 import numpy as np
 
-__all__ = ["BitSource"]
+__all__ = ["BitSource", "UnseekableSourceError", "chunks_from_words"]
+
+
+def chunks_from_words(words: np.ndarray) -> np.ndarray:
+    """All 21 3-bit chunks of each 64-bit word, word-major order.
+
+    The last bit of every word is discarded, matching the bit-slicing in
+    Algorithm 1 line 5.  Strided extraction (one pass per chunk
+    position) avoids the ``(n, 21)`` uint64 temporary of the broadcast
+    formulation.
+    """
+    out = np.empty(words.size * 21, dtype=np.uint8)
+    for i in range(21):
+        out[i::21] = (words >> np.uint64(3 * i)).astype(np.uint8) & np.uint8(7)
+    return out
+
+
+class UnseekableSourceError(RuntimeError):
+    """Raised when ``seek`` is called on a source that cannot jump ahead."""
 
 
 class BitSource(abc.ABC):
@@ -38,6 +56,28 @@ class BitSource(abc.ABC):
     @abc.abstractmethod
     def reseed(self, seed: int) -> None:
         """Reset the source to a deterministic state derived from ``seed``."""
+
+    # ------------------------------------------------------------------
+    # Jump-ahead (optional capability)
+    # ------------------------------------------------------------------
+
+    @property
+    def seekable(self) -> bool:
+        """Whether :meth:`seek` can reposition this source in O(log offset)."""
+        return False
+
+    def seek(self, word_offset: int) -> None:
+        """Reposition so the next :meth:`words64` call returns the words a
+        fresh source would return after drawing ``word_offset`` words.
+
+        ``seek(k); words64(n)`` must equal ``words64(k + n)[k:]`` of a
+        freshly reseeded source.  Offsets are absolute (counted from the
+        seeded origin), so seeking backwards is allowed.  Sources that
+        cannot jump raise :class:`UnseekableSourceError`.
+        """
+        raise UnseekableSourceError(
+            f"{type(self).__name__} cannot seek to an arbitrary offset"
+        )
 
     # ------------------------------------------------------------------
     # Derived conveniences
@@ -63,13 +103,7 @@ class BitSource(abc.ABC):
         if n == 0:
             return np.empty(0, dtype=np.uint8)
         nwords = (n + 20) // 21
-        words = self.words64(nwords)
-        # Strided extraction (one pass per chunk position) avoids the
-        # (nwords, 21) uint64 temporary of the broadcast formulation.
-        out = np.empty(nwords * 21, dtype=np.uint8)
-        for i in range(21):
-            out[i::21] = (words >> np.uint64(3 * i)).astype(np.uint8) & np.uint8(7)
-        return out[:n]
+        return chunks_from_words(self.words64(nwords))[:n]
 
     def uniform(self, n: int) -> np.ndarray:
         """``n`` floats uniform in [0, 1) using 53 bits per draw."""

@@ -64,6 +64,18 @@ class SplitMix64Source(BitSource):
         self._seed = int(seed)
         self._state = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
 
+    @property
+    def seekable(self) -> bool:
+        return True
+
+    def seek(self, word_offset: int) -> None:
+        """Jump to an absolute word offset: one Weyl-state multiply, O(1)."""
+        if word_offset < 0:
+            raise ValueError(f"word offset must be non-negative, got {word_offset}")
+        self._state = np.uint64(
+            (self._seed + word_offset * int(GOLDEN_GAMMA)) & (2**64 - 1)
+        )
+
     def words64(self, n: int) -> np.ndarray:
         if n < 0:
             raise ValueError(f"word count must be non-negative, got {n}")
@@ -88,6 +100,16 @@ class RawCounterSource(BitSource):
     def reseed(self, seed: int) -> None:
         self._seed = int(seed)
         self._counter = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+
+    @property
+    def seekable(self) -> bool:
+        return True
+
+    def seek(self, word_offset: int) -> None:
+        """Jump to an absolute word offset: counter arithmetic, O(1)."""
+        if word_offset < 0:
+            raise ValueError(f"word offset must be non-negative, got {word_offset}")
+        self._counter = np.uint64((self._seed + word_offset) & (2**64 - 1))
 
     def words64(self, n: int) -> np.ndarray:
         if n < 0:

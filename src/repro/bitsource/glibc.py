@@ -71,6 +71,49 @@ def _advance_window(prev: np.ndarray) -> np.ndarray:
     return new
 
 
+_POW2_WINDOW_MAPS: list = []  # _POW2_WINDOW_MAPS[j] = C**(2**j)
+
+
+def _window_pow2(j: int) -> np.ndarray:
+    """``C**(2**j)`` mod ``2**32``, memoized across all instances.
+
+    The window map ``C`` is seed-independent, so its repeated squarings
+    are a process-wide table (31x31 uint32 each, ~4 KiB per entry).
+    Memoizing them is what makes seek latency *flat* in the offset: a
+    cold process pays the squarings once, after which any seek is just
+    popcount(exponent) matrix-vector products.
+    """
+    while len(_POW2_WINDOW_MAPS) <= j:
+        if not _POW2_WINDOW_MAPS:
+            _POW2_WINDOW_MAPS.append(_stacked_window_powers()[:_DEG].copy())
+        else:
+            sq = np.empty((_DEG, _DEG), dtype=_U32)
+            np.matmul(_POW2_WINDOW_MAPS[-1], _POW2_WINDOW_MAPS[-1], out=sq)
+            _POW2_WINDOW_MAPS.append(sq)
+    return _POW2_WINDOW_MAPS[j]
+
+
+def _window_map_power(exponent: int) -> np.ndarray:
+    """``C**exponent`` mod ``2**32`` by square-and-multiply.
+
+    ``C`` is the 31x31 window map; uint32 matmul wraps mod ``2**32``
+    natively, so each of the O(log exponent) products is exact.  Seeks
+    apply :func:`_window_pow2` factors directly to the ring *vector*
+    instead (31x matvec is far cheaper than matmul); this full-matrix
+    form remains for verification and for composing new tables.
+    """
+    result = np.eye(_DEG, dtype=_U32)
+    j = 0
+    while exponent:
+        if exponent & 1:
+            nxt = np.empty((_DEG, _DEG), dtype=_U32)
+            np.matmul(_window_pow2(j), result, out=nxt)
+            result = nxt
+        exponent >>= 1
+        j += 1
+    return result
+
+
 _STACKED_POWERS: np.ndarray = None  # built lazily, shared by all instances
 
 
@@ -177,6 +220,53 @@ class GlibcRandom(BitSource):
             pos += take
         return out
 
+    # -- jump-ahead ----------------------------------------------------
+
+    @property
+    def seekable(self) -> bool:
+        return True
+
+    def seek_raw(self, n_outputs: int) -> None:
+        """Jump so the next raw word is output ``n_outputs`` since seeding.
+
+        Window ``k`` of the lag recurrence is ``C**k`` applied to the
+        seeded ring (window 0), so an arbitrary offset costs one
+        O(log n) matrix power plus at most one reference window update
+        for the partial window -- independent of ``n_outputs``.
+        """
+        if n_outputs < 0:
+            raise ValueError(f"raw offset must be non-negative, got {n_outputs}")
+        ring0 = _srandom_state(self._seed)[_SEP:]
+        full, rem = divmod(n_outputs, _DEG)
+        # Apply C**full to the ring as a chain of memoized pow2 factors:
+        # popcount(full) matrix-vector products, never a fresh matmul,
+        # so the cost is flat in the offset once the table is warm.
+        ring = ring0.copy()
+        j = 0
+        while full:
+            if full & 1:
+                nxt = np.empty(_DEG, dtype=_U32)
+                np.matmul(_window_pow2(j), ring, out=nxt)
+                ring = nxt
+            full >>= 1
+            j += 1
+        if rem:
+            ring = _advance_window(ring)
+            self._pending = ring[rem:].copy()
+        else:
+            self._pending = np.empty(0, dtype=_U32)
+        self._ring = ring
+
+    def seek(self, word_offset: int) -> None:
+        """Jump to an absolute :meth:`words64` offset in O(log offset).
+
+        Each 64-bit word consumes three raw outputs, and seeding discards
+        ``_WARMUP`` raw warm-up outputs before the stream starts.
+        """
+        if word_offset < 0:
+            raise ValueError(f"word offset must be non-negative, got {word_offset}")
+        self.seek_raw(_WARMUP + 3 * word_offset)
+
     # -- scalar C-compatible API --------------------------------------
 
     def rand(self) -> int:
@@ -271,6 +361,32 @@ class AnsiCLcg(BitSource):
     def reseed(self, seed: int) -> None:
         self._seed = int(seed)
         self._state = np.uint64(seed & 0x7FFFFFFF)
+
+    @property
+    def seekable(self) -> bool:
+        return True
+
+    def seek(self, word_offset: int) -> None:
+        """Jump to an absolute :meth:`words64` offset in O(log offset).
+
+        With ``f(x) = A x + C mod 2**31``, the k-step map is the affine
+        composition ``f^k(x) = a_k x + c_k`` where ``a_{j+k} = a_j a_k``
+        and ``c_{j+k} = a_j c_k + c_j`` -- computed by square-and-multiply
+        in exact Python integers.  Each word consumes five outputs.
+        """
+        if word_offset < 0:
+            raise ValueError(f"word offset must be non-negative, got {word_offset}")
+        mod = 1 << 31
+        k = 5 * word_offset
+        ra, rc = 1, 0
+        ba, bc = self._A % mod, self._C % mod
+        while k:
+            if k & 1:
+                ra, rc = (ba * ra) % mod, (ba * rc + bc) % mod
+            k >>= 1
+            if k:
+                ba, bc = (ba * ba) % mod, (ba * bc + bc) % mod
+        self._state = np.uint64((ra * (self._seed & 0x7FFFFFFF) + rc) % mod)
 
     def rand(self) -> int:
         """The next ANSI C ``rand()`` value (0..32767)."""

@@ -235,6 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--sentinel-window", type=int, default=4096,
         help="sampled words per evaluated sentinel window",
     )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable session journal: recover sessions from PATH at "
+             "startup and append every delivered offset (crash-safe "
+             "resume; see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--no-journal-fsync", action="store_true",
+        help="skip fsync on journal appends (faster, weaker durability)",
+    )
     add_obs_flags(serve)
 
     sent = sub.add_parser(
@@ -581,6 +591,7 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     from repro.serve.server import RNGServer, ServeConfig
 
@@ -599,6 +610,8 @@ def _cmd_serve(args) -> int:
         sentinel=not args.no_sentinel,
         sentinel_sample=args.sentinel_sample,
         sentinel_window=args.sentinel_window,
+        journal_path=args.journal,
+        journal_fsync=not args.no_journal_fsync,
     )
 
     async def run() -> None:
@@ -609,12 +622,38 @@ def _cmd_serve(args) -> int:
             f"(master seed {config.master_seed}, {config.lanes} lanes/session)",
             file=sys.stderr,
         )
+        if config.journal_path is not None:
+            print(
+                f"repro serve: journal {config.journal_path} "
+                f"recovered {server.recovered_sessions} session(s)",
+                file=sys.stderr,
+            )
         sys.stderr.flush()
+        # Graceful drain on SIGTERM: stop accepting, finish in-flight
+        # batches, stamp the journal's clean-shutdown marker.  SIGKILL
+        # skips all of this by design -- recovery does not need it.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except NotImplementedError:  # non-POSIX event loops
+            pass
+        try:
+            waits = [asyncio.ensure_future(stop.wait())]
             if args.duration is not None:
-                await asyncio.sleep(args.duration)
+                waits.append(asyncio.ensure_future(
+                    asyncio.sleep(args.duration)
+                ))
             else:
-                await server.serve_forever()
+                waits.append(asyncio.ensure_future(server.serve_forever()))
+            done, pending = await asyncio.wait(
+                waits, return_when=asyncio.FIRST_COMPLETED
+            )
+            for fut in pending:
+                fut.cancel()
+            for fut in done:
+                if not fut.cancelled() and fut.exception() is not None:
+                    raise fut.exception()
         finally:
             await server.aclose()
             print(
@@ -633,7 +672,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_fetch(args) -> int:
-    from repro.serve.client import ServeClient
+    from repro.serve.client import ConnectError, ServeClient
     from repro.serve.protocol import ServeError
 
     try:
@@ -652,6 +691,10 @@ def _cmd_fetch(args) -> int:
                 else:
                     lines = [str(int(v)) for v in values]
             print("\n".join(lines))
+    except ConnectError as exc:
+        # Connection-level failures exit 2; server-side rejections exit 3.
+        print(f"repro fetch: error: {exc}", file=sys.stderr)
+        return 2
     except ServeError as exc:
         print(f"repro fetch: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 3

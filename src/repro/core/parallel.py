@@ -18,18 +18,32 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.bitsource.base import BitSource
+from repro.bitsource.base import (
+    BitSource,
+    UnseekableSourceError,
+    chunks_from_words,
+)
 from repro.bitsource.glibc import GlibcRandom
 from repro.core.expander import GabberGalilExpander
 from repro.core.generator import DEFAULT_WALK_LENGTH
-from repro.core.walk import WalkEngine, WalkState
+from repro.core.walk import (
+    CHUNKS_PER_WORD,
+    FIXED_CONSUMPTION_POLICIES,
+    WalkEngine,
+    WalkState,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs.sentinel.tap import maybe_observe
 from repro.obs.trace import span
 from repro.utils.bits import u01_from_u64
 from repro.utils.checks import check_positive
 
-__all__ = ["ParallelExpanderPRNG", "DEFAULT_NUM_THREADS", "DEFAULT_BATCH_SIZE"]
+__all__ = [
+    "ParallelExpanderPRNG",
+    "AddressableExpanderPRNG",
+    "DEFAULT_NUM_THREADS",
+    "DEFAULT_BATCH_SIZE",
+]
 
 #: Default walker count; a multiple of the C1060's 240 cores x warp width.
 DEFAULT_NUM_THREADS = 30 * 32 * 16  # 15360 lanes
@@ -233,6 +247,40 @@ class ParallelExpanderPRNG:
         self.generate_into(out, batch_size)
         return out
 
+    # ------------------------------------------------------------------
+    # Stream positioning
+    # ------------------------------------------------------------------
+
+    def tell(self) -> int:
+        """Absolute offset of the next word :meth:`generate` will return."""
+        return self.numbers_generated - self._remainder.size
+
+    def seek(self, word_offset: int) -> None:
+        """Position the stream at an absolute word offset.
+
+        The chained construction threads walker positions through every
+        round, so the only general implementation is forward replay:
+        O(offset - tell()) work, and seeking backwards is impossible
+        without reseeding.  :class:`AddressableExpanderPRNG` overrides
+        this with an O(log offset) jump.
+        """
+        if word_offset < 0:
+            raise ValueError(f"word offset must be non-negative, got {word_offset}")
+        pos = self.tell()
+        if word_offset < pos:
+            raise ValueError(
+                f"cannot seek backwards on a chained stream ({word_offset} < "
+                f"{pos}); use AddressableExpanderPRNG for arbitrary offsets"
+            )
+        skip = word_offset - pos
+        if not skip:
+            return
+        scratch = np.empty(min(skip, 1 << 16), dtype=np.uint64)
+        while skip:
+            take = min(skip, scratch.size)
+            self.generate_into(scratch[:take])
+            skip -= take
+
     def rounds(self, num_rounds: int) -> Iterator[np.ndarray]:
         """Yield ``num_rounds`` successive per-thread output vectors."""
         check_positive("num_rounds", num_rounds)
@@ -321,4 +369,172 @@ class ParallelExpanderPRNG:
             f"ParallelExpanderPRNG(threads={self.num_threads}, m={self.graph.m}, "
             f"l={self.walk_length}, policy={self.engine.policy!r}, "
             f"feed={self.source.name!r})"
+        )
+
+
+class AddressableExpanderPRNG(ParallelExpanderPRNG):
+    """Offset-addressable walker bank: ``seek(offset)`` in O(log offset).
+
+    The chained construction threads walker positions from round to
+    round, so reaching word ``w`` requires replaying every round before
+    it.  This variant makes each round *independent*: round ``r`` draws
+    its start vertices **and** its complete chunk window from a fixed
+    feed slice,
+
+    ``[r * words_per_round, (r + 1) * words_per_round)``,
+    ``words_per_round = lanes + ceil(walk_length * lanes / 21)``,
+
+    walks ``walk_length`` steps, and emits.  Generated sequentially it
+    is an ordinary stream (no seeking needed, unseekable feeds work);
+    but because round ``r`` is a pure function of ``(seed, lanes,
+    walk_length, policy, r)``, any offset is reachable by one feed
+    ``seek`` -- O(log offset) for the glibc window-map power -- plus at
+    most one round of walking.  Restart cost is independent of stream
+    age, and results are cacheable by ``(stream, offset)``.
+
+    Requires a fixed-consumption policy ('mod' or 'lazy', default
+    'lazy'): 'reject' redraws a data-dependent number of chunks, so no
+    round boundary can be located without replaying the stream.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = DEFAULT_NUM_THREADS,
+        seed: int = 0,
+        graph: Optional[GabberGalilExpander] = None,
+        bit_source: Optional[BitSource] = None,
+        walk_length: int = DEFAULT_WALK_LENGTH,
+        policy: str = "lazy",
+        fused: bool = True,
+    ):
+        if policy not in FIXED_CONSUMPTION_POLICIES:
+            raise ValueError(
+                f"offset-addressable streams need a fixed-consumption policy "
+                f"{FIXED_CONSUMPTION_POLICIES}, got {policy!r}"
+            )
+        super().__init__(
+            num_threads=num_threads,
+            seed=seed,
+            graph=graph,
+            bit_source=bit_source,
+            walk_length=walk_length,
+            policy=policy,
+            fused=fused,
+        )
+
+    def initialize(self) -> None:
+        """Reset to offset 0.  No init-mix walk: every round mixes afresh."""
+        obs_metrics.gauge(
+            "repro_prng_lanes", "Walker lanes in the parallel generator"
+        ).set(self.num_threads)
+        chunks_per_round = self.walk_length * self.num_threads
+        self._chunk_words = -(-chunks_per_round // CHUNKS_PER_WORD)
+        self.words_per_round = self.num_threads + self._chunk_words
+        self._round_index = 0
+        self._source_pos = 0
+        self._state = None
+        self.numbers_generated = 0
+        self._remainder = np.empty(0, dtype=np.uint64)
+
+    # -- round production ----------------------------------------------
+
+    def _produce_round_into(self, out: np.ndarray) -> None:
+        """Round ``self._round_index`` of the addressable stream into ``out``."""
+        nt = self.num_threads
+        base = self._round_index * self.words_per_round
+        if self._source_pos != base:
+            self.source.seek(base)
+        words = self.source.words64(self.words_per_round)
+        self._source_pos = base + self.words_per_round
+        fresh = self.engine.make_state(words[:nt])
+        prev = self._state
+        if prev is not None:
+            # Carry the cumulative counters and the fused-kernel scratch
+            # buffers across rounds; the stale view identities force the
+            # kernel to copy the new start positions in.
+            fresh.steps_taken = prev.steps_taken
+            fresh.chunks_consumed = prev.chunks_consumed
+            bufs = getattr(prev, "_fused_bufs", None)
+            if bufs is not None:
+                fresh._fused_bufs = bufs
+                fresh._fused_xy = (None, None)
+        self._state = fresh
+        chunks = chunks_from_words(words[nt:])[: self.walk_length * nt]
+        ks = self.engine.indices_from_chunks(chunks).reshape(self.walk_length, nt)
+        for i in range(self.walk_length):
+            self.engine._apply_indices(fresh, ks[i])
+        fresh.chunks_consumed += self.walk_length * nt
+        self.engine.outputs_into(fresh, out)
+        self._round_index += 1
+
+    def _launch_into(self, out: np.ndarray, num_rounds: int) -> None:
+        nt = self.num_threads
+        steps_before, chunks_before = self._counters()
+        with span("generate", lanes=nt, rounds=num_rounds):
+            for i in range(num_rounds):
+                self._produce_round_into(out[i * nt : (i + 1) * nt])
+        self.numbers_generated += out.size
+        steps_after, chunks_after = self._counters()
+        obs_metrics.counter(
+            "repro_prng_numbers_total", "64-bit numbers emitted"
+        ).inc(out.size)
+        obs_metrics.counter(
+            "repro_prng_rounds_total", "GetNextRand rounds executed"
+        ).inc(num_rounds)
+        obs_metrics.counter(
+            "repro_prng_steps_total", "Walker steps taken (all lanes)"
+        ).inc(steps_after - steps_before)
+        obs_metrics.counter(
+            "repro_prng_feed_bits_total", "Feed bits consumed (3 per chunk)"
+        ).inc(3 * (chunks_after - chunks_before))
+
+    def next_round(self) -> np.ndarray:
+        out = np.empty(self.num_threads, dtype=np.uint64)
+        self._launch_into(out, 1)
+        return out
+
+    def _counters(self) -> tuple:
+        st = self._state
+        return (st.steps_taken, st.chunks_consumed) if st is not None else (0, 0)
+
+    # -- positioning ----------------------------------------------------
+
+    def tell(self) -> int:
+        return self._round_index * self.num_threads - self._remainder.size
+
+    def seek(self, word_offset: int) -> None:
+        """Jump to any absolute word offset without replay.
+
+        Cost: one feed ``seek`` (O(log offset)) plus at most one round
+        of walking when the offset lands inside a round -- independent
+        of both the target offset and the current position.  Backwards
+        seeks are allowed.
+        """
+        if word_offset < 0:
+            raise ValueError(f"word offset must be non-negative, got {word_offset}")
+        if word_offset == self.tell():
+            return
+        if not self.source.seekable:
+            # Fail here, not on the next generate: repositioning always
+            # needs a feed seek eventually, and a deferred error would
+            # blame the wrong call.
+            raise UnseekableSourceError(
+                f"cannot seek: feed {self.source.name!r} is not seekable"
+            )
+        rounds, within = divmod(word_offset, self.num_threads)
+        self._round_index = rounds
+        self._remainder = np.empty(0, dtype=np.uint64)
+        if within:
+            vals = self.next_round()
+            self._remainder = vals[within:].copy()
+
+    @property
+    def bits_consumed(self) -> int:
+        return 0 if self._state is None else 3 * self._state.chunks_consumed
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AddressableExpanderPRNG(threads={self.num_threads}, "
+            f"m={self.graph.m}, l={self.walk_length}, "
+            f"policy={self.engine.policy!r}, feed={self.source.name!r})"
         )

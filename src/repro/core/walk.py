@@ -47,9 +47,22 @@ from repro.bitsource.base import BitSource
 from repro.core.expander import DEGREE, GabberGalilExpander
 from repro.utils.checks import check_positive
 
-__all__ = ["WalkEngine", "WalkState", "POLICIES", "CHUNKS_PER_WORD"]
+__all__ = [
+    "WalkEngine",
+    "WalkState",
+    "POLICIES",
+    "FIXED_CONSUMPTION_POLICIES",
+    "CHUNKS_PER_WORD",
+]
 
 POLICIES = ("reject", "mod", "lazy")
+
+#: Policies that consume exactly one chunk per walker step.  Only these
+#: admit offset-addressable streams: the feed position of any step is a
+#: closed-form function of the step index, so a walk can start at an
+#: arbitrary offset without replaying the chunks before it.  'reject'
+#: redraws a data-dependent number of chunks and is excluded.
+FIXED_CONSUMPTION_POLICIES = ("mod", "lazy")
 
 #: 3-bit chunks yielded per 64-bit feed word (the last bit is unused).
 CHUNKS_PER_WORD = 21
@@ -224,10 +237,8 @@ class WalkEngine:
         """
         chunks = self._take_chunks(state, source, n)
         state.chunks_consumed += n
-        if self.policy == "mod":
-            return np.where(chunks >= DEGREE, chunks - _U8(DEGREE), chunks)
-        if self.policy == "lazy":
-            return np.where(chunks == _U8(7), _U8(0), chunks)
+        if self.policy in FIXED_CONSUMPTION_POLICIES:
+            return self.indices_from_chunks(chunks)
         # 'reject': redraw lanes that read 111 until none remain.  Track
         # offending indices so each round only touches the shrinking
         # rejection set instead of rescanning the full array.
@@ -238,6 +249,25 @@ class WalkEngine:
             chunks[idx] = redraw
             idx = idx[redraw == _U8(7)]
         return chunks
+
+    def indices_from_chunks(self, chunks: np.ndarray) -> np.ndarray:
+        """Map raw 3-bit chunks to neighbour indices, no feed interaction.
+
+        Only valid for the fixed-consumption policies (one chunk per
+        step): 'mod' folds 7 onto 0 via subtraction, 'lazy' maps 7 to
+        the identity neighbour.  'reject' consumes a data-dependent
+        number of chunks per step and therefore has no chunk-pure
+        mapping -- offset-addressable streams cannot use it.
+        """
+        if self.policy == "mod":
+            return np.where(chunks >= DEGREE, chunks - _U8(DEGREE), chunks)
+        if self.policy == "lazy":
+            return np.where(chunks == _U8(7), _U8(0), chunks)
+        raise ValueError(
+            "policy 'reject' consumes a data-dependent number of chunks; "
+            f"only fixed-consumption policies {FIXED_CONSUMPTION_POLICIES} "
+            "map pre-drawn chunks to indices"
+        )
 
     # -- fused kernel plumbing -----------------------------------------
 

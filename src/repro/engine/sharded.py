@@ -23,10 +23,13 @@ fetch names a ``(stream_seed, lanes)`` stream, is routed to the shard
 ``stream_seed % shards``, and is served from a per-stream walker bank
 inside that worker -- byte-identical to running the same bank in
 process, which is what lets ``repro.serve`` sessions move onto the
-shard pool without changing a single client-visible value.  Requests
-carry the stream's cumulative word count, so a respawned worker
-deterministically fast-forwards before serving (the same trick bulk
-restart uses with the round counter).
+shard pool without changing a single client-visible value.  Banks are
+:class:`~repro.core.parallel.AddressableExpanderPRNG` streams (the
+engine requires a fixed-consumption policy), and every fetch carries
+the stream's **absolute word offset**: a worker whose bank is at a
+different position seeks there directly -- O(log offset) via the feed
+jump-ahead -- so respawn cost is independent of stream age and
+``fetch_stream(..., offset=...)`` serves any slice without replay.
 
 Health follows :mod:`repro.resilience`: worker feeds run behind
 :class:`~repro.resilience.supervised.SupervisedFeed` failover chains, a
@@ -55,9 +58,9 @@ from repro.bitsource.base import BitSource
 from repro.bitsource.counter import SplitMix64Source
 from repro.bitsource.os_entropy import OsEntropySource
 from repro.core.generator import DEFAULT_WALK_LENGTH
-from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.parallel import AddressableExpanderPRNG
 from repro.core.streams import derive_seed
-from repro.core.walk import POLICIES
+from repro.core.walk import FIXED_CONSUMPTION_POLICIES
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.resilience.errors import WorkerFailedError
@@ -104,7 +107,9 @@ class EngineConfig:
     shards: int = 2
     lanes: int = DEFAULT_ENGINE_LANES
     walk_length: int = DEFAULT_WALK_LENGTH
-    policy: str = "reject"
+    #: Walk policy; must be fixed-consumption ('mod'/'lazy') -- engine
+    #: streams are offset-addressable, which 'reject' cannot be.
+    policy: str = "lazy"
     #: Rounds buffered per shard; ``0`` disables the bulk stream (a
     #: serve-only pool answers stream fetches but assembles no rounds).
     ring_slots: int = DEFAULT_RING_SLOTS
@@ -114,8 +119,8 @@ class EngineConfig:
     #: Deadline for one round / one fetch response before the engine
     #: inspects the worker (dead -> restart or WorkerFailedError).
     fetch_timeout_s: float = 60.0
-    #: Respawn dead workers (deterministic fast-forward) instead of
-    #: raising; the engine reports DEGRADED afterwards.
+    #: Respawn dead workers (deterministic seek to the dead shard's
+    #: position) instead of raising; the engine reports DEGRADED afterwards.
     auto_restart: bool = False
     #: Picklable ``seed -> BitSource`` override for the *primary* feed
     #: of every worker bank and stream (fault injection in tests).
@@ -125,9 +130,11 @@ class EngineConfig:
         check_positive("shards", self.shards)
         check_positive("lanes", self.lanes)
         check_positive("walk_length", self.walk_length)
-        if self.policy not in POLICIES:
+        if self.policy not in FIXED_CONSUMPTION_POLICIES:
             raise ValueError(
-                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+                f"engine streams are offset-addressable and need a "
+                f"fixed-consumption policy {FIXED_CONSUMPTION_POLICIES}, "
+                f"got {self.policy!r}"
             )
         if self.ring_slots < 0:
             raise ValueError(
@@ -159,9 +166,9 @@ def _make_feed(config: EngineConfig, feed_seed: int) -> BitSource:
     )
 
 
-def _make_bank(config: EngineConfig, shard_index: int) -> ParallelExpanderPRNG:
-    """Shard ``shard_index``'s bulk walker bank."""
-    return ParallelExpanderPRNG(
+def _make_bank(config: EngineConfig, shard_index: int) -> AddressableExpanderPRNG:
+    """Shard ``shard_index``'s bulk walker bank (offset-addressable)."""
+    return AddressableExpanderPRNG(
         num_threads=config.lanes,
         bit_source=_make_feed(config, derive_seed(config.seed, shard_index)),
         walk_length=config.walk_length,
@@ -170,9 +177,9 @@ def _make_bank(config: EngineConfig, shard_index: int) -> ParallelExpanderPRNG:
 
 
 def _make_stream(config: EngineConfig, stream_seed: int,
-                 lanes: int) -> ParallelExpanderPRNG:
+                 lanes: int) -> AddressableExpanderPRNG:
     """A named stream's walker bank (identical to an in-process one)."""
-    return ParallelExpanderPRNG(
+    return AddressableExpanderPRNG(
         num_threads=lanes,
         bit_source=_make_feed(config, stream_seed),
         walk_length=config.walk_length,
@@ -202,7 +209,7 @@ def serial_reference(config: EngineConfig, n: int) -> np.ndarray:
 # Worker process
 # ----------------------------------------------------------------------
 
-def _serve_request(req, streams: Dict[Tuple[int, int], list],
+def _serve_request(req, streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
                    config: EngineConfig, resp_q) -> None:
     try:
         op = req[0]
@@ -211,21 +218,17 @@ def _serve_request(req, streams: Dict[Tuple[int, int], list],
             return
         if op != "fetch":
             raise ValueError(f"unknown engine request {op!r}")
-        _, stream_seed, lanes, words_done, n = req
+        _, stream_seed, lanes, offset, n = req
         key = (stream_seed, lanes)
-        entry = streams.get(key)
-        if entry is None:
-            entry = [_make_stream(config, stream_seed, lanes), 0]
-            streams[key] = entry
-        prng, served = entry
-        if served < words_done:
-            # Fresh worker behind a long-lived stream (post-restart):
-            # regenerate the already-served prefix, deterministically.
-            prng.generate(words_done - served)
-            entry[1] = served = words_done
-        vals = prng.generate(n)
-        entry[1] = served + n
-        resp_q.put(("ok", vals))
+        prng = streams.get(key)
+        if prng is None:
+            prng = streams[key] = _make_stream(config, stream_seed, lanes)
+        if prng.tell() != offset:
+            # Fresh worker behind a long-lived stream (post-restart), or
+            # an explicit-offset fetch: jump straight there -- O(log
+            # offset), never a replay of the already-served prefix.
+            prng.seek(offset)
+        resp_q.put(("ok", prng.generate(n)))
     except Exception as exc:  # noqa: BLE001 - shipped to the caller
         try:
             resp_q.put(("err", exc))
@@ -239,15 +242,16 @@ def _shard_main(config: EngineConfig, shard_index: int,
     """Worker body: produce ring rounds, answer stream fetches.
 
     ``resume_rounds`` > 0 means this process replaces a dead shard: the
-    bank regenerates (and discards) that many rounds first, so the ring
-    resumes at exactly the round the reader expects.
+    bank seeks straight to that round boundary -- O(log offset), so a
+    respawn costs the same whether the shard died in round 3 or round
+    3 billion -- and the ring resumes at exactly the round the reader
+    expects.
     """
     bank = _make_bank(config, shard_index) if ring_handle is not None else None
-    if bank is not None:
-        for _ in range(resume_rounds):
-            bank.next_round()
+    if bank is not None and resume_rounds:
+        bank.seek(resume_rounds * config.lanes)
     writer = ring_handle.attach() if ring_handle is not None else None
-    streams: Dict[Tuple[int, int], list] = {}
+    streams: Dict[Tuple[int, int], AddressableExpanderPRNG] = {}
     ready.set()
     try:
         while not stop.is_set():
@@ -302,10 +306,10 @@ class ShardedEngine:
         self._req_qs: List = [None] * n
         self._resp_qs: List = [None] * n
         #: Rounds of each shard the reader has consumed -- the restart
-        #: fast-forward target.
+        #: seek target (a respawned worker jumps straight there).
         self._rounds_consumed = [0] * n
-        #: Cumulative words handed out per (stream_seed, lanes) -- the
-        #: stream-side fast-forward target.
+        #: Next word offset per (stream_seed, lanes) -- where a fetch
+        #: without an explicit ``offset`` continues from.
         self._stream_words: Dict[Tuple[int, int], int] = {}
         self._shard_locks = [threading.Lock() for _ in range(n)]
         self._gen_lock = threading.Lock()
@@ -544,24 +548,33 @@ class ShardedEngine:
         """Which shard owns the stream seeded ``stream_seed``."""
         return stream_seed % self.config.shards
 
-    def fetch_stream(self, stream_seed: int, lanes: int, n: int) -> np.ndarray:
-        """The next ``n`` numbers of the named stream (thread-safe).
+    def fetch_stream(self, stream_seed: int, lanes: int, n: int,
+                     offset: Optional[int] = None) -> np.ndarray:
+        """``n`` numbers of the named stream (thread-safe).
 
-        Byte-identical to ``ParallelExpanderPRNG(num_threads=lanes,
+        Byte-identical to ``AddressableExpanderPRNG(num_threads=lanes,
         bit_source=<same feed chain>(stream_seed)).generate(...)`` run
         in process, regardless of fetch sizing or worker restarts.
+
+        ``offset`` names the absolute word offset to serve from; the
+        default continues where the previous fetch of this stream left
+        off.  Every request ships an absolute offset to the worker, so
+        an arbitrary slice -- including one before the current position
+        -- costs one O(log offset) seek, never a replay.
         """
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")
         check_positive("lanes", lanes)
+        if offset is not None and offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
         i = self.stream_shard(stream_seed)
         key = (stream_seed, lanes)
         with self._shard_locks[i]:
-            words_done = self._stream_words.get(key, 0)
-            with span("engine.fetch", shard=i, n=n):
+            start = self._stream_words.get(key, 0) if offset is None else offset
+            with span("engine.fetch", shard=i, n=n, offset=start):
                 while True:
                     self._req_qs[i].put(
-                        ("fetch", stream_seed, lanes, words_done, n)
+                        ("fetch", stream_seed, lanes, start, n)
                     )
                     try:
                         status, payload = self._resp_qs[i].get(
@@ -569,8 +582,8 @@ class ShardedEngine:
                         )
                         break
                     except queue_mod.Empty:
-                        # Dead shard: _shard_down revives (words_done
-                        # makes the retried fetch exact) or raises.
+                        # Dead shard: _shard_down revives (the absolute
+                        # offset makes the retried fetch exact) or raises.
                         self._shard_down(i, "serving a stream fetch")
             if status == "err":
                 if isinstance(payload, BaseException):
@@ -580,7 +593,7 @@ class ShardedEngine:
                     worker_index=i,
                     attempts=1,
                 )
-            self._stream_words[key] = words_done + n
+            self._stream_words[key] = start + n
             obs_metrics.counter(
                 "repro_engine_fetch_words_total",
                 "Numbers served to named streams",

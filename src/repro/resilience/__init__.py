@@ -32,10 +32,13 @@ from repro.resilience.errors import (
 )
 from repro.resilience.faults import (
     PROFILES,
+    RECOVERY_FAULTS,
     FaultProfile,
     FaultyBitSource,
     get_profile,
+    kill_server,
     scaled,
+    tear_journal,
 )
 from repro.resilience.supervised import (
     FeedHealth,
@@ -54,8 +57,11 @@ __all__ = [
     "FaultProfile",
     "FaultyBitSource",
     "PROFILES",
+    "RECOVERY_FAULTS",
     "get_profile",
+    "kill_server",
     "scaled",
+    "tear_journal",
     "FeedHealth",
     "RetryPolicy",
     "SupervisedFeed",

@@ -27,8 +27,8 @@ from repro.obs import metrics as obs_metrics
 from repro.resilience.errors import InjectedFault
 from repro.utils.checks import check_probability
 
-__all__ = ["FaultProfile", "FaultyBitSource", "PROFILES", "get_profile",
-           "scaled"]
+__all__ = ["FaultProfile", "FaultyBitSource", "PROFILES", "RECOVERY_FAULTS",
+           "get_profile", "scaled", "tear_journal", "kill_server"]
 
 
 @dataclass(frozen=True)
@@ -191,6 +191,19 @@ class FaultyBitSource(BitSource):
         """Counts of faults injected so far, by mode (plain dict copy)."""
         return dict(self._injected)
 
+    @property
+    def seekable(self) -> bool:
+        return self.source.seekable
+
+    def seek(self, word_offset: int) -> None:
+        """Delegate to the wrapped source.
+
+        The fault schedule is *call*-indexed, not word-indexed, so a
+        seek changes which words future faults land on but keeps the
+        fault sequence itself deterministic.
+        """
+        self.source.seek(word_offset)
+
     # ------------------------------------------------------------------
     # BitSource API
     # ------------------------------------------------------------------
@@ -250,6 +263,86 @@ class FaultyBitSource(BitSource):
         obs_metrics.counter(
             "repro_faults_injected_total", "Faults injected by FaultyBitSource"
         ).inc()
+
+
+# ----------------------------------------------------------------------
+# Recovery faults: crash-path injection for the serving layer
+# ----------------------------------------------------------------------
+#
+# The bit-source profiles above attack the *data plane*; these two
+# attack the *durability plane* -- the session journal and the server
+# process itself -- so the crash-recovery paths (torn-tail truncation,
+# journal replay, RESUME) are drillable on demand, from the chaos
+# fixture and the recovery CI job alike.
+
+
+def tear_journal(
+    path: str,
+    drop_bytes: Optional[int] = None,
+    garbage_bytes: int = 0,
+    fault_seed: int = 0,
+) -> int:
+    """Tear the tail of a journal file, as a mid-append crash would.
+
+    Truncates ``drop_bytes`` from the end (deterministically derived
+    from ``fault_seed`` when not given: 1..16 bytes, never the whole
+    file) and then optionally appends ``garbage_bytes`` of deterministic
+    junk -- the two shapes a real torn write takes (a short final
+    ``write`` and a final ``write`` of the wrong bytes).  Returns the
+    number of bytes removed.  Recovery must survive both by truncating
+    the tail and replaying every intact record before it.
+    """
+    import os
+
+    size = os.path.getsize(path)
+    if drop_bytes is None:
+        roll = int(splitmix64(np.uint64(fault_seed * 31 + size)))
+        drop_bytes = 1 + roll % 16
+    drop_bytes = min(drop_bytes, max(size - 1, 0))
+    with open(path, "r+b") as fh:
+        fh.truncate(size - drop_bytes)
+        if garbage_bytes:
+            fh.seek(0, os.SEEK_END)
+            junk = bytes(
+                int(splitmix64(np.uint64(fault_seed * 131 + i))) & 0xFF
+                for i in range(garbage_bytes)
+            )
+            fh.write(junk)
+    obs_metrics.counter(
+        "repro_faults_injected_total", "Faults injected by FaultyBitSource"
+    ).inc()
+    return drop_bytes
+
+
+def kill_server(process, timeout_s: float = 10.0) -> None:
+    """SIGKILL a server process and wait for it to die.
+
+    ``process`` is anything with ``pid`` (``subprocess.Popen``,
+    ``multiprocessing.Process``); SIGKILL -- never SIGTERM -- because
+    the point of the drill is that *no* shutdown code runs: the journal
+    keeps whatever was fsync'd and nothing else.
+    """
+    import os
+    import signal
+    import subprocess
+
+    os.kill(process.pid, signal.SIGKILL)
+    if isinstance(process, subprocess.Popen):
+        process.wait(timeout=timeout_s)
+    elif hasattr(process, "join"):
+        process.join(timeout=timeout_s)
+    obs_metrics.counter(
+        "repro_faults_injected_total", "Faults injected by FaultyBitSource"
+    ).inc()
+
+
+#: Named recovery faults, the durability-plane sibling of
+#: :data:`PROFILES` (callables, not rate profiles: each is a single
+#: deterministic crash event, not a per-call probability).
+RECOVERY_FAULTS = {
+    "torn_journal": tear_journal,
+    "kill_server": kill_server,
+}
 
 
 def scaled(profile: FaultProfile, factor: float) -> FaultProfile:

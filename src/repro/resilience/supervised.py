@@ -345,6 +345,22 @@ class SupervisedFeed(BitSource):
             raise self._fail(exc)
         self._record_failover(served, exc)
 
+    @property
+    def seekable(self) -> bool:
+        return self.active_source.seekable
+
+    def seek(self, word_offset: int) -> None:
+        """Delegate the jump to the active source.
+
+        Offsets name positions in the *active* source's stream.  Before
+        any failover that is the supervised stream itself; after a
+        failover the stream identity has already changed (health is
+        DEGRADED) and seeks address the fallback's stream instead --
+        callers that need reproducible offsets should reseed to restore
+        the primary.
+        """
+        self.active_source.seek(word_offset)
+
     def reseed(self, seed: int) -> None:
         """Reseed every source (per-source derived seeds), reset the chain.
 

@@ -19,6 +19,8 @@ Modules
                              supervised feed chain behind each stream;
 :mod:`repro.serve.batching`  request coalescing, the worker pool, and
                              the token-bucket rate limiter;
+:mod:`repro.serve.journal`   the durable append-only session journal
+                             behind crash recovery and ``RESUME``;
 :mod:`repro.serve.server`    the asyncio TCP server + background-thread
                              harness for embedding;
 :mod:`repro.serve.client`    blocking and asyncio clients.
@@ -28,7 +30,8 @@ semantics, and ``examples/serve_client.py`` for a runnable walkthrough.
 """
 
 from repro.serve.batching import BatchingExecutor, TokenBucket
-from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.client import AsyncServeClient, ConnectError, ServeClient
+from repro.serve.journal import JournalState, SessionJournal, read_journal
 from repro.serve.protocol import (
     ProtocolError,
     ServeError,
@@ -47,15 +50,19 @@ __all__ = [
     "AsyncServeClient",
     "BackgroundServer",
     "BatchingExecutor",
+    "ConnectError",
+    "JournalState",
     "ProtocolError",
     "RNGServer",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerBusyError",
+    "SessionJournal",
     "SessionRequiredError",
     "SessionStream",
     "TokenBucket",
+    "read_journal",
     "serve_background",
     "session_index",
     "session_seed",

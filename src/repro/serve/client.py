@@ -7,8 +7,19 @@ benchmark use.  :class:`AsyncServeClient` is the same protocol over
 
 Both speak the binary protocol of :mod:`repro.serve.protocol`; a
 ``BUSY`` response surfaces as :class:`ServerBusyError` (or is retried
-with exponential backoff when ``retries`` is given), and an ``ERROR``
-response raises :class:`ServeError` with the server's message.
+with deterministic, capped exponential backoff when ``retries`` is
+given), and an ``ERROR`` response raises :class:`ServeError` with the
+server's message.  A failure to reach the server at all raises
+:class:`ConnectError` -- one clear exception type, so callers (and the
+``repro fetch`` CLI) can turn "nothing is listening there" into a
+one-line error instead of a traceback.
+
+Exactly-once delivery across reconnects: the client counts every word
+it has actually received (:attr:`ServeClient.words_received`) and
+:meth:`ServeClient.resume` reconnects with a ``RESUME`` frame at that
+offset.  The server seeks the session's stream there in O(log offset),
+so the resumed stream continues byte-identically -- no word is replayed
+and none is skipped, even if the server was ``kill -9``'d mid-fetch.
 
     from repro.serve import ServeClient
 
@@ -29,14 +40,43 @@ import numpy as np
 
 from repro.serve import protocol as proto
 
-__all__ = ["ServeClient", "AsyncServeClient", "DEFAULT_TIMEOUT_S"]
+__all__ = [
+    "ServeClient",
+    "AsyncServeClient",
+    "ConnectError",
+    "DEFAULT_TIMEOUT_S",
+]
 
 #: Socket timeout: far above any sane batch window, far below a hang.
 DEFAULT_TIMEOUT_S = 30.0
 
+#: Ceiling on one BUSY-retry sleep: backoff is exponential but capped,
+#: so a long retry budget degrades to steady polling, not minute sleeps.
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+class ConnectError(proto.ServeError):
+    """The server could not be reached (refused, reset, unresolvable)."""
+
 
 def _new_session_id() -> str:
     return "anon-" + secrets.token_hex(8)
+
+
+def _connect(host: str, port: int, timeout: float) -> socket.socket:
+    try:
+        return socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise ConnectError(
+            f"cannot connect to {host}:{port}: {exc}"
+        ) from exc
+
+
+def _backoff_delay(base_s: float, cap_s: float, attempt: int) -> float:
+    """Deterministic capped exponential backoff (no jitter: the serve
+    layer already randomizes nothing, and reproducible retry timing is
+    worth more to these tests than thundering-herd smoothing)."""
+    return min(cap_s, base_s * 2 ** attempt)
 
 
 def _handle_response(opcode: int, payload: bytes) -> np.ndarray:
@@ -70,9 +110,17 @@ class ServeClient:
         yields the same stream.  Defaults to a random one-off id.
     timeout : float
         Socket deadline for connect and each response.
-    retries, backoff_s : int, float
-        ``fetch`` retry budget on ``BUSY`` (exponential backoff);
+    retries, backoff_s, backoff_cap_s : int, float, float
+        ``fetch`` retry budget on ``BUSY``: exponential backoff from
+        ``backoff_s`` capped at ``backoff_cap_s`` (deterministic --
+        attempt ``k`` always sleeps ``min(cap, base * 2**k)``);
         ``retries=0`` surfaces ``BUSY`` as :class:`ServerBusyError`.
+
+    Raises
+    ------
+    ConnectError
+        Nothing is listening at ``(host, port)`` (or the connection was
+        refused/reset during the handshake).
     """
 
     def __init__(
@@ -83,19 +131,31 @@ class ServeClient:
         timeout: float = DEFAULT_TIMEOUT_S,
         retries: int = 0,
         backoff_s: float = 0.05,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
     ):
+        self.host = host
+        self.port = port
+        self.timeout = float(timeout)
         self.session = session or _new_session_id()
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.backoff_cap_s = float(backoff_cap_s)
+        #: Words this client has actually received -- the resume offset.
+        self.words_received = 0
+        self._sock = _connect(host, port, self.timeout)
         self.hello_info = self._roundtrip_json(proto.pack_hello(self.session))
         self.stream_index = self.hello_info.get("stream_index")
 
     # -- plumbing ------------------------------------------------------
 
     def _roundtrip(self, frame: bytes):
-        self._sock.sendall(frame)
-        return proto.read_frame_socket(self._sock)
+        try:
+            self._sock.sendall(frame)
+            return proto.read_frame_socket(self._sock)
+        except ConnectionError as exc:
+            raise ConnectError(
+                f"connection to {self.host}:{self.port} lost: {exc}"
+            ) from exc
 
     def _roundtrip_json(self, frame: bytes) -> dict:
         return _expect_json(*self._roundtrip(frame))
@@ -107,14 +167,42 @@ class ServeClient:
         attempt = 0
         while True:
             try:
-                return _handle_response(
+                values = _handle_response(
                     *self._roundtrip(proto.pack_fetch(n))
                 )
+                self.words_received += len(values)
+                return values
             except proto.ServerBusyError:
                 if attempt >= self.retries:
                     raise
-                time.sleep(self.backoff_s * 2 ** attempt)
+                time.sleep(
+                    _backoff_delay(self.backoff_s, self.backoff_cap_s,
+                                   attempt)
+                )
                 attempt += 1
+
+    def resume(self, offset: Optional[int] = None) -> dict:
+        """Reconnect and reposition the stream at ``offset`` (exactly once).
+
+        Defaults to :attr:`words_received` -- the count of words this
+        client has actually consumed -- which is the exactly-once point:
+        a fetch the dead server generated but never delivered is neither
+        replayed nor skipped.  Safe to call whether or not the old
+        connection is still alive (the old socket is discarded).  Returns
+        the server's resume ack document.
+        """
+        if offset is None:
+            offset = self.words_received
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = _connect(self.host, self.port, self.timeout)
+        ack = self._roundtrip_json(proto.pack_resume(self.session, offset))
+        self.words_received = offset
+        return ack
 
     def random(self, n: int) -> np.ndarray:
         """``n`` uniform floats in [0, 1) (53 significant bits)."""
@@ -161,12 +249,15 @@ class AsyncServeClient:
         session: str,
         retries: int = 0,
         backoff_s: float = 0.05,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
     ):
         self._reader = reader
         self._writer = writer
         self.session = session
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.words_received = 0
         self.hello_info: dict = {}
         self.stream_index: Optional[int] = None
 
@@ -178,10 +269,17 @@ class AsyncServeClient:
         session: Optional[str] = None,
         retries: int = 0,
         backoff_s: float = 0.05,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
     ) -> "AsyncServeClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise ConnectError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         client = cls(reader, writer, session or _new_session_id(),
-                     retries=retries, backoff_s=backoff_s)
+                     retries=retries, backoff_s=backoff_s,
+                     backoff_cap_s=backoff_cap_s)
         client.hello_info = _expect_json(
             *await client._roundtrip(proto.pack_hello(client.session))
         )
@@ -197,14 +295,37 @@ class AsyncServeClient:
         attempt = 0
         while True:
             try:
-                return _handle_response(
+                values = _handle_response(
                     *await self._roundtrip(proto.pack_fetch(n))
                 )
+                self.words_received += len(values)
+                return values
             except proto.ServerBusyError:
                 if attempt >= self.retries:
                     raise
-                await asyncio.sleep(self.backoff_s * 2 ** attempt)
+                await asyncio.sleep(
+                    _backoff_delay(self.backoff_s, self.backoff_cap_s,
+                                   attempt)
+                )
                 attempt += 1
+
+    async def resume(self, offset: Optional[int] = None) -> dict:
+        """Reposition this connection's stream (``RESUME`` in place).
+
+        The async client resumes over its *existing* connection -- the
+        in-event-loop use case is repositioning, not surviving a dead
+        server (reconnect by calling :meth:`connect` again and then
+        ``resume``).  Defaults to :attr:`words_received`.
+        """
+        if offset is None:
+            offset = self.words_received
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        ack = _expect_json(
+            *await self._roundtrip(proto.pack_resume(self.session, offset))
+        )
+        self.words_received = offset
+        return ack
 
     async def status(self) -> dict:
         return _expect_json(

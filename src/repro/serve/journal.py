@@ -1,0 +1,219 @@
+"""Durable append-only session journal: the server's crash-recovery log.
+
+The serving layer is **crash-only**: there is no special shutdown path a
+crash can skip.  Everything a restarted server needs to resume its
+sessions byte-identically -- the seed-derivation inputs (session id and
+lane count; the master seed comes from config) and the last *acked* word
+offset of each stream -- is appended to this journal as it happens, and
+startup always begins with the same recovery scan whether the previous
+process exited cleanly or died under ``kill -9``.
+
+Record framing (all integers big-endian)::
+
+    +----------------+----------------+---------------------+
+    | length (u32)   | CRC32 (u32)    | payload (JSON utf-8)|
+    +----------------+----------------+---------------------+
+
+Appends are atomic-enough by construction: a record is written with one
+``write`` call and (by default) ``fsync``'d before the server sends the
+values it covers.  A crash can therefore leave at most a *torn tail* --
+a partial or corrupt final record -- never a hole in the middle.
+Recovery scans records from the start, stops at the first frame whose
+length, CRC, or JSON does not check out, truncates the torn bytes, and
+replays the survivors into a :class:`JournalState`.
+
+On every open the journal is also **compacted**: the replayed state is
+rewritten as one ``session`` + one ``ack`` record per live stream into a
+temporary file that replaces the old journal via ``os.replace`` (atomic
+on POSIX), so the log stays proportional to the number of sessions, not
+the number of fetches ever served.
+
+Record types::
+
+    {"type": "session", "session": <id>, "lanes": <int>}
+    {"type": "ack", "session": <id>, "offset": <int>}
+    {"type": "shutdown"}
+
+``shutdown`` is a clean-drain marker: purely informational (recovery is
+identical either way), it lets operators and the recovery drill tell a
+graceful SIGTERM drain from a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["JournalState", "SessionJournal", "read_journal"]
+
+_HEADER = struct.Struct("!II")  # payload length, CRC32(payload)
+
+#: A journal record is a small JSON object; anything bigger is corrupt.
+_MAX_RECORD_BYTES = 64 * 1024
+
+
+@dataclass
+class JournalState:
+    """What a recovery scan learned from a journal file."""
+
+    #: ``session id -> {"lanes": int, "offset": int}`` for every stream
+    #: the journal knows about (offset 0 if never acked).
+    sessions: Dict[str, dict] = field(default_factory=dict)
+    #: The last record was a clean-shutdown marker.
+    clean_shutdown: bool = False
+    #: Records successfully replayed.
+    records: int = 0
+    #: Bytes of torn/corrupt tail dropped by the scan (0 = clean file).
+    truncated_bytes: int = 0
+
+    def apply(self, doc: dict) -> None:
+        kind = doc.get("type")
+        if kind == "session":
+            sid = str(doc["session"])
+            entry = self.sessions.setdefault(sid, {"lanes": 0, "offset": 0})
+            entry["lanes"] = int(doc["lanes"])
+            self.clean_shutdown = False
+        elif kind == "ack":
+            sid = str(doc["session"])
+            entry = self.sessions.setdefault(sid, {"lanes": 0, "offset": 0})
+            entry["offset"] = int(doc["offset"])
+            self.clean_shutdown = False
+        elif kind == "shutdown":
+            self.clean_shutdown = True
+        # Unknown record types are skipped, not fatal: an older server
+        # must be able to recover a newer journal's sessions.
+        self.records += 1
+
+
+def _encode(doc: dict) -> bytes:
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan(path: str) -> "tuple[JournalState, int]":
+    """Replay ``path``; ``(state, good_bytes)`` up to the torn tail."""
+    state = JournalState()
+    if not os.path.exists(path):
+        return state, 0
+    with open(path, "rb") as fh:
+        data = fh.read()
+    pos = 0
+    while pos < len(data):
+        header = data[pos:pos + _HEADER.size]
+        if len(header) < _HEADER.size:
+            break  # torn mid-header
+        length, crc = _HEADER.unpack(header)
+        if not 0 < length <= _MAX_RECORD_BYTES:
+            break  # garbage length: corrupt from here on
+        payload = data[pos + _HEADER.size:pos + _HEADER.size + length]
+        if len(payload) < length:
+            break  # torn mid-payload
+        if zlib.crc32(payload) != crc:
+            break  # bit rot or a torn rewrite
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(doc, dict):
+            break
+        state.apply(doc)
+        pos += _HEADER.size + length
+    state.truncated_bytes = len(data) - pos
+    return state, pos
+
+
+def read_journal(path: str) -> JournalState:
+    """Recovery scan without side effects (inspection and tests)."""
+    state, _ = _scan(path)
+    return state
+
+
+class SessionJournal:
+    """Append-only journal handle owned by one server process.
+
+    Open with :meth:`open`, which performs the recovery scan, drops any
+    torn tail, and compacts the surviving state into a fresh file.  The
+    recovered :class:`JournalState` is on :attr:`recovered`.
+    """
+
+    def __init__(self, path: str, fh, recovered: JournalState,
+                 fsync: bool = True):
+        self.path = path
+        self._fh = fh
+        self.recovered = recovered
+        self.fsync = fsync
+        self.appends = 0
+
+    @classmethod
+    def open(cls, path: str, fsync: bool = True) -> "SessionJournal":
+        state, _ = _scan(path)
+        # Compact: rewrite the live state, atomically replace the old
+        # file (which may carry a torn tail and thousands of stale acks).
+        tmp = path + ".compact"
+        with open(tmp, "wb") as out:
+            for sid, entry in sorted(state.sessions.items()):
+                out.write(_encode(
+                    {"type": "session", "session": sid,
+                     "lanes": entry["lanes"]}
+                ))
+                if entry["offset"]:
+                    out.write(_encode(
+                        {"type": "ack", "session": sid,
+                         "offset": entry["offset"]}
+                    ))
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+        # fsync the directory so the replace itself survives a crash.
+        dirfd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+        fh = open(path, "ab")
+        return cls(path, fh, state, fsync=fsync)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def _append(self, doc: dict) -> None:
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._fh.write(_encode(doc))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.appends += 1
+
+    def log_session(self, session_id: str, lanes: int) -> None:
+        """A stream came into existence (its seed-derivation inputs)."""
+        self._append(
+            {"type": "session", "session": session_id, "lanes": int(lanes)}
+        )
+
+    def log_ack(self, session_id: str, offset: int) -> None:
+        """``offset`` words of this stream have been delivered."""
+        self._append(
+            {"type": "ack", "session": session_id, "offset": int(offset)}
+        )
+
+    def log_shutdown(self) -> None:
+        """Clean-drain marker (informational; recovery ignores it)."""
+        self._append({"type": "shutdown"})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SessionJournal(path={self.path!r}, "
+            f"sessions={len(self.recovered.sessions)}, "
+            f"appends={self.appends})"
+        )

@@ -13,6 +13,10 @@ NumPy ``uint64`` array with one ``frombuffer`` call.
 Request opcodes
     ``HELLO``   utf-8 session id (establishes / resumes a stream);
     ``FETCH``   u32 BE count of 64-bit numbers wanted;
+    ``RESUME``  u64 BE word offset + utf-8 session id -- establish the
+                session *and* seek its stream to the offset (the
+                exactly-once reconnect primitive: a client resumes at
+                the last word it actually received);
     ``STATUS``  empty payload -- server/session health and stats;
     ``BYE``     empty payload -- orderly goodbye.
 
@@ -47,6 +51,7 @@ __all__ = [
     "OP_FETCH",
     "OP_STATUS",
     "OP_BYE",
+    "OP_RESUME",
     "OP_VALUES",
     "OP_BUSY",
     "OP_ERROR",
@@ -61,6 +66,8 @@ __all__ = [
     "pack_frame",
     "pack_fetch",
     "pack_hello",
+    "pack_resume",
+    "unpack_resume",
     "frame_header",
     "encode_values",
     "values_payload",
@@ -76,6 +83,7 @@ OP_HELLO = 0x01
 OP_FETCH = 0x02
 OP_STATUS = 0x03
 OP_BYE = 0x04
+OP_RESUME = 0x05
 
 # Response opcodes (server -> client).
 OP_VALUES = 0x81
@@ -94,6 +102,7 @@ MAX_SESSION_ID_BYTES = 256
 
 _LEN = struct.Struct("!I")
 _U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
 
 
 class ServeError(Exception):
@@ -138,6 +147,36 @@ def pack_hello(session_id: str) -> bytes:
             f"session id too long: {len(raw)} > {MAX_SESSION_ID_BYTES} bytes"
         )
     return pack_frame(OP_HELLO, raw)
+
+
+def pack_resume(session_id: str, offset: int) -> bytes:
+    """RESUME frame: establish ``session_id`` seeked to word ``offset``.
+
+    Offsets are absolute word positions in the session's one well-defined
+    stream (64-bit unsigned: jump-ahead makes any offset cheap), so a
+    reconnecting client passes the count of words it has actually
+    consumed and the server replays nothing and skips nothing.
+    """
+    raw = session_id.encode("utf-8")
+    if not raw:
+        raise ProtocolError("session id must be non-empty")
+    if len(raw) > MAX_SESSION_ID_BYTES:
+        raise ProtocolError(
+            f"session id too long: {len(raw)} > {MAX_SESSION_ID_BYTES} bytes"
+        )
+    if not 0 <= offset < 2**64:
+        raise ProtocolError(f"offset must be a u64, got {offset}")
+    return pack_frame(OP_RESUME, _U64.pack(offset) + raw)
+
+
+def unpack_resume(payload: bytes) -> Tuple[str, int]:
+    """RESUME payload -> ``(session_id, offset)``."""
+    if len(payload) <= _U64.size:
+        raise ProtocolError("RESUME payload must be 8 offset bytes + id")
+    if len(payload) - _U64.size > MAX_SESSION_ID_BYTES:
+        raise ProtocolError("RESUME session id too long")
+    (offset,) = _U64.unpack(payload[:_U64.size])
+    return payload[_U64.size:].decode("utf-8", errors="replace"), offset
 
 
 def pack_fetch(count: int) -> bytes:

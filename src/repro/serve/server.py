@@ -97,6 +97,17 @@ class ServeConfig:
     sentinel_sample: int = 16
     #: Sampled words per evaluated sentinel window.
     sentinel_window: int = 4096
+    #: Durable session journal (:mod:`repro.serve.journal`).  When set,
+    #: session creation and every delivered word offset are appended
+    #: (fsync'd) to this file, and startup recovers the journal: every
+    #: journaled session is rebuilt and seeked to its acked offset, so a
+    #: ``kill -9`` costs nothing but the torn tail of the log.  ``None``
+    #: serves memory-only (a restart forgets sessions; clients can still
+    #: RESUME at their own offsets since streams are pure functions of
+    #: ``(master_seed, session_id, lanes)``).
+    journal_path: Optional[str] = None
+    #: ``fsync`` the journal on every append (durability vs. latency).
+    journal_fsync: bool = True
 
 
 @dataclass
@@ -149,6 +160,15 @@ class RNGServer:
         self.numbers_total = 0
         self.busy_total = 0
         self.errors_total = 0
+        self.journal = None
+        self.recovered_sessions = 0
+        if self.config.journal_path is not None:
+            from repro.serve.journal import SessionJournal
+
+            self.journal = SessionJournal.open(
+                self.config.journal_path, fsync=self.config.journal_fsync
+            )
+            self._recover_sessions()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,7 +187,13 @@ class RNGServer:
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Stop accepting, drop connections, drain the executor."""
+        """Stop accepting, drop connections, drain the executor.
+
+        This is the graceful-drain path (SIGTERM, ``--duration`` expiry,
+        tests): in-flight batches finish, the journal gets its clean
+        shutdown marker, and only then do resources go away.  Crash-only
+        means recovery never *depends* on any of this having run.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -177,6 +203,10 @@ class RNGServer:
         await self.executor.aclose()
         if self.engine is not None:
             self.engine.close()
+        if self.journal is not None:
+            self.journal.log_shutdown()
+            self.journal.close()
+            self.journal = None
 
     # ------------------------------------------------------------------
     # Sessions
@@ -197,15 +227,19 @@ class RNGServer:
             name=session_id,
         )
 
-    def _get_or_create_session(self, session_id: str) -> _ServedSession:
+    def _get_or_create_session(
+        self, session_id: str, lanes: Optional[int] = None,
+        journal: bool = True,
+    ) -> _ServedSession:
         served = self.sessions.get(session_id)
         if served is None:
+            lanes = self.config.lanes if lanes is None else lanes
             sentinel = self._make_sentinel(session_id)
             if self.engine is not None:
                 stream = SessionStream(
                     session_id,
                     master_seed=self.config.master_seed,
-                    lanes=self.config.lanes,
+                    lanes=lanes,
                     engine=self.engine,
                     sentinel=sentinel,
                 )
@@ -213,7 +247,7 @@ class RNGServer:
                 stream = SessionStream(
                     session_id,
                     master_seed=self.config.master_seed,
-                    lanes=self.config.lanes,
+                    lanes=lanes,
                     source_factory=self.config.source_factory,
                     failover=self.config.failover,
                     retry_policy=self.config.retry_policy,
@@ -224,12 +258,62 @@ class RNGServer:
                 bucket=TokenBucket(self.config.rate, self.config.burst),
             )
             self.sessions[session_id] = served
+            if journal and self.journal is not None:
+                self.journal.log_session(session_id, lanes)
             obs_metrics.counter(
                 "repro_serve_sessions_total", "Sessions ever created"
             ).inc()
             obs_metrics.gauge(
                 "repro_serve_sessions_active", "Live session streams"
             ).set(len(self.sessions))
+        return served
+
+    def _recover_sessions(self) -> None:
+        """Rebuild every journaled session at its acked word offset.
+
+        Runs once at startup, right after the journal's recovery scan.
+        The stream itself is a pure function of
+        ``(master_seed, session_id, lanes)``, so rebuilding + one
+        O(log offset) seek lands each session byte-exactly where its
+        last acked delivery left it -- no replay, no stored state words.
+        Sentinels are re-armed fresh: statistical verdicts are about the
+        *running* stream and deliberately do not survive a restart.
+        """
+        for session_id, entry in sorted(self.journal.recovered.sessions.items()):
+            served = self._get_or_create_session(
+                session_id, lanes=entry["lanes"] or None, journal=False
+            )
+            if entry["offset"]:
+                served.stream.seek(entry["offset"])
+            self.recovered_sessions += 1
+
+    def _journal_ack(self, session: _ServedSession) -> None:
+        """Persist the session's delivered word offset (post-send)."""
+        if self.journal is not None:
+            self.journal.log_ack(
+                session.stream.session_id, session.stream.words_served
+            )
+
+    def _resume_session(self, session_id: str, offset: int) -> _ServedSession:
+        """RESUME semantics shared by the binary and JSON handlers.
+
+        Establishes the session (creating it if the restart forgot it),
+        seeks the stream to the client's offset, re-arms the statistical
+        sentinel (its windows describe the pre-resume past), and
+        journals the new offset so a second crash recovers to it.
+        """
+        if offset < 0:
+            raise proto.ProtocolError(
+                f"resume offset must be non-negative, got {offset}"
+            )
+        served = self._get_or_create_session(session_id)
+        served.stream.seek(offset)
+        if self.config.sentinel:
+            served.stream.sentinel = self._make_sentinel(session_id)
+        self._journal_ack(served)
+        obs_metrics.counter(
+            "repro_serve_resumes_total", "RESUME ops handled"
+        ).inc()
         return served
 
     @property
@@ -296,6 +380,13 @@ class RNGServer:
                 "sentinel": self.sentinel_summary(),
             },
         }
+        if self.config.journal_path is not None:
+            doc["server"]["journal"] = {
+                "path": self.config.journal_path,
+                "fsync": self.config.journal_fsync,
+                "recovered_sessions": self.recovered_sessions,
+                "appends": 0 if self.journal is None else self.journal.appends,
+            }
         if self.engine is not None:
             doc["engine"] = self.engine.describe()
         if session is not None:
@@ -473,6 +564,37 @@ class RNGServer:
                         )
                     else:
                         await self._send_values(writer, values)
+                        # Journal *after* the send: the acked offset
+                        # never runs ahead of what actually left the
+                        # socket, so recovery can only under-count --
+                        # and a RESUME at the client's own offset
+                        # closes even that gap.
+                        self._journal_ack(session)
+                elif opcode == proto.OP_RESUME:
+                    try:
+                        session_id, offset = proto.unpack_resume(payload)
+                        if session is not None:
+                            session.connections -= 1
+                            session = None
+                        session = self._resume_session(session_id, offset)
+                        session.connections += 1
+                    except proto.ProtocolError as exc:
+                        await self._send(
+                            writer, proto.OP_ERROR, str(exc).encode("utf-8")
+                        )
+                        continue
+                    ack = {
+                        "ok": True,
+                        "op": "resume",
+                        "session": session_id,
+                        "offset": offset,
+                        "stream_index": session.stream.index,
+                        "lanes": session.stream.lanes,
+                    }
+                    await self._send(
+                        writer, proto.OP_JSON,
+                        json.dumps(ack, sort_keys=True).encode("utf-8"),
+                    )
                 elif opcode == proto.OP_STATUS:
                     doc = self.status_doc(session)
                     await self._send(
@@ -581,6 +703,32 @@ class RNGServer:
                             "op": "fetch",
                             "values": [int(v) for v in values],
                         })
+                        self._journal_ack(session)
+                elif op == "resume":
+                    session_id = str(msg.get("session", ""))
+                    if not session_id:
+                        await reply(
+                            {"ok": False, "error": "missing session id"}
+                        )
+                        continue
+                    try:
+                        offset = int(msg.get("offset", 0))
+                        if session is not None:
+                            session.connections -= 1
+                            session = None
+                        session = self._resume_session(session_id, offset)
+                        session.connections += 1
+                    except (proto.ProtocolError, ValueError) as exc:
+                        await reply({"ok": False, "error": str(exc)})
+                        continue
+                    await reply({
+                        "ok": True,
+                        "op": "resume",
+                        "session": session_id,
+                        "offset": offset,
+                        "stream_index": session.stream.index,
+                        "lanes": session.stream.lanes,
+                    })
                 elif op == "status":
                     await reply(self.status_doc(session))
                 elif op == "bye":

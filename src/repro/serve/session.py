@@ -17,10 +17,13 @@ the server's master seed -- the same SplitMix64 derivation
 
 Each :class:`SessionStream` owns a
 :class:`~repro.resilience.supervised.SupervisedFeed` chain (primary
-feed, an independent SplitMix64 fallback, OS entropy last) in front of a
-:class:`~repro.core.parallel.ParallelExpanderPRNG` walker bank, so a
-dying bit source degrades the session instead of killing it; health is
-surfaced through the ``STATUS`` protocol op.
+feed, an independent SplitMix64 fallback, OS entropy last) in front of
+an :class:`~repro.core.parallel.AddressableExpanderPRNG` walker bank,
+so a dying bit source degrades the session instead of killing it;
+health is surfaced through the ``STATUS`` protocol op.  Because the
+bank is offset-addressable, a session can :meth:`~SessionStream.seek`
+to any word offset in O(log offset) -- the primitive behind the
+``RESUME`` protocol op and crash recovery from the session journal.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ import numpy as np
 from repro.bitsource.base import BitSource
 from repro.bitsource.counter import SplitMix64Source
 from repro.bitsource.os_entropy import OsEntropySource
-from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.parallel import AddressableExpanderPRNG
 from repro.core.streams import derive_seed
 from repro.resilience.supervised import FeedHealth, RetryPolicy, SupervisedFeed
 
@@ -137,9 +140,16 @@ class SessionStream:
                 policy=retry_policy or SERVE_RETRY_POLICY,
                 jitter_seed=self.seed,
             )
-            self.prng = ParallelExpanderPRNG(
+            self.prng = AddressableExpanderPRNG(
                 num_threads=lanes, bit_source=self.supervisor
             )
+            # The addressable bank draws lazily, so probe the feed here
+            # and rewind: a fatal feed surfaces its structured error at
+            # construction (never a half-built session), without moving
+            # the stream position.
+            if self.supervisor.seekable:
+                self.supervisor.words64(1)
+                self.supervisor.seek(0)
         self.sentinel = sentinel
         #: Serializes generation so the worker pool can run batches from
         #: many sessions concurrently without interleaving one stream.
@@ -161,7 +171,12 @@ class SessionStream:
             raise ValueError(f"count must be non-negative, got {n}")
         with self.lock:
             if self.engine is not None:
-                out = self.engine.fetch_stream(self.seed, self.lanes, n)
+                # The session's own position is the source of truth:
+                # shipping it as an absolute offset makes every fetch
+                # exact even across engine worker restarts and seeks.
+                out = self.engine.fetch_stream(
+                    self.seed, self.lanes, n, offset=self.words_served
+                )
             else:
                 # Fresh per-request buffer filled in place: the caller
                 # owns it outright (the serve framing path byte-swaps
@@ -176,6 +191,27 @@ class SessionStream:
             self.words_served += n
             self.requests += 1
             return out
+
+    def seek(self, word_offset: int) -> None:
+        """Reposition the stream at an absolute word offset (thread-safe).
+
+        O(log offset) via the bank's jump-ahead; the next
+        :meth:`generate` returns exactly the words a fresh session would
+        return after ``word_offset`` draws.  This is the ``RESUME``
+        primitive: a restarted server seeks recovered sessions to their
+        journaled offsets, and a reconnecting client can rewind to the
+        last word it actually received for exactly-once delivery.
+        """
+        if word_offset < 0:
+            raise ValueError(
+                f"word offset must be non-negative, got {word_offset}"
+            )
+        with self.lock:
+            if self.prng is not None:
+                self.prng.seek(word_offset)
+            # Engine-backed sessions ship absolute offsets per fetch, so
+            # updating the position is all a seek needs to do there.
+            self.words_served = word_offset
 
     @property
     def feed_health(self) -> str:

@@ -36,15 +36,22 @@ def chaos():
 
         src = chaos("flaky")                       # FaultyBitSource
         feed = chaos("failover", supervised=True)  # + failover chain
+        chaos.tear_journal(path)                   # recovery faults
+        chaos.kill_server(proc)
 
     Backoff sleeps are no-ops so chaos tests run at full speed; pass
-    ``sleep=...`` to override.
+    ``sleep=...`` to override.  The durability-plane recovery faults
+    (:data:`repro.resilience.RECOVERY_FAULTS`) hang off the factory as
+    attributes so crash drills come from the same fixture.
     """
     from repro.bitsource.counter import SplitMix64Source, splitmix64
     from repro.resilience import (
+        RECOVERY_FAULTS,
         FaultyBitSource,
         RetryPolicy,
         SupervisedFeed,
+        kill_server,
+        tear_journal,
     )
 
     def make(
@@ -72,4 +79,7 @@ def chaos():
             sleep=sleep,
         )
 
+    make.tear_journal = tear_journal
+    make.kill_server = kill_server
+    make.recovery_faults = RECOVERY_FAULTS
     return make

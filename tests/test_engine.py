@@ -6,7 +6,7 @@ import signal
 import numpy as np
 import pytest
 
-from repro.core.parallel import ParallelExpanderPRNG
+from repro.core.parallel import AddressableExpanderPRNG
 from repro.core.streams import derive_seed
 from repro.engine import EngineConfig, ShardedEngine, serial_reference
 from repro.engine.sharded import _make_feed
@@ -28,8 +28,13 @@ class TestConfig:
         EngineConfig()
 
     def test_bad_policy_rejected(self):
-        with pytest.raises(ValueError, match="unknown policy"):
+        with pytest.raises(ValueError, match="fixed-consumption"):
             EngineConfig(policy="bogus")
+
+    def test_reject_policy_not_addressable(self):
+        """'reject' consumes data-dependent chunks: engine refuses it."""
+        with pytest.raises(ValueError, match="fixed-consumption"):
+            EngineConfig(policy="reject")
 
     def test_bad_counts_rejected(self):
         with pytest.raises(ValueError):
@@ -55,9 +60,10 @@ class TestBulkStream:
     def test_round_is_shard_major(self):
         """Round r of the stream = shard 0's round r, then shard 1's."""
         banks = [
-            ParallelExpanderPRNG(
+            AddressableExpanderPRNG(
                 num_threads=CONFIG.lanes,
                 bit_source=_make_feed(CONFIG, derive_seed(CONFIG.seed, i)),
+                policy=CONFIG.policy,
             )
             for i in range(2)
         ]
@@ -84,12 +90,34 @@ class TestNamedStreams:
     def test_matches_in_process_bank(self):
         """A stream fetch is byte-identical to the same bank run locally."""
         seed, lanes = 41, 16
-        local = ParallelExpanderPRNG(
-            num_threads=lanes, bit_source=_make_feed(CONFIG, seed)
+        local = AddressableExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(CONFIG, seed),
+            policy=CONFIG.policy,
         )
         with ShardedEngine(CONFIG) as eng:
             np.testing.assert_array_equal(
                 eng.fetch_stream(seed, lanes, 100), local.generate(100)
+            )
+
+    def test_explicit_offset_fetch(self):
+        """fetch_stream(offset=...) serves any slice, even backwards."""
+        seed, lanes = 41, 16
+        local = AddressableExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(CONFIG, seed),
+            policy=CONFIG.policy,
+        )
+        ref = local.generate(200)
+        with ShardedEngine(CONFIG) as eng:
+            np.testing.assert_array_equal(
+                eng.fetch_stream(seed, lanes, 50, offset=120), ref[120:170]
+            )
+            # Default continues from where the explicit fetch ended.
+            np.testing.assert_array_equal(
+                eng.fetch_stream(seed, lanes, 30), ref[170:200]
+            )
+            # Backwards slice: no replay machinery, just a seek.
+            np.testing.assert_array_equal(
+                eng.fetch_stream(seed, lanes, 40, offset=7), ref[7:47]
             )
 
     def test_streams_are_independent(self):
@@ -156,8 +184,9 @@ class TestFailure:
         cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=0,
                            fetch_timeout_s=3.0, auto_restart=True)
         seed, lanes = 40, 8  # seed % 2 == 0: shard 0 owns the stream
-        local = ParallelExpanderPRNG(
-            num_threads=lanes, bit_source=_make_feed(cfg, seed)
+        local = AddressableExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(cfg, seed),
+            policy=cfg.policy,
         )
         with ShardedEngine(cfg) as eng:
             head = eng.fetch_stream(seed, lanes, 30)
