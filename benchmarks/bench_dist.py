@@ -1,0 +1,197 @@
+"""Variate-sampling benchmark: DistStream samplers vs raw word output.
+
+Measures, over the same :class:`ParallelExpanderPRNG` bank:
+
+* **WORDS** -- raw ``generate`` throughput (the baseline everything else
+  is a fraction of);
+* **VARIATES** -- ``DistStream`` rates for uniform01, normal (all three
+  methods), exponential, and Lemire bounded integers;
+* **ADAPTER** -- ``np.random.Generator(ExpanderBitGen(...))``
+  ``standard_normal``: the ctypes-trampoline compatibility path, always
+  far slower than ``DistStream`` (measured so the tradeoff is visible,
+  never gated).
+
+The ``--min-ratio`` gate enforces that ziggurat Gaussian variates keep
+at least that fraction of raw word throughput (default CI gate: 0.25;
+the ziggurat needs ~2 words per variate, so 0.5 is the word-cost
+ceiling).  Like the other benchmark gates it is only enforced on hosts
+with >= 2 cores; the measurement is recorded regardless in
+``benchmarks/results/BENCH_dist.json``.
+
+Runs two ways:
+
+* under pytest (tiny load; registers a report via ``record``);
+* as a script (``python benchmarks/bench_dist.py [--quick]``), the CI
+  benchmark mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import numpy as np
+
+from repro.core.parallel import ParallelExpanderPRNG
+from repro.dist import DistStream, ExpanderBitGen
+
+
+def _rate(fn, amount: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` items/second of ``fn(amount)``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(amount)
+        best = min(best, time.perf_counter() - t0)
+    return amount / best
+
+
+def _bank(lanes: int, seed: int = 0) -> ParallelExpanderPRNG:
+    prng = ParallelExpanderPRNG(num_threads=lanes, seed=seed)
+    prng.generate(lanes)  # warm scratch buffers and the feed
+    return prng
+
+
+def bench_words(lanes: int, numbers: int) -> dict:
+    return {"words_per_s": _rate(_bank(lanes).generate, numbers)}
+
+
+def bench_variates(lanes: int, numbers: int) -> dict:
+    """One fresh bank per sampler so each measures from a warm start."""
+    out = {}
+    samplers = [
+        ("uniform01", lambda ds, n: ds.uniform01(n)),
+        ("normal_ziggurat", lambda ds, n: ds.normal(n)),
+        ("normal_polar", lambda ds, n: ds.normal(n, method="polar")),
+        ("normal_boxmuller",
+         lambda ds, n: ds.normal(n, method="boxmuller")),
+        ("exponential", lambda ds, n: ds.exponential(n)),
+        ("integers", lambda ds, n: ds.integers(n, 0, 1000)),
+    ]
+    for name, sample in samplers:
+        ds = DistStream(_bank(lanes))
+        sample(ds, min(numbers, 4096))  # warm the transform path
+        out[f"{name}_per_s"] = _rate(lambda n: sample(ds, n), numbers)
+    return out
+
+
+def bench_adapter(lanes: int, numbers: int) -> dict:
+    """The NumPy Generator compatibility path (scalar trampoline)."""
+    gen = np.random.Generator(ExpanderBitGen(seed=0, lanes=lanes))
+    gen.standard_normal(256)  # warm the buffer
+    return {"adapter_normal_per_s": _rate(gen.standard_normal, numbers)}
+
+
+def run_dist_bench(
+    lanes: int = 4096,
+    numbers: int = 1 << 20,
+    adapter_numbers: int = 1 << 14,
+) -> dict:
+    report = {
+        "host_cpu_count": os.cpu_count() or 1,
+        "lanes": lanes,
+        "numbers": numbers,
+        "adapter_numbers": adapter_numbers,
+    }
+    report.update(bench_words(lanes, numbers))
+    print(f"WORDS:    {report['words_per_s'] / 1e6:8.3f} M words/s",
+          flush=True)
+    report.update(bench_variates(lanes, numbers))
+    for key in sorted(report):
+        if key.endswith("_per_s") and key not in (
+            "words_per_s", "adapter_normal_per_s"
+        ):
+            name = key[: -len("_per_s")]
+            ratio = report[key] / report["words_per_s"]
+            report[f"{name}_ratio"] = ratio
+            print(
+                f"VARIATES: {name:17s} {report[key] / 1e6:8.3f} "
+                f"M variates/s ({ratio:.2f}x of words)",
+                flush=True,
+            )
+    report.update(bench_adapter(lanes, adapter_numbers))
+    print(
+        f"ADAPTER:  standard_normal  "
+        f"{report['adapter_normal_per_s'] / 1e6:8.3f} M variates/s "
+        f"(ctypes trampoline; use DistStream for bulk)",
+        flush=True,
+    )
+    return report
+
+
+def check_ratio(report: dict, min_ratio: float) -> int:
+    """Gate: ziggurat Gaussians keep >= min_ratio of word throughput."""
+    if min_ratio <= 0:
+        return 0
+    cores = report["host_cpu_count"]
+    ratio = report["normal_ziggurat_ratio"]
+    if cores < 2:
+        print(
+            f"NOTE: host has {cores} core(s); the {min_ratio}x gate is "
+            f"recorded but not enforced (measured {ratio:.2f}x)."
+        )
+        return 0
+    if ratio < min_ratio:
+        print(
+            f"DIST GATE FAILED: ziggurat normal throughput {ratio:.2f}x of "
+            f"raw words < {min_ratio}x on a {cores}-core host",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"dist gate passed: {ratio:.2f}x >= {min_ratio}x")
+    return 0
+
+
+def test_dist_bench_smoke():
+    """Pytest-scale run: every measurement path, positive rates only."""
+    from conftest import record
+
+    report = run_dist_bench(lanes=64, numbers=4096, adapter_numbers=512)
+    assert report["words_per_s"] > 0
+    assert report["normal_ziggurat_per_s"] > 0
+    assert report["adapter_normal_per_s"] > 0
+    record("dist", "variate sampling smoke", data={
+        k: round(v, 3) for k, v in report.items()
+        if isinstance(v, (int, float))
+    })
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lanes", type=int, default=4096,
+                        help="walker lanes of the measured bank")
+    parser.add_argument("--numbers", type=int, default=1 << 20,
+                        help="variates per measurement")
+    parser.add_argument("--adapter-numbers", type=int, default=1 << 14,
+                        help="variates for the (slow) adapter measurement")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (~8x smaller measurements)")
+    parser.add_argument("--min-ratio", type=float, default=0.0,
+                        help="fail unless ziggurat normal keeps this "
+                             "fraction of word throughput (enforced on "
+                             "hosts with >= 2 cores)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.numbers = min(args.numbers, 1 << 17)
+        args.adapter_numbers = min(args.adapter_numbers, 1 << 12)
+    report = run_dist_bench(
+        lanes=args.lanes, numbers=args.numbers,
+        adapter_numbers=args.adapter_numbers,
+    )
+    from common import emit_bench_record
+
+    path = emit_bench_record("dist", fields={"report": "dist"}, metrics={
+        k: round(v, 3) for k, v in report.items()
+        if isinstance(v, (int, float))
+    })
+    print(f"wrote {path}")
+    return check_ratio(report, args.min_ratio)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,97 @@ def start_server(journal: str, port: int = 0) -> "tuple[subprocess.Popen, int]":
     return proc, bound
 
 
+def run_variates_drill(clients: int, head: int, tail: int) -> int:
+    """The kill -9 drill over the typed VARIATE path.
+
+    Rejection sampling makes words-per-variate data-dependent, so the
+    only thing a client can resume by is the *word offset* its VARIATES
+    responses carried -- this drill proves that coordinate survives a
+    SIGKILL: Gaussian variates fetched before the kill plus variates
+    fetched after RESUME must be bit-identical to an uninterrupted
+    in-process run (forward replay, never a seek through variate
+    counts).
+    """
+    sessions = [f"vdrill-{i}" for i in range(clients)]
+    golden = {}
+    for sid in sessions:
+        values, _ = SessionStream(
+            sid, master_seed=MASTER_SEED, lanes=LANES
+        ).variates("normal", head + tail, {"mean": 0.0, "std": 1.0})
+        golden[sid] = values
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "serve.journal")
+
+        proc, port = start_server(journal)
+        conns = {}
+        heads = {}
+        word_marks = {}
+        try:
+            for sid in sessions:
+                conns[sid] = ServeClient("127.0.0.1", port, session=sid)
+                # Ragged fetch sizes, as in the raw drill: the variate
+                # stream must not care how it was sliced pre-crash.
+                a = conns[sid].fetch_variates("normal", head // 3)
+                b = conns[sid].fetch_variates("normal", head - head // 3)
+                heads[sid] = np.concatenate([a, b])
+                word_marks[sid] = conns[sid].words_received
+            kill_server(proc)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup path
+                proc.kill()
+                proc.wait(timeout=10)
+
+        state = read_journal(journal)
+        if state.clean_shutdown:
+            print("VARIATES RECOVERY GATE FAILED: clean-shutdown marker "
+                  "after SIGKILL", file=sys.stderr)
+            return 1
+        for sid in sessions:
+            acked = state.sessions.get(sid, {}).get("offset")
+            if acked != word_marks[sid]:
+                print(f"VARIATES RECOVERY GATE FAILED: {sid} journaled "
+                      f"word offset {acked} != delivered {word_marks[sid]}",
+                      file=sys.stderr)
+                return 1
+        print(f"journal after kill -9: {len(state.sessions)} session(s) "
+              f"acked at their delivered word offsets")
+
+        proc2, port2 = start_server(journal)
+        try:
+            for sid in sessions:
+                client = conns[sid]
+                client.host, client.port = "127.0.0.1", port2
+                ack = client.resume()  # at the word offset, not a count
+                if ack.get("offset") != word_marks[sid]:
+                    print(f"VARIATES RECOVERY GATE FAILED: {sid} resume "
+                          f"ack {ack}", file=sys.stderr)
+                    return 1
+                tail_vals = client.fetch_variates("normal", tail)
+                got = np.concatenate([heads[sid], tail_vals])
+                if not np.array_equal(
+                    got.view(np.uint64), golden[sid].view(np.uint64)
+                ):
+                    first = int(np.flatnonzero(
+                        got.view(np.uint64) != golden[sid].view(np.uint64)
+                    )[0])
+                    print(f"VARIATES RECOVERY GATE FAILED: session {sid} "
+                          f"diverges at variate {first} (kill after {head})",
+                          file=sys.stderr)
+                    return 1
+                client.close()
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=15)
+
+    print(
+        f"variates recovery gate passed: {clients} session(s) killed -9 "
+        f"after {head} Gaussian variates, resumed by word offset, "
+        f"{head + tail} variates bit-identical to the uninterrupted run"
+    )
+    return 0
+
+
 def run_drill(clients: int, head: int, tail: int) -> int:
     sessions = [f"drill-{i}" for i in range(clients)]
     golden = {
@@ -150,7 +241,13 @@ def main(argv=None) -> int:
                         help="words served per session before the kill")
     parser.add_argument("--tail", type=int, default=2000,
                         help="words served per session after recovery")
+    parser.add_argument("--variates", action="store_true",
+                        help="drill the typed VARIATE path (Gaussian "
+                             "variates resumed by word offset) instead "
+                             "of raw words")
     args = parser.parse_args(argv)
+    if args.variates:
+        return run_variates_drill(args.clients, args.head, args.tail)
     return run_drill(args.clients, args.head, args.tail)
 
 

@@ -1,5 +1,7 @@
-"""The paper's applications: list ranking, photon migration, and the
-connected-components companion from the same hybrid-algorithms line."""
+"""The paper's applications: list ranking, photon migration, the
+connected-components companion from the same hybrid-algorithms line,
+and the Monte Carlo per-substream determinism demos
+(:mod:`repro.apps.montecarlo`)."""
 
 from repro.apps.connectivity import CCResult, connected_components, random_graph_edges
 

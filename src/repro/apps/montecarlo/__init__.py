@@ -1,0 +1,37 @@
+"""Monte Carlo demos of per-substream determinism over typed variates.
+
+Both apps are deliberately simple *numerically* so that the reproduction
+property stays front and center: every random draw goes through a
+:class:`repro.dist.DistStream` over a per-substream expander bank keyed
+by :func:`repro.core.streams.derive_seed`, so results are a pure
+function of ``(master_seed, structure)`` -- never of chunk sizes,
+thread counts, or scheduling order.
+
+* :mod:`~repro.apps.montecarlo.pi` -- embarrassingly parallel
+  pi-estimation; per-substream hit counts are invariant to how the
+  points are chunked.
+* :mod:`~repro.apps.montecarlo.grf` -- a per-pencil Gaussian random
+  field in the zeldovich-PLT style: one stream per Fourier pencil so a
+  higher-resolution realization reproduces the interior modes of a
+  lower-resolution one bit-for-bit (oversampling invariance).
+"""
+
+from repro.apps.montecarlo.grf import (
+    GRF_PENCIL_LANES,
+    gaussian_field_modes,
+    pencil_modes,
+    pencil_seed,
+    realize_field,
+)
+from repro.apps.montecarlo.pi import PI_STREAM_LANES, PiResult, estimate_pi
+
+__all__ = [
+    "GRF_PENCIL_LANES",
+    "PI_STREAM_LANES",
+    "PiResult",
+    "estimate_pi",
+    "gaussian_field_modes",
+    "pencil_modes",
+    "pencil_seed",
+    "realize_field",
+]

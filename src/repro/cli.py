@@ -3,7 +3,9 @@
 Commands
 --------
 ``generate``   emit random numbers from the hybrid PRNG (optionally with
-               a span trace and a metrics dump);
+               a span trace and a metrics dump); ``--dist`` emits typed
+               variates (uniform01/normal/exponential/integers) drawn
+               stream-exactly off the same word stream;
 ``quality``    run a statistical battery against any registered generator;
 ``platform``   simulate a generation workload on the paper's CPU+GPU
                platform and print timing/utilization;
@@ -19,7 +21,8 @@ Commands
                per-session expander streams, batching, backpressure,
                per-session statistical sentinels);
 ``fetch``      fetch numbers from a running server (or query its
-               ``STATUS`` document with ``--status``);
+               ``STATUS`` document with ``--status``); ``--dist``
+               fetches typed variates through the ``VARIATE`` op;
 ``sentinel``   statistical health checks: watch a live generation run
                through the sentinel tap (optionally under an injected
                fault profile) and/or run the offline pair detectors
@@ -111,6 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="worker processes: > 1 generates on a ShardedEngine pool "
              "(a different, also-reproducible stream for the same seed)",
+    )
+    gen.add_argument(
+        "--dist", default=None,
+        choices=["uniform01", "normal", "exponential", "integers"],
+        help="emit typed variates instead of raw words (stream-exact "
+             "samplers over the same word stream; --format is ignored: "
+             "floats print as %%.17g, integers as decimals)",
+    )
+    gen.add_argument(
+        "--params", default=None, metavar="K=V[,K=V...]",
+        help="distribution parameters, e.g. 'mean=0,std=2' (normal), "
+             "'rate=1.5' (exponential), 'lo=0,hi=100' (integers)",
     )
     add_obs_flags(gen)
 
@@ -309,7 +324,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--status", action="store_true",
         help="print the server's STATUS document instead of fetching",
     )
+    fetch.add_argument(
+        "--dist", default=None,
+        choices=["uniform01", "normal", "exponential", "integers"],
+        help="fetch typed variates through the VARIATE op instead of "
+             "raw words (--format is ignored: floats print as %%.17g, "
+             "integers as decimals)",
+    )
+    fetch.add_argument(
+        "--params", default=None, metavar="K=V[,K=V...]",
+        help="distribution parameters, e.g. 'mean=0,std=2' (normal), "
+             "'rate=1.5' (exponential), 'lo=0,hi=100' (integers)",
+    )
     return parser
+
+
+def parse_dist_params(dist: str, spec) -> dict:
+    """``--params 'k=v,k=v'`` -> typed param dict, validated per dist.
+
+    Raises ``ValueError`` on unknown keys, malformed pairs, or values of
+    the wrong kind (``integers`` takes ints, the rest take floats), so
+    both CLI paths reject bad specs before touching a stream or socket.
+    """
+    from repro.dist import SERVE_DISTRIBUTIONS
+
+    allowed = SERVE_DISTRIBUTIONS[dist]
+    params = {}
+    if spec:
+        for pair in spec.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValueError(
+                    f"malformed --params entry {pair!r} (expected k=v)"
+                )
+            if key not in allowed:
+                raise ValueError(
+                    f"unknown parameter {key!r} for --dist {dist} "
+                    f"(takes {', '.join(allowed) or 'no parameters'})"
+                )
+            if dist == "integers":
+                params[key] = int(value, 0)
+            else:
+                params[key] = float(value)
+    if dist == "integers" and not ("lo" in params and "hi" in params):
+        raise ValueError("--dist integers requires --params lo=..,hi=..")
+    return params
 
 
 @contextlib.contextmanager
@@ -338,6 +398,27 @@ def _obs_session(args):
                 sys.stderr.write(obs.prometheus_text(registry))
 
 
+def _emit_variates(out, stream, dist: str, params: dict, n: int) -> None:
+    """Stream ``n`` typed variates to ``out`` in :data:`GENERATE_CHUNK`\\ s.
+
+    Chunking is invisible in the output: the samplers are stream-exact,
+    so any chunk size prints the same variate sequence.  Floats print as
+    ``%.17g`` (round-trip exact), integer dtypes as decimals.
+    """
+    written = 0
+    while written < n:
+        k = min(GENERATE_CHUNK, n - written)
+        values = stream.sample(dist, k, params)
+        if values.dtype.kind == "f":
+            lines = [f"{v:.17g}" for v in values]
+        else:
+            lines = [str(int(v)) for v in values]
+        out.write("\n".join(lines))
+        out.write("\n")
+        out.flush()
+        written += k
+
+
 def _cmd_generate_sharded(args) -> int:
     """``generate --shards N``: stream from a ShardedEngine pool."""
     from repro.engine import EngineConfig, ShardedEngine
@@ -350,6 +431,18 @@ def _cmd_generate_sharded(args) -> int:
     )
     out = sys.stdout
     with _obs_session(args), ShardedEngine(config) as engine:
+        if args.dist is not None:
+            from repro.dist import DistStream
+
+            def draw(n: int) -> np.ndarray:
+                words = np.empty(n, dtype=np.uint64)
+                engine.generate_into(words)
+                return words
+
+            _emit_variates(
+                out, DistStream(draw), args.dist, args.dist_params, args.n
+            )
+            return 0
         written = 0
         # One pooled buffer for the whole run: rounds are written into
         # it straight from the shard rings (no per-chunk arrays).
@@ -374,6 +467,17 @@ def _cmd_generate_sharded(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    args.dist_params = None
+    if args.dist is not None:
+        try:
+            args.dist_params = parse_dist_params(args.dist, args.params)
+        except ValueError as exc:
+            print(f"repro generate: error: {exc}", file=sys.stderr)
+            return 2
+    elif args.params is not None:
+        print("repro generate: error: --params requires --dist",
+              file=sys.stderr)
+        return 2
     if args.shards > 1:
         return _cmd_generate_sharded(args)
     with _obs_session(args) as session:
@@ -388,6 +492,14 @@ def _cmd_generate(args) -> int:
             )
         else:
             gen = HybridPRNG(seed=args.seed, num_threads=args.threads)
+        if args.dist is not None:
+            from repro.dist import DistStream
+
+            _emit_variates(
+                sys.stdout, DistStream(gen.u64_array),
+                args.dist, args.dist_params, args.n,
+            )
+            return 0
         # Stream in chunks through one pooled buffer: large -n must not
         # buffer the whole run in memory, output must flush as it goes,
         # and rounds are written straight into the pool (no per-chunk
@@ -675,12 +787,31 @@ def _cmd_fetch(args) -> int:
     from repro.serve.client import ConnectError, ServeClient
     from repro.serve.protocol import ServeError
 
+    params = {}
+    if args.dist is not None:
+        try:
+            params = parse_dist_params(args.dist, args.params)
+        except ValueError as exc:
+            print(f"repro fetch: error: {exc}", file=sys.stderr)
+            return 2
+    elif args.params is not None:
+        print("repro fetch: error: --params requires --dist",
+              file=sys.stderr)
+        return 2
     try:
         with ServeClient(
             args.host, args.port, session=args.session, retries=args.retries
         ) as client:
             if args.status:
                 print(json.dumps(client.status(), indent=2, sort_keys=True))
+                return 0
+            if args.dist is not None:
+                values = client.fetch_variates(args.dist, args.n, **params)
+                if values.dtype.kind == "f":
+                    lines = [f"{v:.17g}" for v in values]
+                else:
+                    lines = [str(int(v)) for v in values]
+                print("\n".join(lines))
                 return 0
             if args.format == "float":
                 lines = [f"{v:.17f}" for v in client.random(args.n)]

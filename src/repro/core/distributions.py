@@ -1,20 +1,42 @@
-"""Non-uniform distributions on top of the expander-walk PRNG.
+"""Non-uniform distributions on top of the expander-walk PRNG (legacy).
 
-The paper's applications consume uniforms directly; a downstream user of
-an RNG library also needs the classic derived distributions.  These are
-implemented against the abstract ``uniform(n)`` interface, so they work
-with :class:`~repro.baselines.hybrid_adapter.HybridPRNG`, any baseline
-generator, or any bit source.
+.. deprecated::
+    This module predates :mod:`repro.dist` and is kept as a set of thin
+    wrappers for existing callers.  New code should use
+    :class:`repro.dist.DistStream` (stream-exact, vectorized, with
+    ``*_into`` zero-copy variants) or the NumPy adapter
+    :class:`repro.dist.ExpanderBitGen`.
 
-All samplers are exact (no table approximations): Box-Muller for
-normals, inversion for exponential/geometric, and the standard rejection
-or counting constructions elsewhere.
+The Gaussian, exponential and shuffle paths now route through
+:mod:`repro.dist`, which fixes two long-standing defects of the original
+implementations:
+
+* ``normal`` was not fetch-split invariant -- it generated ``cos`` and
+  ``sin`` halves as separate blocks and discarded the surplus variate on
+  odd ``n``, so ``normal(4); normal(4) != normal(8)``.  It now consumes
+  the generator's 64-bit stream in atomic Box-Muller pairs with a
+  per-generator carry buffer: the variate sequence is a pure function of
+  the word sequence, however requests are sized.
+* ``shuffle`` computed each Fisher-Yates index as ``int(u * (i + 1))``
+  from a float multiply -- a biased map (and only 53 bits of the word
+  to begin with).  It now uses the unbiased Lemire bounded-integer path.
+
+The remaining samplers (geometric, poisson, binomial, choice_index)
+still consume the abstract ``uniform(n)`` interface; large-``lam``
+poisson inherits the fixed normal.
+
+State caveat: the buffered samplers attach a
+:class:`~repro.dist.DistStream` to the generator instance (attribute
+``_repro_dist_stream``).  Reseeding a generator in place does **not**
+reset that buffer -- construct a fresh generator (as every caller in
+this repo does) or delete the attribute.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.dist import DistStream
 from repro.utils.checks import check_positive, check_probability
 
 __all__ = [
@@ -33,25 +55,40 @@ def _uniform_nonzero(gen, n: int) -> np.ndarray:
     return 1.0 - gen.uniform(n)
 
 
+def _dist_stream(gen) -> DistStream:
+    """The generator's cached :class:`DistStream` (carry state lives there).
+
+    Keyed on the instance itself so repeated calls continue one
+    well-defined variate stream -- the fetch-split invariance contract.
+    """
+    ds = getattr(gen, "_repro_dist_stream", None)
+    if ds is None:
+        ds = DistStream(gen.u64_array)
+        try:
+            gen._repro_dist_stream = ds
+        except AttributeError:  # exotic gen without __dict__: stateless
+            pass
+    return ds
+
+
 def normal(gen, n: int, mean: float = 0.0, std: float = 1.0) -> np.ndarray:
-    """``n`` Gaussian samples via Box-Muller (two uniforms per pair)."""
+    """``n`` Gaussian samples (deprecated wrapper over ``repro.dist``).
+
+    Box-Muller in atomic pairs on the generator's 64-bit stream with a
+    carry buffer, so ``normal(gen, 4); normal(gen, 4)`` equals
+    ``normal(gen, 8)`` bit-for-bit.
+    """
     check_positive("n", n)
     if std < 0:
         raise ValueError(f"std must be non-negative, got {std}")
-    half = (n + 1) // 2
-    u1 = _uniform_nonzero(gen, half)
-    u2 = gen.uniform(half)
-    r = np.sqrt(-2.0 * np.log(u1))
-    theta = 2.0 * np.pi * u2
-    out = np.concatenate([r * np.cos(theta), r * np.sin(theta)])[:n]
-    return mean + std * out
+    return _dist_stream(gen).normal(n, mean=mean, std=std, method="boxmuller")
 
 
 def exponential(gen, n: int, rate: float = 1.0) -> np.ndarray:
-    """``n`` Exp(rate) samples by inversion."""
+    """``n`` Exp(rate) samples (deprecated wrapper over ``repro.dist``)."""
     check_positive("n", n)
     check_positive("rate", rate)
-    return -np.log(_uniform_nonzero(gen, n)) / rate
+    return _dist_stream(gen).exponential(n, rate=rate)
 
 
 def geometric(gen, n: int, p: float) -> np.ndarray:
@@ -104,15 +141,19 @@ def binomial(gen, n: int, trials: int, p: float) -> np.ndarray:
 
 
 def shuffle(gen, items: np.ndarray) -> np.ndarray:
-    """Fisher-Yates shuffle driven by the generator; returns a copy."""
+    """Fisher-Yates shuffle driven by the generator; returns a copy.
+
+    Each step's index is drawn through the unbiased Lemire bounded-
+    integer path of ``repro.dist`` (rejection, not float multiply), so
+    every permutation is exactly equally likely given uniform words.
+    """
     arr = np.array(items)
     n = arr.size
     if n <= 1:
         return arr
-    u = gen.uniform(n - 1)
+    ds = _dist_stream(gen)
     for i in range(n - 1, 0, -1):
-        j = int(u[n - 1 - i] * (i + 1))
-        j = min(j, i)
+        j = int(ds.integers(1, 0, i + 1)[0])
         arr[i], arr[j] = arr[j], arr[i]
     return arr
 

@@ -1,0 +1,45 @@
+"""repro.dist: stream-exact variates over the expander-walk word stream.
+
+The paper's PRNG emits uniform 64-bit words on demand; this package is
+the distributions layer that turns those words into the variates Monte
+Carlo consumers actually ask for -- without ever giving up the repo's
+stream contract.  Every sampler is **stream-exact**: the variate
+sequence is a pure function of the word sequence, so it is invariant to
+request sizing (``normal(4); normal(4) == normal(8)``, bit-for-bit) and
+byte-identical across every kernel variant that produces the same words
+(blocked/scalar x fused/unfused).
+
+Modules
+-------
+:mod:`repro.dist.tables`      ziggurat layer tables (derived at import,
+                              self-checked);
+:mod:`repro.dist.transforms`  stateless vectorized kernels (atomic
+                              fixed-word-cost attempts);
+:mod:`repro.dist.stream`      :class:`DistStream` -- the stateful
+                              sampler with per-distribution carry
+                              buffers and ``*_into`` zero-copy variants;
+:mod:`repro.dist.bitgen`      :class:`ExpanderBitGen`, the NumPy
+                              ``BitGenerator`` adapter (ctypes capsule,
+                              no compiled code), the pure-Python
+                              :class:`ExpanderGenerator` fallback, and
+                              :func:`expander_generator`.
+
+See ``docs/distributions.md`` for the sampler catalog and the
+stream-contract semantics, and ``docs/serving.md`` for the typed
+``VARIATE`` op that serves these over the wire.
+"""
+
+from repro.dist.bitgen import (
+    ExpanderBitGen,
+    ExpanderGenerator,
+    expander_generator,
+)
+from repro.dist.stream import SERVE_DISTRIBUTIONS, DistStream
+
+__all__ = [
+    "DistStream",
+    "ExpanderBitGen",
+    "ExpanderGenerator",
+    "SERVE_DISTRIBUTIONS",
+    "expander_generator",
+]

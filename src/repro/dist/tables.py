@@ -1,0 +1,103 @@
+"""Ziggurat tables for the standard normal, computed at import time.
+
+The classic Marsaglia--Tsang construction with ``N = 256`` layers: the
+area under the (unnormalized) half-normal density ``g(x) = exp(-x^2/2)``
+is covered by 255 stacked rectangles plus one base region (the widest
+rectangle joined with the entire tail beyond ``R``), every piece having
+the same area ``V``.  The published constants for 256 layers are
+
+    R = 3.6541528853610088   (the rightmost layer edge)
+    V = 0.00492867323399     (area per piece)
+
+and the layer edges follow from the recurrence
+``x_{i+1} = sqrt(-2 ln(V / x_i + g(x_i)))`` downward from ``x_1 = R``.
+
+Tables are derived here (deterministically, ~256 iterations of the
+recurrence) instead of pasted as 256-entry literals so the construction
+is reviewable; a self-check at import verifies the areas close to within
+float tolerance.
+
+Exports
+-------
+``ZIG_X``      widths ``x_0 .. x_256`` (``x_0`` is the *virtual* base
+               width ``V / g(R) > R``; ``x_256 = 0``);
+``ZIG_Y``      heights ``g(x_i)`` (``ZIG_Y[0] = 0`` as the base floor);
+``ZIG_RATIO``  ``x_{i+1} / x_i`` -- the no-wedge fast-accept threshold;
+``ZIG_R``      the tail edge ``R``;
+``ZIG_TAIL_SF`` the survival ``P(X > R)`` of the standard normal, used
+               by the exact inversion tail sampler in ``transforms``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtr
+
+__all__ = [
+    "ZIG_LAYERS",
+    "ZIG_R",
+    "ZIG_V",
+    "ZIG_X",
+    "ZIG_Y",
+    "ZIG_RATIO",
+    "ZIG_TAIL_SF",
+]
+
+#: Number of equal-area pieces (255 rectangles + the base/tail region).
+ZIG_LAYERS = 256
+
+#: Rightmost rectangle edge for 256 layers (Marsaglia & Tsang, 2000).
+ZIG_R = 3.6541528853610088
+
+#: Common area of each piece for 256 layers.
+ZIG_V = 0.00492867323399
+
+
+def _density(x: np.ndarray | float) -> np.ndarray | float:
+    """Unnormalized standard normal density ``exp(-x^2/2)``."""
+    return np.exp(-0.5 * np.square(x))
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x = np.zeros(ZIG_LAYERS + 1, dtype=np.float64)
+    x[1] = ZIG_R
+    # Virtual base width: the base piece (widest rectangle + whole tail)
+    # has area V, so treating it as a rectangle of height g(R) gives it
+    # an effective width V / g(R) > R.  Candidates past R fall to the
+    # tail sampler.
+    x[0] = ZIG_V / _density(ZIG_R)
+    for i in range(1, ZIG_LAYERS):
+        arg = ZIG_V / x[i] + _density(x[i])
+        # The topmost edge closes the stack at the mode: the recurrence
+        # argument crosses 1 exactly when the remaining area fits under
+        # the density cap, which the published (R, V) pair guarantees
+        # happens at i = N - 1 only.
+        x[i + 1] = np.sqrt(-2.0 * np.log(arg)) if arg < 1.0 else 0.0
+    y = _density(x)
+    y[0] = 0.0  # base floor sits on the axis
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(x[:-1] > 0, x[1:] / x[:-1], 0.0)
+    return x, y, ratio
+
+
+ZIG_X, ZIG_Y, ZIG_RATIO = _build_tables()
+
+#: Exact tail mass P(X > R); the tail sampler inverts within this slice.
+ZIG_TAIL_SF = float(1.0 - ndtr(ZIG_R))
+
+
+def _self_check() -> None:
+    # Every rectangle layer i = 1..N-1 must have area V ...
+    areas = ZIG_X[1:-1] * np.diff(ZIG_Y[1:])
+    if not np.allclose(areas, ZIG_V, rtol=1e-9):
+        raise AssertionError("ziggurat rectangle areas do not close to V")
+    # ... the base region (rect to R + exact tail mass) as well ...
+    base = ZIG_R * _density(ZIG_R) + ZIG_TAIL_SF * np.sqrt(2.0 * np.pi)
+    if abs(base - ZIG_V) > 1e-7:
+        raise AssertionError("ziggurat base + tail area does not close to V")
+    # ... and the stack must terminate exactly at the mode.
+    if ZIG_X[ZIG_LAYERS] != 0.0 or ZIG_X[ZIG_LAYERS - 1] <= 0.0:
+        raise AssertionError("ziggurat edge recurrence did not terminate")
+
+
+_self_check()

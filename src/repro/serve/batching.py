@@ -106,11 +106,18 @@ class TokenBucket:
 
 @dataclass
 class BatchRequest:
-    """One FETCH in flight: which stream, how many, where the answer goes."""
+    """One FETCH or VARIATE in flight: stream, size, typed-or-raw, sink.
+
+    ``dist is None`` is a raw word fetch resolving to a uint64 array;
+    otherwise the request resolves to the session's
+    ``(values, words_served_after)`` variate tuple.
+    """
 
     session: SessionStream
     count: int
-    future: "asyncio.Future[np.ndarray]"
+    future: "asyncio.Future"
+    dist: Optional[str] = None
+    params: Optional[dict] = None
     enqueued_at: float = field(default_factory=time.monotonic)
 
 
@@ -204,13 +211,25 @@ class BatchingExecutor:
     # ------------------------------------------------------------------
 
     def try_submit(
-        self, session: SessionStream, count: int
-    ) -> Optional["asyncio.Future[np.ndarray]"]:
-        """Enqueue a request, or return ``None`` when the queue is full."""
+        self,
+        session: SessionStream,
+        count: int,
+        dist: Optional[str] = None,
+        params: Optional[dict] = None,
+    ) -> Optional["asyncio.Future"]:
+        """Enqueue a request, or return ``None`` when the queue is full.
+
+        ``dist`` switches the request to the typed-variate path; raw
+        word fetches and variate ops share the queue, the coalescing
+        window, and the worker pool (one backpressure story for both).
+        """
         if self._queue is None or self._loop is None or self._closing:
             raise ServeError("executor is not running")
-        future: "asyncio.Future[np.ndarray]" = self._loop.create_future()
-        req = BatchRequest(session=session, count=count, future=future)
+        future: "asyncio.Future" = self._loop.create_future()
+        req = BatchRequest(
+            session=session, count=count, future=future,
+            dist=dist, params=params,
+        )
         try:
             self._queue.put_nowait(req)
         except asyncio.QueueFull:
@@ -276,7 +295,12 @@ class BatchingExecutor:
                     # Client is gone; don't advance its stream for nothing.
                     continue
                 try:
-                    values = req.session.generate(req.count)
+                    if req.dist is None:
+                        values = req.session.generate(req.count)
+                    else:
+                        values = req.session.variates(
+                            req.dist, req.count, req.params
+                        )
                 except BaseException as exc:  # noqa: BLE001 - worker boundary
                     loop.call_soon_threadsafe(_resolve, req.future, None, exc)
                     continue

@@ -90,6 +90,17 @@ def _handle_response(opcode: int, payload: bytes) -> np.ndarray:
     raise proto.ProtocolError(f"unexpected response opcode {opcode:#x}")
 
 
+def _handle_variates(opcode: int, payload: bytes, dtype):
+    """Map a VARIATE response frame to ``(dist, words, values)`` or raise."""
+    if opcode == proto.OP_VARIATES:
+        return proto.decode_variates(payload, dtype=dtype)
+    if opcode == proto.OP_BUSY:
+        raise proto.ServerBusyError(payload.decode("utf-8", "replace"))
+    if opcode == proto.OP_ERROR:
+        raise proto.ServeError(payload.decode("utf-8", "replace"))
+    raise proto.ProtocolError(f"unexpected response opcode {opcode:#x}")
+
+
 def _expect_json(opcode: int, payload: bytes) -> dict:
     if opcode == proto.OP_ERROR:
         raise proto.ServeError(payload.decode("utf-8", "replace"))
@@ -171,6 +182,38 @@ class ServeClient:
                     *self._roundtrip(proto.pack_fetch(n))
                 )
                 self.words_received += len(values)
+                return values
+            except proto.ServerBusyError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(
+                    _backoff_delay(self.backoff_s, self.backoff_cap_s,
+                                   attempt)
+                )
+                attempt += 1
+
+    def fetch_variates(
+        self, dist: str, n: int, **params
+    ) -> np.ndarray:
+        """``n`` typed variates off this session's word stream.
+
+        ``dist`` is one of ``uniform01``, ``normal(mean=, std=)``,
+        ``exponential(rate=)`` or ``integers(lo=, hi=)``.  The response
+        carries the session's absolute *word* offset after the op and
+        :attr:`words_received` tracks it, so :meth:`resume` after a
+        crash lands on the word boundary the server will regenerate
+        from -- mixing raw ``fetch`` and typed ``fetch_variates`` on one
+        session keeps a single consistent resume coordinate.
+        """
+        dtype = proto.variate_values_dtype(dist, params)
+        frame = proto.pack_variate(dist, n, params)
+        attempt = 0
+        while True:
+            try:
+                _, words, values = _handle_variates(
+                    *self._roundtrip(frame), dtype=dtype
+                )
+                self.words_received = words
                 return values
             except proto.ServerBusyError:
                 if attempt >= self.retries:
@@ -299,6 +342,27 @@ class AsyncServeClient:
                     *await self._roundtrip(proto.pack_fetch(n))
                 )
                 self.words_received += len(values)
+                return values
+            except proto.ServerBusyError:
+                if attempt >= self.retries:
+                    raise
+                await asyncio.sleep(
+                    _backoff_delay(self.backoff_s, self.backoff_cap_s,
+                                   attempt)
+                )
+                attempt += 1
+
+    async def fetch_variates(self, dist: str, n: int, **params) -> np.ndarray:
+        """Async counterpart of :meth:`ServeClient.fetch_variates`."""
+        dtype = proto.variate_values_dtype(dist, params)
+        frame = proto.pack_variate(dist, n, params)
+        attempt = 0
+        while True:
+            try:
+                _, words, values = _handle_variates(
+                    *await self._roundtrip(frame), dtype=dtype
+                )
+                self.words_received = words
                 return values
             except proto.ServerBusyError:
                 if attempt >= self.retries:

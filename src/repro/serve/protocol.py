@@ -13,6 +13,9 @@ NumPy ``uint64`` array with one ``frombuffer`` call.
 Request opcodes
     ``HELLO``   utf-8 session id (establishes / resumes a stream);
     ``FETCH``   u32 BE count of 64-bit numbers wanted;
+    ``VARIATE`` u8 distribution id + u32 BE count + fixed-width BE
+                parameters -- typed variates from the session's *word*
+                stream (see "Typed variates" below);
     ``RESUME``  u64 BE word offset + utf-8 session id -- establish the
                 session *and* seek its stream to the offset (the
                 exactly-once reconnect primitive: a client resumes at
@@ -22,9 +25,28 @@ Request opcodes
 
 Response opcodes
     ``VALUES``  raw big-endian u64 words (the numbers);
+    ``VARIATES`` u8 distribution id + u64 BE *word offset after the op*
+                + raw big-endian 8-byte values (f64 for the float
+                distributions, i64/u64 for ``integers``);
     ``BUSY``    utf-8 reason -- explicit backpressure, retry later;
     ``ERROR``   utf-8 message -- the request was invalid;
     ``JSON``    utf-8 JSON document (HELLO ack, STATUS body, BYE ack).
+
+Typed variates
+    A ``VARIATE`` request names one of :data:`DIST_IDS` --
+    ``uniform01`` (no parameters), ``normal`` (mean, std as f64),
+    ``exponential`` (rate as f64) or ``integers`` (a signedness flag,
+    the low bound as a raw u64, and the span with 0 meaning ``2**64``).
+    Crucially, the session journals and resumes by **words consumed**,
+    not variates emitted: rejection sampling makes the words-per-variate
+    ratio data-dependent, so the only well-defined replay coordinate is
+    the underlying word stream.  Every ``VARIATES`` response therefore
+    carries the session's absolute word offset *after* the op; a client
+    that reconnects ``RESUME``\\ s at that word offset and re-requests,
+    and the served distributions are all zero-carry (see
+    :data:`repro.dist.SERVE_DISTRIBUTIONS`), so the continuation is
+    byte-identical -- forward replay, never a seek backwards through a
+    variate count.
 
 A connection whose **first byte is ``{``** switches to the JSON-lines
 debug mode instead: one JSON object per line (``{"op": "fetch",
@@ -42,7 +64,7 @@ import json
 import socket
 import struct
 import sys
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -52,10 +74,14 @@ __all__ = [
     "OP_STATUS",
     "OP_BYE",
     "OP_RESUME",
+    "OP_VARIATE",
     "OP_VALUES",
     "OP_BUSY",
     "OP_ERROR",
     "OP_JSON",
+    "OP_VARIATES",
+    "DIST_IDS",
+    "DIST_NAMES",
     "MAX_FRAME_BYTES",
     "MAX_FETCH_COUNT",
     "MAX_SESSION_ID_BYTES",
@@ -68,10 +94,16 @@ __all__ = [
     "pack_hello",
     "pack_resume",
     "unpack_resume",
+    "pack_variate",
+    "unpack_variate",
+    "variate_values_dtype",
     "frame_header",
     "encode_values",
     "values_payload",
+    "variates_payload",
+    "variates_prefix",
     "decode_values",
+    "decode_variates",
     "read_frame",
     "read_frame_socket",
     "decode_json_payload",
@@ -84,12 +116,19 @@ OP_FETCH = 0x02
 OP_STATUS = 0x03
 OP_BYE = 0x04
 OP_RESUME = 0x05
+OP_VARIATE = 0x06
 
 # Response opcodes (server -> client).
 OP_VALUES = 0x81
 OP_BUSY = 0x82
 OP_ERROR = 0x83
 OP_JSON = 0x84
+OP_VARIATES = 0x85
+
+#: Wire ids of the served distributions (never renumber: they are wire
+#: format).  Matches :data:`repro.dist.SERVE_DISTRIBUTIONS`.
+DIST_IDS = {"uniform01": 1, "normal": 2, "exponential": 3, "integers": 4}
+DIST_NAMES = {v: k for k, v in DIST_IDS.items()}
 
 #: Hard cap on a frame, both directions (16 MiB covers a 2M-number fetch).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -185,6 +224,163 @@ def pack_fetch(count: int) -> bytes:
             f"fetch count must be in [1, {MAX_FETCH_COUNT}], got {count}"
         )
     return pack_frame(OP_FETCH, _U32.pack(count))
+
+
+# -- typed variates -----------------------------------------------------
+
+_DIST_U8 = struct.Struct("!B")
+_NORMAL_PARAMS = struct.Struct("!dd")        # mean, std
+_EXP_PARAMS = struct.Struct("!d")            # rate
+_INT_PARAMS = struct.Struct("!BQQ")          # signed flag, lo raw, span
+_VARIATE_HEAD = struct.Struct("!BI")         # dist id, count
+_VARIATES_PREFIX = struct.Struct("!BQ")      # dist id, word offset after op
+
+
+def _pack_dist_params(dist: str, params: dict) -> bytes:
+    if dist == "uniform01":
+        return b""
+    if dist == "normal":
+        return _NORMAL_PARAMS.pack(
+            float(params.get("mean", 0.0)), float(params.get("std", 1.0))
+        )
+    if dist == "exponential":
+        return _EXP_PARAMS.pack(float(params.get("rate", 1.0)))
+    # integers: lo may live anywhere in [-2**63, 2**64) and hi - lo may
+    # be the full 2**64, so the wire carries (signed?, lo mod 2**64,
+    # span mod 2**64) -- span 0 encodes 2**64.
+    lo = int(params.get("lo", 0))
+    hi = int(params.get("hi", 2**63))
+    span = hi - lo
+    if not 1 <= span <= 2**64:
+        raise ProtocolError(f"integers range [{lo}, {hi}) is empty or > 2**64")
+    if not -(2**63) <= lo < 2**64:
+        raise ProtocolError(f"integers low bound {lo} not representable")
+    return _INT_PARAMS.pack(
+        1 if lo < 0 else 0, lo & (2**64 - 1), span & (2**64 - 1)
+    )
+
+
+def _unpack_dist_params(dist: str, raw: bytes) -> dict:
+    try:
+        if dist == "uniform01":
+            if raw:
+                raise ProtocolError("uniform01 takes no parameters")
+            return {}
+        if dist == "normal":
+            mean, std = _NORMAL_PARAMS.unpack(raw)
+            return {"mean": mean, "std": std}
+        if dist == "exponential":
+            (rate,) = _EXP_PARAMS.unpack(raw)
+            return {"rate": rate}
+        negative, lo_raw, span_raw = _INT_PARAMS.unpack(raw)
+        lo = lo_raw - 2**64 if negative else lo_raw
+        span = span_raw or 2**64
+        return {"lo": lo, "hi": lo + span}
+    except struct.error as exc:
+        raise ProtocolError(f"bad {dist} parameter block: {exc}") from exc
+
+
+def pack_variate(dist: str, count: int, params: Optional[dict] = None) -> bytes:
+    """VARIATE frame: distribution id + count + typed parameters."""
+    if dist not in DIST_IDS:
+        raise ProtocolError(
+            f"unknown distribution {dist!r}; choose from {sorted(DIST_IDS)}"
+        )
+    if not 1 <= count <= MAX_FETCH_COUNT:
+        raise ProtocolError(
+            f"variate count must be in [1, {MAX_FETCH_COUNT}], got {count}"
+        )
+    return pack_frame(
+        OP_VARIATE,
+        _VARIATE_HEAD.pack(DIST_IDS[dist], count)
+        + _pack_dist_params(dist, params or {}),
+    )
+
+
+def unpack_variate(payload: bytes) -> Tuple[str, int, dict]:
+    """VARIATE payload -> ``(dist_name, count, params)``."""
+    if len(payload) < _VARIATE_HEAD.size:
+        raise ProtocolError("VARIATE payload too short")
+    dist_id, count = _VARIATE_HEAD.unpack(payload[:_VARIATE_HEAD.size])
+    dist = DIST_NAMES.get(dist_id)
+    if dist is None:
+        raise ProtocolError(f"unknown distribution id {dist_id}")
+    if not 1 <= count <= MAX_FETCH_COUNT:
+        raise ProtocolError(f"variate count out of range: {count}")
+    params = _unpack_dist_params(dist, payload[_VARIATE_HEAD.size:])
+    return dist, count, params
+
+
+def variate_values_dtype(dist: str, params: Optional[dict] = None) -> np.dtype:
+    """Client-side dtype of a VARIATES payload for ``dist``.
+
+    Floats for the continuous distributions; for ``integers`` the same
+    int64/uint64 rule the samplers use (unsigned only when the range
+    needs it).
+    """
+    if dist != "integers":
+        return np.dtype(np.float64)
+    params = params or {}
+    hi = int(params.get("hi", 2**63))
+    lo = int(params.get("lo", 0))
+    return np.dtype(np.uint64) if (lo >= 0 and hi > 2**63) else np.dtype(np.int64)
+
+
+def variates_prefix(dist: str, words_consumed: int) -> bytes:
+    """The 9-byte VARIATES payload prefix (dist id + word offset)."""
+    if dist not in DIST_IDS:
+        raise ProtocolError(f"unknown distribution {dist!r}")
+    if not 0 <= words_consumed < 2**64:
+        raise ProtocolError(f"word offset must be a u64, got {words_consumed}")
+    return _VARIATES_PREFIX.pack(DIST_IDS[dist], words_consumed)
+
+
+def variates_payload(values: np.ndarray) -> memoryview:
+    """Typed values -> big-endian wire bytes, zero-copy when possible.
+
+    Same in-place byteswap contract as :func:`values_payload`, extended
+    to the 8-byte dtypes a VARIATES response can carry (f64, i64, u64).
+    **Consumes the array** -- the caller must own it.
+    """
+    if (
+        isinstance(values, np.ndarray)
+        and values.dtype in (np.float64, np.int64, np.uint64)
+        and values.ndim == 1
+        and values.flags.c_contiguous
+        and values.flags.writeable
+    ):
+        if sys.byteorder == "little":
+            values.byteswap(inplace=True)
+        return values.data.cast("B")
+    arr = np.ascontiguousarray(values)
+    return memoryview(arr.astype(arr.dtype.newbyteorder(">")).tobytes())
+
+
+def decode_variates(
+    payload: bytes, dtype: Optional[np.dtype] = None
+) -> Tuple[str, int, np.ndarray]:
+    """VARIATES payload -> ``(dist_name, word_offset, values)``.
+
+    ``dtype`` overrides the value dtype (a client that requested an
+    unsigned ``integers`` range passes uint64); by default float
+    distributions decode as float64 and ``integers`` as int64.
+    """
+    if len(payload) < _VARIATES_PREFIX.size:
+        raise ProtocolError("VARIATES payload too short")
+    dist_id, words = _VARIATES_PREFIX.unpack(payload[:_VARIATES_PREFIX.size])
+    dist = DIST_NAMES.get(dist_id)
+    if dist is None:
+        raise ProtocolError(f"unknown distribution id {dist_id}")
+    body = payload[_VARIATES_PREFIX.size:]
+    if len(body) % 8:
+        raise ProtocolError(
+            f"VARIATES payload not a multiple of 8 bytes: {len(body)}"
+        )
+    if dtype is None:
+        dtype = variate_values_dtype(dist)
+    dtype = np.dtype(dtype)
+    values = np.frombuffer(body, dtype=dtype.newbyteorder(">")).astype(dtype)
+    return dist, words, values
 
 
 def frame_header(opcode: int, payload_len: int) -> bytes:

@@ -435,8 +435,20 @@ class RNGServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _fetch(self, session: Optional[_ServedSession], count: int):
-        """Shared FETCH semantics; ``(values, busy_reason)`` or raises."""
+    async def _fetch(
+        self,
+        session: Optional[_ServedSession],
+        count: int,
+        dist: Optional[str] = None,
+        params: Optional[dict] = None,
+    ):
+        """Shared FETCH/VARIATE semantics; ``(result, busy_reason)``.
+
+        ``dist is None`` serves raw words (result: uint64 array);
+        otherwise typed variates (result: ``(values, word_offset)``).
+        Both paths share the rate bucket (charged per value), the
+        session in-flight cap, and the global queue.
+        """
         if session is None:
             raise proto.SessionRequiredError("FETCH before HELLO")
         if not 1 <= count <= self.config.max_fetch:
@@ -455,7 +467,9 @@ class RNGServer:
         elif session.inflight >= self.config.max_session_queue:
             busy_reason = "session queue full"
         else:
-            future = self.executor.try_submit(session.stream, count)
+            future = self.executor.try_submit(
+                session.stream, count, dist=dist, params=params
+            )
             if future is None:
                 busy_reason = "server queue full"
         if busy_reason is not None:
@@ -466,14 +480,19 @@ class RNGServer:
             return None, busy_reason
         session.inflight += 1
         try:
-            values = await future
+            result = await future
         finally:
             session.inflight -= 1
-        self.numbers_total += len(values)
+        served = len(result) if dist is None else len(result[0])
+        self.numbers_total += served
         obs_metrics.counter(
             "repro_serve_numbers_total", "Numbers served to clients"
-        ).inc(len(values))
-        return values, None
+        ).inc(served)
+        if dist is not None:
+            obs_metrics.counter(
+                "repro_serve_variates_total", "Typed variates served"
+            ).inc(served)
+        return result, None
 
     def _record_error(self) -> None:
         self.errors_total += 1
@@ -570,6 +589,41 @@ class RNGServer:
                         # and a RESUME at the client's own offset
                         # closes even that gap.
                         self._journal_ack(session)
+                elif opcode == proto.OP_VARIATE:
+                    try:
+                        dist, count, params = proto.unpack_variate(payload)
+                        result, busy = await self._fetch(
+                            session, count, dist=dist, params=params
+                        )
+                    except (proto.SessionRequiredError,
+                            proto.ProtocolError) as exc:
+                        await self._send(
+                            writer, proto.OP_ERROR, str(exc).encode("utf-8")
+                        )
+                        continue
+                    except ValueError as exc:  # bad sampler parameters
+                        await self._send(
+                            writer, proto.OP_ERROR, str(exc).encode("utf-8")
+                        )
+                        continue
+                    except Exception as exc:  # degraded/failed feed et al.
+                        self._record_error()
+                        await self._send(
+                            writer, proto.OP_ERROR,
+                            f"{type(exc).__name__}: {exc}".encode("utf-8"),
+                        )
+                        continue
+                    if busy is not None:
+                        await self._send(
+                            writer, proto.OP_BUSY, busy.encode("utf-8")
+                        )
+                    else:
+                        values, words = result
+                        await self._send_variates(writer, dist, words, values)
+                        # Word-offset ack, post-send, exactly like FETCH:
+                        # the journal format does not know (or need to
+                        # know) that this delivery was typed.
+                        self._journal_ack(session)
                 elif opcode == proto.OP_RESUME:
                     try:
                         session_id, offset = proto.unpack_resume(payload)
@@ -629,6 +683,24 @@ class RNGServer:
         """
         payload = proto.values_payload(values)
         writer.write(proto.frame_header(proto.OP_VALUES, payload.nbytes))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _send_variates(
+        self, writer: asyncio.StreamWriter, dist: str, words: int, values
+    ) -> None:
+        """Frame a VARIATES response; same zero-copy path as VALUES.
+
+        Three buffers -- frame header, the 9-byte typed prefix (dist id
+        + the session's word offset after the op), and the in-place
+        byte-swapped value array.
+        """
+        prefix = proto.variates_prefix(dist, words)
+        payload = proto.variates_payload(values)
+        writer.write(proto.frame_header(
+            proto.OP_VARIATES, len(prefix) + payload.nbytes
+        ))
+        writer.write(prefix)
         writer.write(payload)
         await writer.drain()
 
@@ -702,6 +774,50 @@ class RNGServer:
                             "ok": True,
                             "op": "fetch",
                             "values": [int(v) for v in values],
+                        })
+                        self._journal_ack(session)
+                elif op == "variate":
+                    try:
+                        dist = str(msg.get("dist", ""))
+                        count = int(msg.get("n", 0))
+                        if dist not in proto.DIST_IDS:
+                            raise proto.ProtocolError(
+                                f"unknown distribution {dist!r}"
+                            )
+                        raw_params = msg.get("params", {})
+                        if not isinstance(raw_params, dict):
+                            raise proto.ProtocolError(
+                                "params must be an object"
+                            )
+                        result, busy = await self._fetch(
+                            session, count, dist=dist, params=raw_params
+                        )
+                    except (proto.ServeError, ValueError) as exc:
+                        await reply({"ok": False, "error": str(exc)})
+                        continue
+                    except Exception as exc:
+                        self._record_error()
+                        await reply({
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        })
+                        continue
+                    if busy is not None:
+                        await reply(
+                            {"ok": False, "busy": True, "reason": busy}
+                        )
+                    else:
+                        values, words = result
+                        await reply({
+                            "ok": True,
+                            "op": "variate",
+                            "dist": dist,
+                            "words": words,
+                            "values": [
+                                float(v) if values.dtype.kind == "f"
+                                else int(v)
+                                for v in values
+                            ],
                         })
                         self._journal_ack(session)
                 elif op == "resume":

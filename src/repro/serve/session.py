@@ -39,6 +39,7 @@ from repro.bitsource.counter import SplitMix64Source
 from repro.bitsource.os_entropy import OsEntropySource
 from repro.core.parallel import AddressableExpanderPRNG
 from repro.core.streams import derive_seed
+from repro.dist import DistStream
 from repro.resilience.supervised import FeedHealth, RetryPolicy, SupervisedFeed
 
 __all__ = [
@@ -156,6 +157,41 @@ class SessionStream:
         self.lock = threading.Lock()
         self.words_served = 0
         self.requests = 0
+        self.variates_served = 0
+        # Typed variates ride the *same* word stream: the DistStream
+        # draws through _draw_words_locked, so raw FETCHes and VARIATE
+        # ops advance one shared word position and words_served stays
+        # the single resume coordinate for both.
+        self.dist = DistStream(self._draw_words_locked)
+
+    def _draw_words_locked(self, n: int) -> np.ndarray:
+        """The next ``n`` words; the caller must hold :attr:`lock`.
+
+        One code path for every op type: engine or in-process bank,
+        sentinel tap, word accounting.  ``words_served`` is a *word*
+        offset -- the only replay-safe coordinate once rejection
+        samplers make words-per-variate data-dependent.
+        """
+        if self.engine is not None:
+            # The session's own position is the source of truth:
+            # shipping it as an absolute offset makes every fetch
+            # exact even across engine worker restarts and seeks.
+            out = self.engine.fetch_stream(
+                self.seed, self.lanes, n, offset=self.words_served
+            )
+        else:
+            # Fresh per-request buffer filled in place: the caller
+            # owns it outright (the serve framing path byte-swaps
+            # it in place for the wire).
+            out = np.empty(n, dtype=np.uint64)
+            self.prng.generate_into(out)
+        # The sentinel looks *before* the framing path byte-swaps
+        # the buffer; it copies what it samples and never mutates,
+        # so served values are unaffected.
+        if self.sentinel is not None:
+            self.sentinel.observe(out)
+        self.words_served += n
+        return out
 
     def generate(self, n: int) -> np.ndarray:
         """The next ``n`` numbers of this session's stream (thread-safe).
@@ -170,27 +206,26 @@ class SessionStream:
         if n < 0:
             raise ValueError(f"count must be non-negative, got {n}")
         with self.lock:
-            if self.engine is not None:
-                # The session's own position is the source of truth:
-                # shipping it as an absolute offset makes every fetch
-                # exact even across engine worker restarts and seeks.
-                out = self.engine.fetch_stream(
-                    self.seed, self.lanes, n, offset=self.words_served
-                )
-            else:
-                # Fresh per-request buffer filled in place: the caller
-                # owns it outright (the serve framing path byte-swaps
-                # it in place for the wire).
-                out = np.empty(n, dtype=np.uint64)
-                self.prng.generate_into(out)
-            # The sentinel looks *before* the framing path byte-swaps
-            # the buffer; it copies what it samples and never mutates,
-            # so served values are unaffected.
-            if self.sentinel is not None:
-                self.sentinel.observe(out)
-            self.words_served += n
+            out = self._draw_words_locked(n)
             self.requests += 1
             return out
+
+    def variates(self, dist: str, n: int, params=None):
+        """``n`` typed variates off this session's word stream.
+
+        Returns ``(values, words_served_after)``.  Only the zero-carry
+        samplers in :data:`repro.dist.SERVE_DISTRIBUTIONS` are
+        reachable, so after every op the stream holds no buffered
+        variates and the returned word offset is a clean resume
+        boundary: a client that reconnects ``RESUME``\\ s there and
+        re-requests, and the continuation is byte-identical (the journal
+        keeps recording plain word-offset acks -- no new record types).
+        """
+        with self.lock:
+            values = self.dist.sample(dist, n, params)
+            self.requests += 1
+            self.variates_served += len(values)
+            return values, self.words_served
 
     def seek(self, word_offset: int) -> None:
         """Reposition the stream at an absolute word offset (thread-safe).
@@ -212,6 +247,9 @@ class SessionStream:
             # Engine-backed sessions ship absolute offsets per fetch, so
             # updating the position is all a seek needs to do there.
             self.words_served = word_offset
+            # Served samplers are zero-carry so this is belt-and-braces,
+            # but any buffered variate describes the pre-seek stream.
+            self.dist.reset_carry()
 
     @property
     def feed_health(self) -> str:
@@ -245,6 +283,7 @@ class SessionStream:
             "stream_index": self.index,
             "requests": self.requests,
             "words_served": self.words_served,
+            "variates_served": self.variates_served,
             "health": self.health,
             "feed_health": self.feed_health,
             "active_source": active,

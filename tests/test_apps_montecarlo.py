@@ -1,0 +1,160 @@
+"""Tests for the Monte Carlo apps: pi estimation and the per-pencil GRF.
+
+These pin the determinism properties the apps exist to demonstrate:
+chunk- and schedule-invariance for pi, pencil-key stability and
+oversampling invariance for the Gaussian random field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.montecarlo import (
+    estimate_pi,
+    gaussian_field_modes,
+    pencil_modes,
+    pencil_seed,
+    realize_field,
+)
+from repro.apps.montecarlo.pi import stream_hits
+
+
+class TestPi:
+    def test_estimate_converges(self):
+        result = estimate_pi(200_000, master_seed=7, substreams=4)
+        assert result.error < 0.02
+        assert result.points == 200_000
+        assert sum(result.per_stream_points) == 200_000
+        assert sum(result.per_stream_hits) == result.hits
+
+    def test_chunk_invariance(self):
+        """A substream's hit count cannot depend on draw chunking."""
+        a = stream_hits(7, 0, 50_000, chunk=50_000)
+        b = stream_hits(7, 0, 50_000, chunk=777)
+        c = stream_hits(7, 0, 50_000, chunk=1)
+        assert a == b == c
+
+    def test_schedule_invariance(self):
+        """Substreams are pure functions of (seed, index): computing
+        them in any order -- here reversed -- changes nothing."""
+        forward = [stream_hits(7, i, 10_000) for i in range(4)]
+        backward = [stream_hits(7, i, 10_000) for i in reversed(range(4))]
+        assert forward == list(reversed(backward))
+
+    def test_deterministic_end_to_end(self):
+        r1 = estimate_pi(40_000, master_seed=3, substreams=5)
+        r2 = estimate_pi(40_000, master_seed=3, substreams=5)
+        assert r1.hits == r2.hits
+        assert r1.per_stream_hits == r2.per_stream_hits
+
+    def test_substreams_are_independent(self):
+        hits = [stream_hits(3, i, 10_000) for i in range(6)]
+        assert len(set(hits)) > 1  # not all identical
+
+    def test_uneven_split_covers_every_point(self):
+        result = estimate_pi(10_007, master_seed=1, substreams=4)
+        assert sum(result.per_stream_points) == 10_007
+        assert max(result.per_stream_points) - min(
+            result.per_stream_points
+        ) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_pi(0)
+        with pytest.raises(ValueError):
+            estimate_pi(100, substreams=0)
+        with pytest.raises(ValueError):
+            stream_hits(1, 0, 100, chunk=0)
+
+
+class TestPencils:
+    def test_prefix_stability(self):
+        """A longer pencil extends a shorter one bit-for-bit: mode kx
+        always consumes variates 2kx, 2kx+1 of its pencil stream."""
+        short = pencil_modes(7, 3, 9)
+        long = pencil_modes(7, 3, 17)
+        np.testing.assert_array_equal(
+            short.view(np.float64), long[:9].view(np.float64)
+        )
+
+    def test_key_is_the_signed_frequency(self):
+        assert pencil_seed(7, 3) != pencil_seed(7, -3)
+        assert pencil_seed(7, 0) != pencil_seed(8, 0)
+        a = pencil_modes(7, -5, 8)
+        b = pencil_modes(7, -5, 8)
+        np.testing.assert_array_equal(
+            a.view(np.float64), b.view(np.float64)
+        )
+
+    def test_unit_variance_complex_modes(self):
+        z = pencil_modes(11, 2, 50_000)
+        assert np.mean(np.abs(z) ** 2) == pytest.approx(1.0, abs=0.02)
+        assert abs(z.real.mean()) < 0.01 and abs(z.imag.mean()) < 0.01
+
+
+class TestFieldModes:
+    def test_oversampling_invariance(self):
+        """The zeldovich-PLT property: the 32-grid reproduces every
+        strict-interior mode of the 16-grid bit-for-bit."""
+        n, m = 16, 32
+        small = gaussian_field_modes(n, master_seed=7)
+        big = gaussian_field_modes(m, master_seed=7)
+        checked = 0
+        for r in range(n):
+            ky = r if r <= n // 2 else r - n
+            if abs(ky) >= n // 2:
+                continue  # the coarse grid's own Nyquist pencil
+            rb = ky if ky >= 0 else ky + m
+            np.testing.assert_array_equal(
+                small[r, : n // 2].view(np.float64),
+                big[rb, : n // 2].view(np.float64),
+            )
+            checked += 1
+        assert checked == n - 1
+
+    def test_hermitian_symmetry_gives_real_fields(self):
+        modes = gaussian_field_modes(16, master_seed=7)
+        half = 8
+        for col in (0, half):
+            for r in range(1, half):
+                assert modes[16 - r, col] == np.conj(modes[r, col])
+            for r in (0, half):
+                assert modes[r, col].imag == 0.0
+        # Round-trip: the realized field is exactly the real transform.
+        field = np.fft.irfft2(modes, s=(16, 16))
+        back = np.fft.fft2(field)
+        assert float(np.abs(back.imag[0, 0])) < 1e-12
+
+    def test_odd_grid_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_field_modes(15)
+
+    def test_deterministic(self):
+        a = gaussian_field_modes(8, master_seed=5)
+        b = gaussian_field_modes(8, master_seed=5)
+        np.testing.assert_array_equal(
+            a.view(np.float64), b.view(np.float64)
+        )
+
+
+class TestRealizeField:
+    def test_shape_dtype_and_zero_mean(self):
+        field = realize_field(32, master_seed=7)
+        assert field.shape == (32, 32) and field.dtype == np.float64
+        # P(0) = 0: the DC mode is zeroed, so the field mean is ~0.
+        assert abs(field.mean()) < 1e-12
+
+    def test_custom_power_spectrum(self):
+        flat = realize_field(16, master_seed=7, power=lambda k: k * 0 + 1.0)
+        def steep_power(k):
+            p = np.zeros_like(k)
+            np.divide(1.0, k**4, out=p, where=k > 0)
+            return p
+
+        steep = realize_field(16, master_seed=7, power=steep_power)
+        assert flat.std() > 0 and steep.std() > 0
+        assert not np.array_equal(flat, steep)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            realize_field(16, master_seed=9), realize_field(16, master_seed=9)
+        )

@@ -306,3 +306,101 @@ class TestQuality:
         out = capsys.readouterr().out
         assert "SmallCrush" in out
         assert rc in (0, 1)
+
+
+class TestGenerateDist:
+    """``generate --dist``: typed variates from the CLI."""
+
+    def test_normal_output(self, capsys):
+        rc = main(["generate", "-n", "5", "--dist", "normal",
+                   "--params", "mean=1,std=2", "--threads", "64"])
+        assert rc == 0
+        vals = [float(v) for v in capsys.readouterr().out.split()]
+        assert len(vals) == 5 and all(np.isfinite(vals))
+
+    def test_integers_output_and_bounds(self, capsys):
+        rc = main(["generate", "-n", "50", "--dist", "integers",
+                   "--params", "lo=-5,hi=5", "--threads", "64"])
+        assert rc == 0
+        vals = [int(v) for v in capsys.readouterr().out.split()]
+        assert all(-5 <= v < 5 for v in vals)
+
+    def test_matches_dist_stream(self, capsys):
+        """The CLI emits exactly DistStream's variates for that word
+        stream (printed %.17g, which round-trips float64)."""
+        from repro.baselines.hybrid_adapter import HybridPRNG
+        from repro.dist import DistStream
+
+        main(["generate", "-n", "7", "--dist", "uniform01",
+              "--seed", "5", "--threads", "64"])
+        got = np.array([float(v) for v in capsys.readouterr().out.split()])
+        want = DistStream(
+            HybridPRNG(seed=5, num_threads=64).u64_array
+        ).uniform01(7)
+        np.testing.assert_array_equal(
+            got.view(np.uint64), want.view(np.uint64)
+        )
+
+    def test_deterministic_by_seed(self, capsys):
+        argv = ["generate", "-n", "4", "--dist", "exponential",
+                "--params", "rate=2", "--seed", "6", "--threads", "64"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_bad_params_exit_2(self, capsys):
+        rc = main(["generate", "-n", "2", "--dist", "normal",
+                   "--params", "bogus=1"])
+        assert rc == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+    def test_params_without_dist_exit_2(self, capsys):
+        rc = main(["generate", "-n", "2", "--params", "mean=1"])
+        assert rc == 2
+        assert "--params requires --dist" in capsys.readouterr().err
+
+    def test_integers_require_bounds(self, capsys):
+        rc = main(["generate", "-n", "2", "--dist", "integers"])
+        assert rc == 2
+        assert "lo" in capsys.readouterr().err
+
+
+class TestFetchDist:
+    """``repro fetch --dist`` against a live in-process server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.serve import ServeConfig, serve_background
+
+        with serve_background(ServeConfig(master_seed=77)) as handle:
+            yield handle
+
+    def test_fetch_variates_reproduce_session_stream(self, server, capsys):
+        from repro.serve.session import SessionStream
+
+        rc = main(["fetch", "--port", str(server.port),
+                   "--session", "cli-v", "-n", "6", "--dist", "normal",
+                   "--params", "mean=0,std=1"])
+        assert rc == 0
+        got = np.array([float(v) for v in capsys.readouterr().out.split()])
+        want, _ = SessionStream("cli-v", master_seed=77).variates(
+            "normal", 6, {"mean": 0.0, "std": 1.0}
+        )
+        np.testing.assert_array_equal(
+            got.view(np.uint64), want.view(np.uint64)
+        )
+
+    def test_fetch_integers(self, server, capsys):
+        rc = main(["fetch", "--port", str(server.port),
+                   "--session", "cli-vi", "-n", "20", "--dist", "integers",
+                   "--params", "lo=0,hi=10"])
+        assert rc == 0
+        vals = [int(v) for v in capsys.readouterr().out.split()]
+        assert len(vals) == 20 and all(0 <= v < 10 for v in vals)
+
+    def test_fetch_bad_params_exit_2(self, server, capsys):
+        rc = main(["fetch", "--port", str(server.port), "-n", "2",
+                   "--dist", "integers", "--params", "lo=1"])
+        assert rc == 2
+        assert "requires" in capsys.readouterr().err

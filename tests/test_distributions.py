@@ -155,3 +155,56 @@ class TestChoice:
             choice_index(gen(), 10, np.array([]))
         with pytest.raises(ValueError):
             choice_index(gen(), 10, np.array([-1.0, 2.0]))
+
+
+class TestFetchSplitInvariance:
+    """PR 9 regressions: the legacy wrappers route through repro.dist,
+    so their output is a pure function of the word stream -- split
+    requests must concatenate into the bulk request, bitwise."""
+
+    def test_normal_split_equals_bulk(self):
+        bulk = normal(gen(), 8)
+        g = gen()
+        split = np.concatenate([normal(g, 3), normal(g, 5)])
+        np.testing.assert_array_equal(
+            split.view(np.uint64), bulk.view(np.uint64)
+        )
+
+    def test_normal_odd_chains(self):
+        bulk = normal(gen(), 21)
+        g = gen()
+        split = np.concatenate([normal(g, n) for n in (1, 1, 7, 3, 9)])
+        np.testing.assert_array_equal(
+            split.view(np.uint64), bulk.view(np.uint64)
+        )
+
+    def test_exponential_split_equals_bulk(self):
+        bulk = exponential(gen(), 10, rate=2.0)
+        g = gen()
+        split = np.concatenate(
+            [exponential(g, 4, rate=2.0), exponential(g, 6, rate=2.0)]
+        )
+        np.testing.assert_array_equal(
+            split.view(np.uint64), bulk.view(np.uint64)
+        )
+
+
+class TestShuffleUnbiased:
+    def test_deterministic_per_generator_seed(self):
+        a = shuffle(gen(), np.arange(64))
+        b = shuffle(gen(), np.arange(64))
+        assert np.array_equal(a, b)
+
+    def test_four_item_uniformity(self):
+        """All 24 permutations of 4 items, chi-square: the old
+        float-product index (int(u * (i + 1))) was biased; the Lemire
+        path must not be."""
+        counts = {}
+        g = gen()
+        for _ in range(24_000):
+            key = tuple(shuffle(g, np.arange(4)))
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == 24
+        expected = 24_000 / 24
+        stat = sum((c - expected) ** 2 / expected for c in counts.values())
+        assert sps.chi2.sf(stat, 23) > 0.001

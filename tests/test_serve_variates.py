@@ -1,0 +1,175 @@
+"""End-to-end tests of the typed ``VARIATE`` serving path.
+
+Real sockets against ``serve_background`` servers: the network boundary
+must neither change a variate bit nor lose the single word-offset
+resume coordinate that raw fetches and typed ops share.
+"""
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, serve_background
+from repro.serve import protocol as proto
+from repro.serve.session import SessionStream
+
+SEED = 11
+
+
+def reference(session_id, dist, n, params):
+    values, words = SessionStream(session_id, master_seed=SEED).variates(
+        dist, n, params
+    )
+    return values, words
+
+
+class TestBinaryPath:
+    def test_served_normals_match_in_process(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with ServeClient(h.host, h.port, session="v-ref") as c:
+                served = c.fetch_variates("normal", 300, mean=1.0, std=2.0)
+                words = c.words_received
+        expect, expect_words = reference(
+            "v-ref", "normal", 300, {"mean": 1.0, "std": 2.0}
+        )
+        np.testing.assert_array_equal(
+            served.view(np.uint64), expect.view(np.uint64)
+        )
+        assert words == expect_words
+
+    def test_fetch_sizing_is_variate_transparent(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with ServeClient(h.host, h.port, session="v-split") as c:
+                split = np.concatenate([
+                    c.fetch_variates("normal", n) for n in (7, 64, 29)
+                ])
+        expect, _ = reference("v-split", "normal", 100, {})
+        np.testing.assert_array_equal(
+            split.view(np.uint64), expect.view(np.uint64)
+        )
+
+    @pytest.mark.parametrize("dist,params,dtype", [
+        ("uniform01", {}, np.float64),
+        ("exponential", {"rate": 2.5}, np.float64),
+        ("integers", {"lo": -100, "hi": 100}, np.int64),
+        ("integers", {"lo": 2**63, "hi": 2**64}, np.uint64),
+    ])
+    def test_every_distribution_and_dtype(self, dist, params, dtype):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with ServeClient(h.host, h.port, session="v-all") as c:
+                served = c.fetch_variates(dist, 64, **params)
+        assert served.dtype == dtype
+        expect, _ = reference("v-all", dist, 64, params)
+        np.testing.assert_array_equal(
+            served.view(np.uint64), expect.view(np.uint64)
+        )
+
+    def test_mixed_raw_and_typed_share_one_word_coordinate(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with ServeClient(h.host, h.port, session="v-mix") as c:
+                raw1 = c.fetch(50)
+                var = c.fetch_variates("normal", 30)
+                raw2 = c.fetch(20)
+                client_words = c.words_received
+                status = c.status()["session"]
+        s = SessionStream("v-mix", master_seed=SEED)
+        np.testing.assert_array_equal(raw1, s.generate(50))
+        expect_var, words_after = s.variates("normal", 30, {})
+        np.testing.assert_array_equal(
+            var.view(np.uint64), expect_var.view(np.uint64)
+        )
+        np.testing.assert_array_equal(raw2, s.generate(20))
+        assert client_words == s.words_served
+        assert status["words_served"] == s.words_served
+        assert status["variates_served"] == 30
+
+    def test_bad_params_surface_as_serve_error(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with ServeClient(h.host, h.port, session="v-err") as c:
+                with pytest.raises(proto.ServeError):
+                    c.fetch_variates("integers", 4, lo=5, hi=5)
+                # The session is still usable afterwards.
+                assert c.fetch_variates("uniform01", 4).size == 4
+
+    def test_unknown_distribution_rejected_client_side(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_variate("cauchy", 4, {})
+
+    def test_variate_before_hello_session_is_refused(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with socket.create_connection((h.host, h.port), timeout=5) as s:
+                s.sendall(proto.pack_variate("uniform01", 4, {}))
+                opcode, payload = proto.read_frame_socket(s)
+        assert opcode == proto.OP_ERROR
+
+
+class TestResumeBoundary:
+    def test_word_offset_resume_is_forward_replay(self):
+        """A fresh session seeked to the journaled word offset continues
+        the variate stream bit-identically -- the crash-recovery core,
+        without sockets."""
+        golden, _ = reference("v-resume", "normal", 50, {})
+        s1 = SessionStream("v-resume", master_seed=SEED)
+        head, words = s1.variates("normal", 37, {})
+        s2 = SessionStream("v-resume", master_seed=SEED)
+        s2.seek(words)
+        tail, _ = s2.variates("normal", 13, {})
+        got = np.concatenate([head, tail])
+        np.testing.assert_array_equal(
+            got.view(np.uint64), golden.view(np.uint64)
+        )
+
+    def test_served_resume_after_reconnect(self):
+        """Reconnect and RESUME at the delivered word offset, live."""
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            c = ServeClient(h.host, h.port, session="v-reconn2")
+            head = c.fetch_variates("normal", 21)
+            mark = c.words_received
+            c.close()
+            c2 = ServeClient(h.host, h.port, session="v-reconn2")
+            ack = c2.resume(offset=mark)
+            assert ack.get("offset") == mark
+            tail = c2.fetch_variates("normal", 9)
+            c2.close()
+        golden, _ = reference("v-reconn2", "normal", 30, {})
+        got = np.concatenate([head, tail])
+        np.testing.assert_array_equal(
+            got.view(np.uint64), golden.view(np.uint64)
+        )
+
+
+class TestJsonLines:
+    def test_variate_op(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with socket.create_connection((h.host, h.port), timeout=5) as s:
+                f = s.makefile("rwb")
+                for msg in (
+                    {"op": "hello", "session": "v-json"},
+                    {"op": "variate", "dist": "normal", "n": 25,
+                     "params": {"mean": 0.0, "std": 1.0}},
+                ):
+                    f.write(json.dumps(msg).encode() + b"\n")
+                    f.flush()
+                    reply = json.loads(f.readline())
+                assert reply["ok"] and reply["op"] == "variate"
+        expect, words = reference("v-json", "normal", 25, {})
+        np.testing.assert_allclose(
+            np.array(reply["values"]), expect, rtol=0, atol=0
+        )
+        assert reply["words"] == words
+
+    def test_variate_error_keeps_connection(self):
+        with serve_background(ServeConfig(master_seed=SEED)) as h:
+            with socket.create_connection((h.host, h.port), timeout=5) as s:
+                f = s.makefile("rwb")
+                for msg, expect_ok in (
+                    ({"op": "hello", "session": "v-json-err"}, True),
+                    ({"op": "variate", "dist": "nope", "n": 4}, False),
+                    ({"op": "variate", "dist": "uniform01", "n": 4}, True),
+                ):
+                    f.write(json.dumps(msg).encode() + b"\n")
+                    f.flush()
+                    reply = json.loads(f.readline())
+                    assert reply["ok"] is expect_ok
