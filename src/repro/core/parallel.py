@@ -51,6 +51,14 @@ DEFAULT_NUM_THREADS = 30 * 32 * 16  # 15360 lanes
 #: The paper's empirically optimal numbers-per-thread batch (Figure 5).
 DEFAULT_BATCH_SIZE = 100
 
+#: Lane budget of one fused multi-round launch on an addressable bank.
+#: Addressable rounds are independent, so K rounds of an nt-lane bank
+#: can walk as one (K * nt)-lane bank; this caps K * nt so the fused
+#: state and its scratch stay cache-sized.  A pure batching knob: it
+#: cannot change emitted values, only how many rounds share one kernel
+#: sweep.
+FUSED_LAUNCH_LANES = 1 << 16
+
 
 class ParallelExpanderPRNG:
     """Bank of independent expander walkers emitting 64-bit numbers.
@@ -438,20 +446,35 @@ class AddressableExpanderPRNG(ParallelExpanderPRNG):
 
     # -- round production ----------------------------------------------
 
-    def _produce_round_into(self, out: np.ndarray) -> None:
-        """Round ``self._round_index`` of the addressable stream into ``out``."""
+    def _produce_rounds_into(self, out: np.ndarray, num_rounds: int) -> None:
+        """Rounds ``[_round_index, _round_index + num_rounds)`` into ``out``.
+
+        Because every addressable round is a pure function of its own
+        feed slice, ``num_rounds`` consecutive rounds of an ``nt``-lane
+        bank are *one* walk of ``num_rounds * nt`` independent lanes:
+        lane ``r * nt + j`` is round ``r``'s walker ``j``, started from
+        round ``r``'s start words and stepped by round ``r``'s chunk
+        indices.  Lanes never interact, so the fused walk is
+        bit-identical to ``num_rounds`` sequential rounds -- while the
+        per-step NumPy work runs on ``num_rounds``-times-wider arrays,
+        which is what makes small session banks (64 lanes) fast.
+        """
         nt = self.num_threads
-        base = self._round_index * self.words_per_round
+        wl = self.walk_length
+        wpr = self.words_per_round
+        base = self._round_index * wpr
         if self._source_pos != base:
             self.source.seek(base)
-        words = self.source.words64(self.words_per_round)
-        self._source_pos = base + self.words_per_round
-        fresh = self.engine.make_state(words[:nt])
+        words = self.source.words64(num_rounds * wpr)
+        self._source_pos = base + num_rounds * wpr
+        slab = words.reshape(num_rounds, wpr)
+        fresh = self.engine.make_state(slab[:, :nt].reshape(-1))
         prev = self._state
         if prev is not None:
             # Carry the cumulative counters and the fused-kernel scratch
-            # buffers across rounds; the stale view identities force the
-            # kernel to copy the new start positions in.
+            # buffers across launches; the stale view identities (and a
+            # lane-count check inside the kernel) force the scratch to
+            # re-sync with the new start positions.
             fresh.steps_taken = prev.steps_taken
             fresh.chunks_consumed = prev.chunks_consumed
             bufs = getattr(prev, "_fused_bufs", None)
@@ -459,20 +482,34 @@ class AddressableExpanderPRNG(ParallelExpanderPRNG):
                 fresh._fused_bufs = bufs
                 fresh._fused_xy = (None, None)
         self._state = fresh
-        chunks = chunks_from_words(words[nt:])[: self.walk_length * nt]
-        ks = self.engine.indices_from_chunks(chunks).reshape(self.walk_length, nt)
-        for i in range(self.walk_length):
+        # Per round: 21 chunks per word, first wl * nt are real, the
+        # word-tail chunks are padding.  Step-major across the fused
+        # lane axis: ks[i] holds step i's index for every (round, lane).
+        ks = self.engine.indices_from_chunks(
+            chunks_from_words(np.ascontiguousarray(slab[:, nt:]).reshape(-1))
+        )
+        ks = ks.reshape(num_rounds, -1)[:, : wl * nt]
+        ks = np.ascontiguousarray(
+            ks.reshape(num_rounds, wl, nt)
+            .transpose(1, 0, 2)
+            .reshape(wl, num_rounds * nt)
+        )
+        for i in range(wl):
             self.engine._apply_indices(fresh, ks[i])
-        fresh.chunks_consumed += self.walk_length * nt
+        fresh.chunks_consumed += wl * nt * num_rounds
         self.engine.outputs_into(fresh, out)
-        self._round_index += 1
+        self._round_index += num_rounds
 
     def _launch_into(self, out: np.ndarray, num_rounds: int) -> None:
         nt = self.num_threads
+        per_launch = max(1, FUSED_LAUNCH_LANES // nt)
         steps_before, chunks_before = self._counters()
         with span("generate", lanes=nt, rounds=num_rounds):
-            for i in range(num_rounds):
-                self._produce_round_into(out[i * nt : (i + 1) * nt])
+            done = 0
+            while done < num_rounds:
+                k = min(per_launch, num_rounds - done)
+                self._produce_rounds_into(out[done * nt : (done + k) * nt], k)
+                done += k
         self.numbers_generated += out.size
         steps_after, chunks_after = self._counters()
         obs_metrics.counter(
@@ -492,6 +529,22 @@ class AddressableExpanderPRNG(ParallelExpanderPRNG):
         out = np.empty(self.num_threads, dtype=np.uint64)
         self._launch_into(out, 1)
         return out
+
+    def generate_into(
+        self, out: np.ndarray, batch_size: Optional[int] = None
+    ) -> None:
+        """Like the base class, but launches default to the fused width.
+
+        On an addressable bank, one launch of K rounds is one
+        (K * lanes)-wide walk (see :meth:`_produce_rounds_into`), so the
+        default batch size is the full :data:`FUSED_LAUNCH_LANES` budget
+        instead of one round per launch.  Values are identical either
+        way -- ``batch_size`` is a launch-grouping knob, never part of
+        the stream identity.
+        """
+        if batch_size is None:
+            batch_size = max(1, FUSED_LAUNCH_LANES // self.num_threads)
+        super().generate_into(out, batch_size)
 
     def _counters(self) -> tuple:
         st = self._state

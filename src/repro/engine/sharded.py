@@ -47,6 +47,7 @@ measures the scaling where cores exist.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import queue as queue_mod
 import threading
 from dataclasses import dataclass
@@ -93,6 +94,11 @@ ENGINE_RETRY_POLICY = RetryPolicy(
 
 #: Worker poll interval while idle (ring full, no pending requests).
 _IDLE_POLL_S = 0.02
+
+#: Word cap for one fused worker round: bounds the pickled response (a
+#: full message is ~16 MiB of uint64) without limiting batch size --
+#: overflow just becomes another round on the same shard.
+MAX_ROUND_WORDS = 1 << 21
 
 
 @dataclass(frozen=True)
@@ -209,6 +215,15 @@ def serial_reference(config: EngineConfig, n: int) -> np.ndarray:
 # Worker process
 # ----------------------------------------------------------------------
 
+def _picklable(exc: BaseException):
+    """The exception itself if it survives pickling, else a string."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return f"{type(exc).__name__}: {exc}"
+
+
 def _serve_request(req, streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
                    config: EngineConfig, resp_q) -> None:
     try:
@@ -216,19 +231,38 @@ def _serve_request(req, streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
         if op == "ping":
             resp_q.put(("ok", None))
             return
-        if op != "fetch":
+        if op != "fetchv":
             raise ValueError(f"unknown engine request {op!r}")
-        _, stream_seed, lanes, offset, n = req
-        key = (stream_seed, lanes)
-        prng = streams.get(key)
-        if prng is None:
-            prng = streams[key] = _make_stream(config, stream_seed, lanes)
-        if prng.tell() != offset:
-            # Fresh worker behind a long-lived stream (post-restart), or
-            # an explicit-offset fetch: jump straight there -- O(log
-            # offset), never a replay of the already-served prefix.
-            prng.seek(offset)
-        resp_q.put(("ok", prng.generate(n)))
+        # One fused round: every span is generated into a single output
+        # buffer, back to back, and shipped in one response.  Spans are
+        # independent streams, so a failed span is recorded in ``metas``
+        # (its slot in the buffer is simply not filled) and the rest of
+        # the round still succeeds.
+        _, span_reqs = req
+        buf = np.empty(sum(s[3] for s in span_reqs), dtype=np.uint64)
+        metas: list = []
+        pos = 0
+        for stream_seed, lanes, offset, n in span_reqs:
+            try:
+                key = (stream_seed, lanes)
+                prng = streams.get(key)
+                if prng is None:
+                    prng = streams[key] = _make_stream(
+                        config, stream_seed, lanes
+                    )
+                if prng.tell() != offset:
+                    # Fresh worker behind a long-lived stream (post-
+                    # restart), or an explicit-offset fetch: jump
+                    # straight there -- O(log offset), never a replay
+                    # of the already-served prefix.
+                    prng.seek(offset)
+                if n:
+                    prng.generate_into(buf[pos:pos + n])
+                metas.append(n)
+                pos += n
+            except Exception as exc:  # noqa: BLE001 - shipped per span
+                metas.append(_picklable(exc))
+        resp_q.put(("okv", (buf[:pos] if pos != buf.size else buf, metas)))
     except Exception as exc:  # noqa: BLE001 - shipped to the caller
         try:
             resp_q.put(("err", exc))
@@ -548,6 +582,162 @@ class ShardedEngine:
         """Which shard owns the stream seeded ``stream_seed``."""
         return stream_seed % self.config.shards
 
+    def fetch_spans(
+        self, spans: List[Tuple[int, int, Optional[int], int]]
+    ) -> List[object]:
+        """Serve many named-stream spans in a handful of fused rounds.
+
+        ``spans`` is a sequence of ``(stream_seed, lanes, offset,
+        count)`` tuples (``offset=None`` continues where the previous
+        fetch of that stream left off).  Spans are grouped by owning
+        shard, packed into per-shard ``fetchv`` rounds capped at
+        :data:`MAX_ROUND_WORDS` words, dispatched to **all** shards
+        up front (so shards generate concurrently), and collected in
+        order.  Returns a list aligned with ``spans``: a ``uint64``
+        array per served span, or an ``Exception`` instance for a span
+        that failed -- callers decide whether a partial batch is fatal.
+
+        Every dispatched span carries an absolute word offset, so a
+        shard revived mid-batch just re-serves its unanswered rounds
+        byte-identically (the no-partial-results contract per span).
+        Thread-safe: shard locks are taken in ascending shard order,
+        the same total order every other engine entry point uses.
+        """
+        spans = list(spans)
+        results: List[object] = [None] * len(spans)
+        if not spans:
+            return results
+        for stream_seed, lanes, offset, n in spans:
+            if n < 0:
+                raise ValueError(f"count must be non-negative, got {n}")
+            check_positive("lanes", lanes)
+            if offset is not None and offset < 0:
+                raise ValueError(
+                    f"offset must be non-negative, got {offset}"
+                )
+        by_shard: Dict[int, List[int]] = {}
+        for idx, sp in enumerate(spans):
+            by_shard.setdefault(self.stream_shard(sp[0]), []).append(idx)
+        shard_ids = sorted(by_shard)
+        total_words = sum(sp[3] for sp in spans)
+        acquired: List[int] = []
+        try:
+            for i in shard_ids:
+                self._shard_locks[i].acquire()
+                acquired.append(i)
+            with span("engine.fetch_spans", shards=len(shard_ids),
+                      spans=len(spans), words=total_words):
+                # Resolve continuation offsets and pack each shard's
+                # spans into rounds under the word cap.  ``cursor``
+                # makes two offset=None spans of the same stream in one
+                # batch contiguous.
+                cursor: Dict[Tuple[int, int], int] = {}
+                messages: Dict[int, List[list]] = {}
+                for i in shard_ids:
+                    msgs: List[list] = []
+                    cur: list = []
+                    cur_words = 0
+                    for idx in by_shard[i]:
+                        stream_seed, lanes, offset, n = spans[idx]
+                        key = (stream_seed, lanes)
+                        start = (
+                            offset if offset is not None
+                            else cursor.get(
+                                key, self._stream_words.get(key, 0)
+                            )
+                        )
+                        cursor[key] = start + n
+                        if cur and cur_words + n > MAX_ROUND_WORDS:
+                            msgs.append(cur)
+                            cur, cur_words = [], 0
+                        cur.append((idx, (stream_seed, lanes, start, n)))
+                        cur_words += n
+                    if cur:
+                        msgs.append(cur)
+                    messages[i] = msgs
+                # Dispatch every round first -- shards run their fused
+                # walks concurrently -- then collect in the same order.
+                for i in shard_ids:
+                    for msg in messages[i]:
+                        self._req_qs[i].put(
+                            ("fetchv", [sp for _, sp in msg])
+                        )
+                    obs_metrics.counter(
+                        "repro_engine_fused_rounds_total",
+                        "Fused multi-span worker rounds dispatched",
+                    ).inc(len(messages[i]))
+                for i in shard_ids:
+                    msgs = messages[i]
+                    answered = 0
+                    while answered < len(msgs):
+                        try:
+                            status, payload = self._resp_qs[i].get(
+                                timeout=self.config.fetch_timeout_s
+                            )
+                        except queue_mod.Empty:
+                            try:
+                                self._shard_down(i, "serving a fused fetch")
+                            except WorkerFailedError as exc:
+                                for msg in msgs[answered:]:
+                                    for idx, _ in msg:
+                                        results[idx] = exc
+                                answered = len(msgs)
+                                continue
+                            # Revived: the old queues died with the
+                            # worker, so re-dispatch every unanswered
+                            # round (absolute offsets make the retry
+                            # byte-exact).
+                            for msg in msgs[answered:]:
+                                self._req_qs[i].put(
+                                    ("fetchv", [sp for _, sp in msg])
+                                )
+                            continue
+                        msg = msgs[answered]
+                        answered += 1
+                        if status == "err":
+                            exc = (
+                                payload
+                                if isinstance(payload, BaseException)
+                                else WorkerFailedError(
+                                    f"engine shard {i} failed a fused "
+                                    f"fetch: {payload}",
+                                    worker_index=i,
+                                    attempts=1,
+                                )
+                            )
+                            for idx, _ in msg:
+                                results[idx] = exc
+                            continue
+                        buf, metas = payload
+                        pos = 0
+                        for (idx, (stream_seed, lanes, start, n)), meta \
+                                in zip(msg, metas):
+                            if isinstance(meta, int):
+                                results[idx] = buf[pos:pos + meta]
+                                pos += meta
+                                self._stream_words[(stream_seed, lanes)] \
+                                    = start + n
+                            elif isinstance(meta, BaseException):
+                                results[idx] = meta
+                            else:
+                                results[idx] = WorkerFailedError(
+                                    f"engine shard {i} failed a span: "
+                                    f"{meta}",
+                                    worker_index=i,
+                                    attempts=1,
+                                )
+        finally:
+            for i in reversed(acquired):
+                self._shard_locks[i].release()
+        served = sum(
+            r.size for r in results if isinstance(r, np.ndarray)
+        )
+        obs_metrics.counter(
+            "repro_engine_fetch_words_total",
+            "Numbers served to named streams",
+        ).inc(served)
+        return results
+
     def fetch_stream(self, stream_seed: int, lanes: int, n: int,
                      offset: Optional[int] = None) -> np.ndarray:
         """``n`` numbers of the named stream (thread-safe).
@@ -560,45 +750,13 @@ class ShardedEngine:
         default continues where the previous fetch of this stream left
         off.  Every request ships an absolute offset to the worker, so
         an arbitrary slice -- including one before the current position
-        -- costs one O(log offset) seek, never a replay.
+        -- costs one O(log offset) seek, never a replay.  A single-span
+        :meth:`fetch_spans` round under the hood.
         """
-        if n < 0:
-            raise ValueError(f"count must be non-negative, got {n}")
-        check_positive("lanes", lanes)
-        if offset is not None and offset < 0:
-            raise ValueError(f"offset must be non-negative, got {offset}")
-        i = self.stream_shard(stream_seed)
-        key = (stream_seed, lanes)
-        with self._shard_locks[i]:
-            start = self._stream_words.get(key, 0) if offset is None else offset
-            with span("engine.fetch", shard=i, n=n, offset=start):
-                while True:
-                    self._req_qs[i].put(
-                        ("fetch", stream_seed, lanes, start, n)
-                    )
-                    try:
-                        status, payload = self._resp_qs[i].get(
-                            timeout=self.config.fetch_timeout_s
-                        )
-                        break
-                    except queue_mod.Empty:
-                        # Dead shard: _shard_down revives (the absolute
-                        # offset makes the retried fetch exact) or raises.
-                        self._shard_down(i, "serving a stream fetch")
-            if status == "err":
-                if isinstance(payload, BaseException):
-                    raise payload
-                raise WorkerFailedError(
-                    f"engine shard {i} failed a stream fetch: {payload}",
-                    worker_index=i,
-                    attempts=1,
-                )
-            self._stream_words[key] = start + n
-            obs_metrics.counter(
-                "repro_engine_fetch_words_total",
-                "Numbers served to named streams",
-            ).inc(n)
-            return payload
+        [result] = self.fetch_spans([(stream_seed, lanes, offset, n)])
+        if isinstance(result, BaseException):
+            raise result
+        return result
 
     def ping(self, shard: int) -> bool:
         """Round-trip a no-op through a shard (health probe)."""

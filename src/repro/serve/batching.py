@@ -1,4 +1,4 @@
-"""Request coalescing and backpressure primitives for the RNG service.
+"""Request coalescing, cross-session round planning, and backpressure.
 
 The event loop must never generate numbers itself: a ``FETCH`` becomes a
 :class:`BatchRequest` on a **bounded global queue**, a dispatcher
@@ -8,6 +8,23 @@ executed on a shared :class:`~concurrent.futures.ThreadPoolExecutor` --
 the serving analogue of the paper's block size ``S``: many small
 on-demand requests amortize into one off-loop hop, exactly as many
 per-thread numbers amortize one kernel launch.
+
+Execution is *actually* batched: the worker does not run one engine
+round trip per request.  It locks every session in the batch (one total
+order -- session id -- so concurrent batches cannot deadlock), asks each
+session how many words it needs beyond its readahead buffer
+(:meth:`~repro.serve.session.SessionStream.plan_fill`, raw counts plus
+conservative variate word estimates), fuses every engine-backed
+session's ``(stream, offset, count)`` span into **one**
+:meth:`~repro.engine.sharded.ShardedEngine.fetch_spans` round (a
+handful of capped worker messages), scatters the returned buffers into
+the sessions' readahead buffers, and then serves each request from
+buffer -- raw fetches as zero-copy views handed to the PR 6 framing
+path, variates sampled on scatter through the same word stream.  Word
+estimates are only a prefetch hint: a rejection-sampler overrun falls
+back to a direct fetch at the exact absolute offset, so every served
+byte is identical with coalescing/readahead on or off, and
+``words_served`` stays the only resume coordinate.
 
 Backpressure is explicit everywhere:
 
@@ -29,7 +46,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,7 +56,7 @@ from repro.serve.session import SessionStream
 from repro.utils.checks import check_positive
 
 __all__ = ["TokenBucket", "BatchRequest", "BatchingExecutor",
-           "BATCH_SIZE_BUCKETS", "LATENCY_BUCKETS"]
+           "BATCH_SIZE_BUCKETS", "LATENCY_BUCKETS", "FUSED_SPAN_BUCKETS"]
 
 #: Batch-size histogram bounds (requests per executed batch).
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
@@ -48,6 +65,31 @@ BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0
 )
+
+#: Fused-span histogram bounds (sessions fused per engine round).
+FUSED_SPAN_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Conservative words-per-value estimate for planning a VARIATE's word
+#: span (the samplers are rejection-based, so true consumption is
+#: data-dependent; see :data:`repro.dist.SERVE_DISTRIBUTIONS`).  Only a
+#: prefetch hint -- an overrun falls back to a direct fetch at the
+#: exact offset, so estimates can never change served bytes.
+_VARIATE_WORDS_PER_VALUE = {
+    "uniform01": 1,
+    "normal": 2,
+    "exponential": 1,
+    "integers": 1,
+}
+
+
+def _estimate_words(req: "BatchRequest") -> int:
+    """Planner's word-span estimate for one request."""
+    if req.dist is None:
+        return req.count  # raw fetches are exact: one word per number
+    per = _VARIATE_WORDS_PER_VALUE.get(req.dist, 2)
+    # Rejection margin: a few percent plus a constant floor covers the
+    # ziggurat (~1.5% rejects) and Lemire (~0% for sane ranges) tails.
+    return per * req.count + (req.count >> 5) + 8
 
 
 class TokenBucket:
@@ -111,11 +153,16 @@ class BatchRequest:
     ``dist is None`` is a raw word fetch resolving to a uint64 array;
     otherwise the request resolves to the session's
     ``(values, words_served_after)`` variate tuple.
+
+    ``future`` is attached *after* the request is accepted onto the
+    queue (see :meth:`BatchingExecutor.try_submit`): a rejected request
+    must never have owned a future, or the BUSY path would leak a
+    forever-pending future on the loop.
     """
 
     session: SessionStream
     count: int
-    future: "asyncio.Future"
+    future: Optional["asyncio.Future"] = None
     dist: Optional[str] = None
     params: Optional[dict] = None
     enqueued_at: float = field(default_factory=time.monotonic)
@@ -197,7 +244,7 @@ class BatchingExecutor:
         if self._queue is not None:
             while not self._queue.empty():
                 req = self._queue.get_nowait()
-                if not req.future.done():
+                if req.future is not None and not req.future.done():
                     req.future.set_exception(
                         ServeError("server shutting down")
                     )
@@ -225,15 +272,20 @@ class BatchingExecutor:
         """
         if self._queue is None or self._loop is None or self._closing:
             raise ServeError("executor is not running")
-        future: "asyncio.Future" = self._loop.create_future()
         req = BatchRequest(
-            session=session, count=count, future=future,
-            dist=dist, params=params,
+            session=session, count=count, dist=dist, params=params,
         )
         try:
             self._queue.put_nowait(req)
         except asyncio.QueueFull:
+            # No future exists yet, so the BUSY path leaks nothing.
             return None
+        # Attach the future only once the request is actually queued.
+        # try_submit runs synchronously on the loop thread, so the
+        # dispatcher (a coroutine on the same loop) cannot observe the
+        # request before the future is in place.
+        future: "asyncio.Future" = self._loop.create_future()
+        req.future = future
         self._observe_depth()
         return future
 
@@ -254,58 +306,195 @@ class BatchingExecutor:
         assert self._queue is not None and self._loop is not None
         while True:
             await self._slots.acquire()
-            batch = [await self._queue.get()]
-            deadline = self._loop.time() + self.window_s
-            while len(batch) < self.max_batch:
-                remaining = deadline - self._loop.time()
-                if remaining <= 0:
-                    # Window elapsed; sweep whatever is already queued.
-                    while (
-                        len(batch) < self.max_batch
-                        and not self._queue.empty()
-                    ):
-                        batch.append(self._queue.get_nowait())
-                    break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(self._queue.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    break
-            self._observe_depth()
+            batch: List[BatchRequest] = []
+            submitted = False
+            try:
+                batch.append(await self._queue.get())
+                deadline = self._loop.time() + self.window_s
+                while len(batch) < self.max_batch:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        # Window elapsed; sweep whatever is queued.
+                        while (
+                            len(batch) < self.max_batch
+                            and not self._queue.empty()
+                        ):
+                            batch.append(self._queue.get_nowait())
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(
+                                self._queue.get(), remaining
+                            )
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                self._observe_depth()
+                obs_metrics.histogram(
+                    "repro_serve_batch_size", BATCH_SIZE_BUCKETS,
+                    "FETCH requests coalesced per worker-pool batch",
+                ).observe(len(batch))
+                obs_metrics.counter(
+                    "repro_serve_batches_total",
+                    "Batches run on the worker pool",
+                ).inc()
+                self._pool.submit(self._execute, batch, self._loop)
+                submitted = True
+            finally:
+                if not submitted:
+                    # Cancelled mid-coalesce (aclose) or the pool
+                    # refused the batch: these requests are off the
+                    # queue, so nothing else can ever settle them --
+                    # fail them here instead of leaving clients to
+                    # hang until timeout.
+                    for req in batch:
+                        if req.future is not None and not req.future.done():
+                            req.future.set_exception(
+                                ServeError("server shutting down")
+                            )
+                    self._release_slot()
+
+    # -- the cross-session round planner (worker thread) ---------------
+
+    def _prefill(self, batch: List[BatchRequest],
+                 sessions: List[SessionStream]) -> None:
+        """Fuse the batch's engine demand into single multi-span rounds.
+
+        Caller holds every session's lock.  Each session's estimated
+        word demand beyond its buffer becomes one ``(stream, offset,
+        count)`` span; all spans against the same engine go out as one
+        :meth:`fetch_spans` call (the engine packs them into capped
+        worker rounds), and each returned buffer lands in its session's
+        readahead deque -- the serve step then slices zero-copy views
+        out of it.  In-process sessions with readahead prefill from
+        their own bank; a failed span is simply skipped here, and the
+        serve step's direct fetch surfaces the error per request.
+        """
+        demand: Dict[int, int] = {}
+        by_id: Dict[int, SessionStream] = {id(s): s for s in sessions}
+        for req in batch:
+            if req.future is not None and req.future.cancelled():
+                continue
+            key = id(req.session)
+            demand[key] = demand.get(key, 0) + _estimate_words(req)
+        engines: Dict[int, Tuple[object, List[Tuple[SessionStream, int]]]] \
+            = {}
+        prefill_words = 0
+        for s in sessions:
+            d = demand.get(id(s), 0)
+            if d <= 0:
+                continue
+            if s.engine is not None:
+                need = s.plan_fill(d)
+                if need > 0:
+                    engines.setdefault(id(s.engine), (s.engine, []))[1] \
+                        .append((s, need))
+                else:
+                    obs_metrics.counter(
+                        "repro_serve_readahead_hits_total",
+                        "Session demands served entirely from readahead",
+                    ).inc()
+            elif s.readahead_max > 0:
+                need = s.plan_fill(d)
+                if need > 0:
+                    s.fill_local(need)
+                    prefill_words += need
+                else:
+                    obs_metrics.counter(
+                        "repro_serve_readahead_hits_total",
+                        "Session demands served entirely from readahead",
+                    ).inc()
+            # else: in-process, readahead off -- the direct draw path
+            # already runs one fused in-process launch per request.
+        for engine, fills in engines.values():
+            spans = [
+                (s.seed, s.lanes, s.fill_offset(), n) for s, n in fills
+            ]
             obs_metrics.histogram(
-                "repro_serve_batch_size", BATCH_SIZE_BUCKETS,
-                "FETCH requests coalesced per worker-pool batch",
-            ).observe(len(batch))
+                "repro_serve_fused_spans", FUSED_SPAN_BUCKETS,
+                "Session spans fused into one engine round",
+            ).observe(len(spans))
+            results = engine.fetch_spans(spans)
+            for (s, n), res in zip(fills, results):
+                if isinstance(res, np.ndarray):
+                    s.push_readahead(res)
+                    prefill_words += res.size
+                # An Exception here is deliberately dropped: the span's
+                # session serves via a direct fetch below, which raises
+                # the real error on the request(s) that hit it.
+        if prefill_words:
             obs_metrics.counter(
-                "repro_serve_batches_total", "Batches run on the worker pool"
-            ).inc()
-            self._pool.submit(self._execute, batch, self._loop)
+                "repro_serve_prefill_words_total",
+                "Words prefetched into session readahead buffers",
+            ).inc(prefill_words)
 
     def _execute(
         self, batch: List[BatchRequest], loop: asyncio.AbstractEventLoop
     ) -> None:
         latency = obs_metrics.histogram(
             "repro_serve_request_latency_seconds", LATENCY_BUCKETS,
-            "FETCH latency from enqueue to values ready",
+            "FETCH latency from enqueue to settled (any outcome)",
         )
+        outcomes = {
+            key: obs_metrics.counter(
+                f"repro_serve_requests_{key}_total",
+                f"FETCH/VARIATE requests settled with outcome={key}",
+            )
+            for key in ("ok", "error", "cancelled")
+        }
         try:
-            for req in batch:
-                if req.future.cancelled():
-                    # Client is gone; don't advance its stream for nothing.
-                    continue
+            # One total lock order -- session id -- so two concurrent
+            # batches touching overlapping session sets cannot deadlock
+            # (and it nests consistently above the engine's ascending
+            # shard-lock order inside fetch_spans).
+            sessions = sorted(
+                {id(r.session): r.session for r in batch}.values(),
+                key=lambda s: (s.session_id, id(s)),
+            )
+            for s in sessions:
+                s.lock.acquire()
+            try:
                 try:
-                    if req.dist is None:
-                        values = req.session.generate(req.count)
-                    else:
-                        values = req.session.variates(
-                            req.dist, req.count, req.params
+                    self._prefill(batch, sessions)
+                except BaseException:  # noqa: BLE001 - planner is advisory
+                    # Planning is pure optimization: if it blows up
+                    # (e.g. a dead engine), fall through and let each
+                    # request surface its own error from the direct
+                    # fetch path.
+                    pass
+                for req in batch:
+                    if req.future is not None and req.future.cancelled():
+                        # Client is gone; don't advance its stream.
+                        outcomes["cancelled"].inc()
+                        continue
+                    try:
+                        if req.dist is None:
+                            values = req.session.generate_locked(req.count)
+                        else:
+                            values = req.session.variates_locked(
+                                req.dist, req.count, req.params
+                            )
+                    except BaseException as exc:  # noqa: BLE001 - boundary
+                        # Failures count toward latency too: a p99 that
+                        # drops its slowest (failing) requests is a lie
+                        # to the serve gate.
+                        latency.observe(time.monotonic() - req.enqueued_at)
+                        outcomes["error"].inc()
+                        loop.call_soon_threadsafe(
+                            _resolve, req.future, None, exc
                         )
-                except BaseException as exc:  # noqa: BLE001 - worker boundary
-                    loop.call_soon_threadsafe(_resolve, req.future, None, exc)
-                    continue
-                latency.observe(time.monotonic() - req.enqueued_at)
-                loop.call_soon_threadsafe(_resolve, req.future, values, None)
+                        continue
+                    latency.observe(time.monotonic() - req.enqueued_at)
+                    outcomes["ok"].inc()
+                    loop.call_soon_threadsafe(
+                        _resolve, req.future, values, None
+                    )
+            finally:
+                for s in reversed(sessions):
+                    s.lock.release()
+        except BaseException as exc:  # noqa: BLE001 - never lose a batch
+            for req in batch:
+                loop.call_soon_threadsafe(_resolve, req.future, None, exc)
         finally:
             loop.call_soon_threadsafe(self._release_slot)
 
@@ -314,9 +503,9 @@ class BatchingExecutor:
             self._slots.release()
 
 
-def _resolve(future: asyncio.Future, values, exc) -> None:
+def _resolve(future: Optional[asyncio.Future], values, exc) -> None:
     """Settle ``future`` on the loop thread, tolerating cancellation."""
-    if future.done():
+    if future is None or future.done():
         return
     if exc is not None:
         future.set_exception(exc)

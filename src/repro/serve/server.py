@@ -97,6 +97,13 @@ class ServeConfig:
     sentinel_sample: int = 16
     #: Sampled words per evaluated sentinel window.
     sentinel_window: int = 4096
+    #: Word cap of each session's readahead buffer.  The batching
+    #: planner prefills up to this many words ahead of a session's
+    #: served position (demand-pure schedule), so hot sessions answer
+    #: from memory and cold misses ride the fused cross-session engine
+    #: round.  ``0`` disables readahead; served bytes are identical
+    #: either way.
+    readahead_max: int = 4096
     #: Durable session journal (:mod:`repro.serve.journal`).  When set,
     #: session creation and every delivered word offset are appended
     #: (fsync'd) to this file, and startup recovers the journal: every
@@ -242,6 +249,7 @@ class RNGServer:
                     lanes=lanes,
                     engine=self.engine,
                     sentinel=sentinel,
+                    readahead_max=self.config.readahead_max,
                 )
             else:
                 stream = SessionStream(
@@ -252,6 +260,7 @@ class RNGServer:
                     failover=self.config.failover,
                     retry_policy=self.config.retry_policy,
                     sentinel=sentinel,
+                    readahead_max=self.config.readahead_max,
                 )
             served = _ServedSession(
                 stream=stream,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import deque
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -109,6 +110,14 @@ class SessionStream:
         samples), so the stream stays byte-identical; its sticky
         verdict folds into :attr:`health` (STAT_SUSPECT -> DEGRADED,
         STAT_BAD -> FAILED) and :meth:`describe`.
+    readahead_max : int
+        Word cap of the session's readahead buffer.  ``0`` (the
+        default) disables readahead.  The buffer holds the *next* words
+        of the same stream, prefilled by the batching planner, so hot
+        sessions answer from memory; how much is prefetched is a pure
+        function of cumulative demand (:meth:`plan_fill`), and the
+        served bytes are identical with readahead on or off --
+        ``words_served`` stays the only resume coordinate.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class SessionStream:
         retry_policy: Optional[RetryPolicy] = None,
         engine=None,
         sentinel=None,
+        readahead_max: int = 0,
     ):
         self.session_id = session_id
         self.index = session_index(session_id)
@@ -158,39 +168,180 @@ class SessionStream:
         self.words_served = 0
         self.requests = 0
         self.variates_served = 0
+        if readahead_max < 0:
+            raise ValueError(
+                f"readahead_max must be non-negative, got {readahead_max}"
+            )
+        self.readahead_max = readahead_max
+        #: Cumulative words demanded (requested or estimated by the
+        #: planner); drives the demand-pure readahead size.
+        self.demand_words = 0
+        # Readahead buffer: FIFO of uint64 chunks holding the words
+        # [words_served, words_served + _ra_buffered) of this stream.
+        # For in-process banks the invariant is prng.tell() ==
+        # words_served + _ra_buffered (the bank sits at the end of the
+        # buffer); engine fetches ship absolute offsets, so no engine-
+        # side state depends on the buffer at all.
+        self._ra_chunks: deque = deque()
+        self._ra_buffered = 0
         # Typed variates ride the *same* word stream: the DistStream
         # draws through _draw_words_locked, so raw FETCHes and VARIATE
         # ops advance one shared word position and words_served stays
         # the single resume coordinate for both.
         self.dist = DistStream(self._draw_words_locked)
 
-    def _draw_words_locked(self, n: int) -> np.ndarray:
-        """The next ``n`` words; the caller must hold :attr:`lock`.
-
-        One code path for every op type: engine or in-process bank,
-        sentinel tap, word accounting.  ``words_served`` is a *word*
-        offset -- the only replay-safe coordinate once rejection
-        samplers make words-per-variate data-dependent.
-        """
+    def _fetch_direct(self, offset: int, n: int) -> np.ndarray:
+        """Words ``[offset, offset + n)`` straight from the source."""
         if self.engine is not None:
             # The session's own position is the source of truth:
             # shipping it as an absolute offset makes every fetch
             # exact even across engine worker restarts and seeks.
-            out = self.engine.fetch_stream(
-                self.seed, self.lanes, n, offset=self.words_served
+            return self.engine.fetch_stream(
+                self.seed, self.lanes, n, offset=offset
             )
-        else:
-            # Fresh per-request buffer filled in place: the caller
-            # owns it outright (the serve framing path byte-swaps
-            # it in place for the wire).
-            out = np.empty(n, dtype=np.uint64)
-            self.prng.generate_into(out)
+        # Fresh buffer filled in place: the caller owns it outright
+        # (the serve framing path byte-swaps it in place for the wire).
+        if self.prng.tell() != offset:
+            self.prng.seek(offset)
+        out = np.empty(n, dtype=np.uint64)
+        self.prng.generate_into(out)
+        return out
+
+    def _take_words(self, n: int) -> np.ndarray:
+        """The next ``n`` words, buffer first, source for the rest."""
+        if not self._ra_buffered:
+            return self._fetch_direct(self.words_served, n)
+        chunk = self._ra_chunks[0]
+        if chunk.size >= n:
+            # Hot path: one buffered chunk covers the request -- serve
+            # a zero-copy view (disjoint from the rest of the buffer,
+            # so the wire path's in-place byteswap is safe).
+            if chunk.size == n:
+                self._ra_chunks.popleft()
+            else:
+                self._ra_chunks[0] = chunk[n:]
+            self._ra_buffered -= n
+            return chunk[:n]
+        out = np.empty(n, dtype=np.uint64)
+        pos = 0
+        while self._ra_chunks and pos < n:
+            chunk = self._ra_chunks[0]
+            take = min(chunk.size, n - pos)
+            out[pos:pos + take] = chunk[:take]
+            if take == chunk.size:
+                self._ra_chunks.popleft()
+            else:
+                self._ra_chunks[0] = chunk[take:]
+            self._ra_buffered -= take
+            pos += take
+        if pos < n:
+            # Buffer underrun (variate rejection ate more words than
+            # the planner estimated, or readahead is off): the tail
+            # comes straight from the source at its absolute offset --
+            # correctness never depends on the estimate.
+            out[pos:] = self._fetch_direct(self.words_served + pos, n - pos)
+        return out
+
+    def _draw_words_locked(self, n: int) -> np.ndarray:
+        """The next ``n`` words; the caller must hold :attr:`lock`.
+
+        One code path for every op type: readahead buffer, engine or
+        in-process bank, sentinel tap, word accounting.
+        ``words_served`` is a *word* offset -- the only replay-safe
+        coordinate once rejection samplers make words-per-variate
+        data-dependent.
+        """
+        out = self._take_words(n)
         # The sentinel looks *before* the framing path byte-swaps
         # the buffer; it copies what it samples and never mutates,
-        # so served values are unaffected.
+        # so served values are unaffected.  It observes words in
+        # served order whether they came from buffer or source.
         if self.sentinel is not None:
             self.sentinel.observe(out)
         self.words_served += n
+        return out
+
+    # -- readahead (driven by the batching planner) --------------------
+
+    def _readahead_extra(self) -> int:
+        """Extra words to prefetch past the current demand.
+
+        A pure function of cumulative demand (like the PR 6 prefetch
+        schedule): the next power of two of ``demand_words``, capped at
+        :attr:`readahead_max`.  Purity keeps prefetch *volume*
+        deterministic for a given request history; the served bytes
+        never depend on it either way.
+        """
+        if self.readahead_max <= 0 or self.demand_words <= 0:
+            return 0
+        return min(
+            self.readahead_max, 1 << (self.demand_words - 1).bit_length()
+        )
+
+    def plan_fill(self, demand: int) -> int:
+        """Words the planner should prefill for ``demand`` more words.
+
+        Caller must hold :attr:`lock`.  Records the demand, and returns
+        ``0`` when the buffer already covers it (a readahead *hit*);
+        otherwise the shortfall plus the demand-pure readahead margin.
+        The fill must be fetched at :meth:`fill_offset` and handed back
+        through :meth:`push_readahead` (or :meth:`fill_local`).
+        """
+        if demand < 0:
+            raise ValueError(f"demand must be non-negative, got {demand}")
+        self.demand_words += demand
+        need = demand - self._ra_buffered
+        if need <= 0:
+            return 0
+        return need + self._readahead_extra()
+
+    def fill_offset(self) -> int:
+        """Absolute word offset the next buffer fill starts at."""
+        return self.words_served + self._ra_buffered
+
+    def push_readahead(self, words: np.ndarray) -> None:
+        """Append prefetched words (caller must hold :attr:`lock`).
+
+        ``words`` must be the stream's words starting exactly at
+        :meth:`fill_offset` -- the batching planner guarantees this by
+        fetching the span ``(fill_offset, n)`` it just planned.
+        """
+        if words.size:
+            self._ra_chunks.append(words)
+            self._ra_buffered += words.size
+
+    def fill_local(self, n: int) -> None:
+        """Prefill ``n`` words from the in-process bank (lock held)."""
+        if self.prng is None:
+            raise RuntimeError("fill_local needs an in-process bank")
+        if n <= 0:
+            return
+        offset = self.fill_offset()
+        if self.prng.tell() != offset:
+            self.prng.seek(offset)
+        out = np.empty(n, dtype=np.uint64)
+        self.prng.generate_into(out)
+        self.push_readahead(out)
+
+    @property
+    def readahead_buffered(self) -> int:
+        """Words currently sitting in the readahead buffer."""
+        return self._ra_buffered
+
+    # -- client-visible ops --------------------------------------------
+
+    def generate_locked(self, n: int) -> np.ndarray:
+        """:meth:`generate` body; the caller must hold :attr:`lock`.
+
+        The batching executor serves whole batches while holding the
+        locks of every session involved, so the public wrapper's
+        ``with self.lock`` cannot be reused (``threading.Lock`` is not
+        reentrant) -- this is the entry point it calls instead.
+        """
+        if n < 0:
+            raise ValueError(f"count must be non-negative, got {n}")
+        out = self._draw_words_locked(n)
+        self.requests += 1
         return out
 
     def generate(self, n: int) -> np.ndarray:
@@ -203,12 +354,15 @@ class SessionStream:
         in :meth:`ParallelExpanderPRNG.generate` (the core stream
         contract); this wrapper only adds locking and accounting.
         """
-        if n < 0:
-            raise ValueError(f"count must be non-negative, got {n}")
         with self.lock:
-            out = self._draw_words_locked(n)
-            self.requests += 1
-            return out
+            return self.generate_locked(n)
+
+    def variates_locked(self, dist: str, n: int, params=None):
+        """:meth:`variates` body; the caller must hold :attr:`lock`."""
+        values = self.dist.sample(dist, n, params)
+        self.requests += 1
+        self.variates_served += len(values)
+        return values, self.words_served
 
     def variates(self, dist: str, n: int, params=None):
         """``n`` typed variates off this session's word stream.
@@ -222,10 +376,7 @@ class SessionStream:
         keeps recording plain word-offset acks -- no new record types).
         """
         with self.lock:
-            values = self.dist.sample(dist, n, params)
-            self.requests += 1
-            self.variates_served += len(values)
-            return values, self.words_served
+            return self.variates_locked(dist, n, params)
 
     def seek(self, word_offset: int) -> None:
         """Reposition the stream at an absolute word offset (thread-safe).
@@ -247,6 +398,11 @@ class SessionStream:
             # Engine-backed sessions ship absolute offsets per fetch, so
             # updating the position is all a seek needs to do there.
             self.words_served = word_offset
+            # The readahead buffer describes the pre-seek position;
+            # drop it (it was never journaled or acked, so exactly-once
+            # accounting is untouched).
+            self._ra_chunks.clear()
+            self._ra_buffered = 0
             # Served samplers are zero-carry so this is belt-and-braces,
             # but any buffered variate describes the pre-seek stream.
             self.dist.reset_carry()
@@ -284,6 +440,7 @@ class SessionStream:
             "requests": self.requests,
             "words_served": self.words_served,
             "variates_served": self.variates_served,
+            "readahead_buffered": self._ra_buffered,
             "health": self.health,
             "feed_health": self.feed_health,
             "active_source": active,

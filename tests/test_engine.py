@@ -218,3 +218,107 @@ class TestIntrospection:
         eng.close()
         eng.close()
         assert eng.shards_alive == [False, False]
+
+
+class TestFetchSpans:
+    def test_multi_span_round_matches_per_stream_references(self):
+        """One fused fetch_spans call serves many streams across both
+        shards, each byte-identical to its in-process bank."""
+        streams = [(40, 8), (41, 16), (42, 8), (43, 4)]
+        locals_ = {
+            (seed, lanes): AddressableExpanderPRNG(
+                num_threads=lanes, bit_source=_make_feed(CONFIG, seed),
+                policy=CONFIG.policy,
+            )
+            for seed, lanes in streams
+        }
+        spans = [
+            (seed, lanes, None, 50 + 10 * i)
+            for i, (seed, lanes) in enumerate(streams)
+        ]
+        with ShardedEngine(CONFIG) as eng:
+            results = eng.fetch_spans(spans)
+        for (seed, lanes, _off, n), got in zip(spans, results):
+            assert isinstance(got, np.ndarray), got
+            np.testing.assert_array_equal(
+                got, locals_[(seed, lanes)].generate(n)
+            )
+
+    def test_same_stream_spans_are_contiguous(self):
+        """Two offset=None spans of one stream in a single batch
+        continue each other, and fetch_stream continues after both."""
+        seed, lanes = 41, 8
+        local = AddressableExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(CONFIG, seed),
+            policy=CONFIG.policy,
+        )
+        ref = local.generate(120)
+        with ShardedEngine(CONFIG) as eng:
+            a, b = eng.fetch_spans(
+                [(seed, lanes, None, 30), (seed, lanes, None, 50)]
+            )
+            np.testing.assert_array_equal(a, ref[:30])
+            np.testing.assert_array_equal(b, ref[30:80])
+            np.testing.assert_array_equal(
+                eng.fetch_stream(seed, lanes, 40), ref[80:120]
+            )
+
+    def test_explicit_offsets_and_word_cap(self):
+        """Spans bigger than the per-round word cap split into multiple
+        capped rounds without changing a byte."""
+        import repro.engine.sharded as sharded_mod
+
+        seed, lanes = 40, 8
+        local = AddressableExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(CONFIG, seed),
+            policy=CONFIG.policy,
+        )
+        ref = local.generate(600)
+        old_cap = sharded_mod.MAX_ROUND_WORDS
+        sharded_mod.MAX_ROUND_WORDS = 100
+        try:
+            with ShardedEngine(CONFIG) as eng:
+                results = eng.fetch_spans(
+                    [
+                        (seed, lanes, 100, 80),
+                        (seed, lanes, 0, 90),
+                        (seed, lanes, 300, 300),
+                    ]
+                )
+        finally:
+            sharded_mod.MAX_ROUND_WORDS = old_cap
+        np.testing.assert_array_equal(results[0], ref[100:180])
+        np.testing.assert_array_equal(results[1], ref[0:90])
+        np.testing.assert_array_equal(results[2], ref[300:600])
+
+    def test_empty_and_invalid_spans(self):
+        with ShardedEngine(CONFIG) as eng:
+            assert eng.fetch_spans([]) == []
+            with pytest.raises(ValueError):
+                eng.fetch_spans([(1, 0, None, 8)])
+            with pytest.raises(ValueError):
+                eng.fetch_spans([(1, 4, None, -1)])
+            with pytest.raises(ValueError):
+                eng.fetch_spans([(1, 4, -5, 8)])
+
+    def test_restart_mid_spans_is_deterministic(self):
+        """A shard killed before a fused round is re-served exactly
+        (absolute offsets make the retry byte-identical)."""
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=0,
+                           fetch_timeout_s=3.0, auto_restart=True)
+        seed, lanes = 40, 8  # shard 0 owns the stream
+        local = AddressableExpanderPRNG(
+            num_threads=lanes, bit_source=_make_feed(cfg, seed),
+            policy=cfg.policy,
+        )
+        ref = local.generate(100)
+        with ShardedEngine(cfg) as eng:
+            head = eng.fetch_spans([(seed, lanes, None, 30)])[0]
+            kill_shard(eng, 0)
+            tail = eng.fetch_spans(
+                [(seed, lanes, None, 40), (seed, lanes, None, 30)]
+            )
+            assert eng.restarts >= 1
+        np.testing.assert_array_equal(head, ref[:30])
+        np.testing.assert_array_equal(tail[0], ref[30:70])
+        np.testing.assert_array_equal(tail[1], ref[70:100])
