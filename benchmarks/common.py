@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Optional
 
@@ -31,6 +32,53 @@ def safe_name(name: str) -> str:
         name.lower().replace(" ", "_").replace("/", "-").replace(":", "")
         .replace("(", "").replace(")", "")
     )
+
+
+def blas_thread_count() -> int:
+    """Threads the BLAS pool will use for the blocked FEED matmuls.
+
+    Resolution order: an actual pool introspection via ``threadpoolctl``
+    when present, then the conventional env pins
+    (``OMP_NUM_THREADS``/``OPENBLAS_NUM_THREADS``/``MKL_NUM_THREADS``),
+    then the host's core count -- the default most BLAS builds use.
+    """
+    try:  # pragma: no cover - optional dependency
+        from threadpoolctl import threadpool_info
+
+        sizes = [
+            info.get("num_threads", 0)
+            for info in threadpool_info()
+            if info.get("user_api") == "blas"
+        ]
+        if sizes:
+            return max(sizes)
+    except ImportError:
+        pass
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS"):
+        val = os.environ.get(var)
+        if val:
+            try:
+                return int(val.split(",")[0])
+            except ValueError:
+                continue
+    return os.cpu_count() or 1
+
+
+def host_env(backend: Optional[str] = None) -> dict:
+    """Provenance fields every benchmark record should carry.
+
+    A throughput number is meaningless without the array backend it ran
+    on, the cores it could use and the BLAS pool width behind the
+    blocked FEED -- regressions diff these records across hosts.
+    """
+    from repro.backend import get_backend
+
+    return {
+        "backend": get_backend(backend).name,
+        "host_cpu_count": os.cpu_count() or 1,
+        "blas_threads": blas_thread_count(),
+    }
 
 
 def emit_bench_record(

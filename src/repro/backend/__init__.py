@@ -1,0 +1,153 @@
+"""``repro.backend`` -- pluggable array backends for the hot kernels.
+
+The registry maps names to lazily-constructed :class:`Backend`
+instances.  Resolution order for :func:`get_backend`:
+
+1. an explicit name (or a ``Backend`` instance, passed through);
+2. the process default set by :func:`set_default_backend`;
+3. the ``REPRO_BACKEND`` environment variable (inherited by engine
+   worker processes, so a parent's choice propagates);
+4. ``"numpy"``.
+
+Kernel modules guarded by ``tools/lint_backend.py`` must not import
+``numpy``/``scipy`` directly; they use the pinned host namespace this
+package re-exports::
+
+    from repro.backend import host_np as np
+
+``host_np`` *is* numpy -- the indirection is the point: it marks every
+host-side array use as deliberate and keeps device-side uses behind
+``Backend.xp``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as host_np
+
+from repro.backend.base import Backend, BackendUnavailableError, NumPyBackend
+
+__all__ = [
+    "Backend",
+    "BackendUnavailableError",
+    "NumPyBackend",
+    "available_backends",
+    "backend_of",
+    "backend_names",
+    "get_backend",
+    "host_np",
+    "register_backend",
+    "set_default_backend",
+]
+
+_ENV_VAR = "REPRO_BACKEND"
+
+_factories: Dict[str, Callable[[], Backend]] = {}
+_instances: Dict[str, Backend] = {}
+_failures: Dict[str, str] = {}
+_default_name: Optional[str] = None
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register ``factory`` under ``name`` (replacing any previous one)."""
+    _factories[name] = factory
+    _instances.pop(name, None)
+    _failures.pop(name, None)
+
+
+def backend_names() -> List[str]:
+    """All registered backend names (available or not)."""
+    return list(_factories)
+
+
+def _instantiate(name: str) -> Backend:
+    inst = _instances.get(name)
+    if inst is not None:
+        return inst
+    if name in _failures:
+        raise BackendUnavailableError(_failures[name])
+    factory = _factories.get(name)
+    if factory is None:
+        raise BackendUnavailableError(
+            f"unknown backend {name!r}; registered: {sorted(_factories)}"
+        )
+    try:
+        inst = factory()
+    except BackendUnavailableError as exc:
+        _failures[name] = str(exc)
+        raise
+    _instances[name] = inst
+    return inst
+
+
+def get_backend(name: Union[None, str, Backend] = None) -> Backend:
+    """Resolve a backend by name; ``None`` means the process default."""
+    if isinstance(name, Backend):
+        return name
+    if name is None:
+        name = _default_name or os.environ.get(_ENV_VAR) or "numpy"
+    return _instantiate(name)
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Pin the process-wide default backend (``None`` resets).
+
+    Validates eagerly so a bad ``--backend`` fails at startup, not in
+    the middle of a stream.
+    """
+    if name is not None:
+        _instantiate(name)
+    global _default_name
+    _default_name = name
+
+
+def available_backends() -> Dict[str, bool]:
+    """Registered names -> whether each can be instantiated here."""
+    out: Dict[str, bool] = {}
+    for name in _factories:
+        try:
+            _instantiate(name)
+        except BackendUnavailableError:
+            out[name] = False
+        else:
+            out[name] = True
+    return out
+
+
+def backend_of(arr) -> Backend:
+    """The backend owning ``arr`` (host numpy arrays -> numpy backend).
+
+    Only already-instantiated device backends are consulted: an array
+    can't belong to a backend that was never constructed.
+    """
+    if isinstance(arr, host_np.ndarray) or host_np.isscalar(arr):
+        return _instantiate("numpy")
+    for be in _instances.values():
+        if not be.is_host and be.owns(arr):
+            return be
+    raise TypeError(
+        f"no registered backend owns array of type {type(arr).__name__}"
+    )
+
+
+def _numpy_factory() -> Backend:
+    return NumPyBackend()
+
+
+def _cupy_factory() -> Backend:
+    from repro.backend.cupy_backend import CuPyBackend
+
+    return CuPyBackend()
+
+
+def _torch_factory() -> Backend:
+    from repro.backend.torch_backend import TorchBackend
+
+    return TorchBackend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("cupy", _cupy_factory)
+register_backend("torch", _torch_factory)

@@ -1,0 +1,219 @@
+"""The array-backend protocol: one thin seam between kernels and arrays.
+
+A :class:`Backend` names an array namespace (``backend.xp``), a pinned
+dtype surface, and the **explicit host<->device transfer hooks** the hot
+kernels are allowed to use.  The kernels in :mod:`repro.core.walk`,
+:mod:`repro.core.generator` and :mod:`repro.dist.transforms` never
+import :mod:`numpy` directly; they take every array operation either
+from the host namespace this package re-exports (feed words, protocol
+buffers, delivery boundaries -- host by contract) or from a backend's
+``xp`` namespace (the device-resident kernel state).
+
+Design rules (Shoverand's manycore-PRNG safety rules, adapted):
+
+* **The stream is backend-invariant.**  The walk kernel is pure
+  integer arithmetic (uint32 wraparound, table lookups), so a correct
+  backend is *bit-identical* to NumPy -- the golden-stream suite
+  enforces this for every registered backend.  Float transforms may
+  differ by ULPs across devices and are tested for distributional
+  parity instead.
+* **Transfers are explicit and counted.**  ``from_host``/``to_host``
+  are the only crossing points, and on non-host backends they run
+  inside the obs ``TRANSFER`` span -- the same stage the paper's
+  Figure 4 budgets for PCIe.  The host backend's hooks are identity
+  functions with zero overhead.
+* **Delivery is host-side.**  ``generate_into`` and every serving
+  buffer stay host ``uint64``; a non-host backend pays exactly one
+  device->host copy at the delivery boundary (``pack_pairs_to_host``).
+
+Storage dtypes may differ from logical dtypes when a device lacks
+unsigned integers (torch stores logical ``uint32``/``uint64`` as
+``int32``/``int64``): two's-complement add/multiply/shift/xor wrap to
+the same bit patterns, and the transfer hooks reinterpret bits, never
+values, so the emitted stream is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as _np
+
+from repro.obs.trace import span
+
+__all__ = ["Backend", "BackendUnavailableError", "NumPyBackend"]
+
+
+class BackendUnavailableError(RuntimeError):
+    """The named backend's array library is not importable here."""
+
+
+class Backend:
+    """Base array backend; subclasses pin the namespace and transfers.
+
+    Attributes
+    ----------
+    name : str
+        Registry name (``"numpy"``, ``"cupy"``, ``"torch"``).
+    xp : module-like
+        The array namespace kernels call (``xp.take``, ``xp.add``, ...).
+    is_host : bool
+        True when ``xp`` arrays live in host memory.  Host-backend
+        transfer hooks are identity functions (no span, no copy).
+    """
+
+    name = "abstract"
+    is_host = True
+    xp = None
+
+    #: Storage dtypes for the logical kernel dtypes.  Subclasses with
+    #: no unsigned support remap these bit-compatibly.
+    uint8 = _np.uint8
+    uint32 = _np.uint32
+    uint64 = _np.uint64
+    float64 = _np.float64
+    index_dtype = _np.intp
+
+    def __init__(self) -> None:
+        # key -> (host array kept alive, device copy); id()-keyed, so
+        # the host reference must be retained to keep keys stable.
+        self._constants: Dict[int, tuple] = {}
+
+    # -- identity ------------------------------------------------------
+
+    def owns(self, arr) -> bool:
+        """Whether ``arr`` is this backend's array type."""
+        raise NotImplementedError
+
+    # -- transfers (the only host<->device crossing points) ------------
+
+    def from_host(self, arr: _np.ndarray):
+        """Host array -> backend array, bit-preserving.
+
+        Non-host backends run this inside the obs ``TRANSFER`` span.
+        """
+        raise NotImplementedError
+
+    def to_host(self, arr) -> _np.ndarray:
+        """Backend array -> host ``numpy`` array, bit-preserving."""
+        raise NotImplementedError
+
+    def constant(self, host_arr: _np.ndarray):
+        """Memoized :meth:`from_host` for long-lived lookup tables."""
+        key = id(host_arr)
+        hit = self._constants.get(key)
+        if hit is not None and hit[0] is host_arr:
+            return hit[1]
+        dev = self.from_host(host_arr)
+        self._constants[key] = (host_arr, dev)
+        return dev
+
+    def device_index(self, ks):
+        """Neighbour-index array in the form ``xp.take`` wants.
+
+        Host chunks arrive as ``uint8``; non-host backends upload (and
+        cast to their gather index dtype).  Already-owned arrays pass
+        through, so a bulk walk uploads its whole index block once.
+        """
+        return ks
+
+    # -- ops that are not uniform across namespaces --------------------
+
+    def swap_rows(self, a2):
+        """Rows of a ``(2, n)`` array in reverse order (view if cheap)."""
+        return a2[::-1]
+
+    def rshift_u64(self, a, k: int):
+        """Logical right shift of logical-uint64 words by ``k`` bits."""
+        return a >> _np.uint64(k)
+
+    def ge_u64(self, a, k: int):
+        """Elementwise unsigned ``a >= k`` on logical-uint64 words."""
+        return a >= _np.uint64(k)
+
+    def astype_f64(self, a):
+        return a.astype(_np.float64)
+
+    def astype_index(self, a):
+        """Cast to the backend's table fancy-indexing dtype."""
+        return a.astype(self.index_dtype)
+
+    def copy_u64(self, a):
+        """A fresh logical-uint64 copy of ``a`` (same backend)."""
+        return a.astype(_np.uint64, copy=True)
+
+    def zeros_bool(self, n: int):
+        return self.xp.zeros(n, dtype=bool)
+
+    def pack_pairs_to_host(self, x, y) -> _np.ndarray:
+        """``(x << 32) | y`` as a host ``uint64`` array.
+
+        The single device->host copy of the delivery boundary on
+        non-host backends.
+        """
+        raise NotImplementedError
+
+    def ndtri(self, a):
+        """Inverse standard-normal CDF (the ziggurat's exact tail)."""
+        raise NotImplementedError
+
+    def synchronize(self) -> None:
+        """Block until queued device work is done (no-op on host)."""
+
+
+class NumPyBackend(Backend):
+    """The default backend: ``xp`` *is* :mod:`numpy`.
+
+    Every kernel call under this backend executes the identical numpy
+    operation the pre-backend code ran, so bit-identity with the
+    pre-refactor streams is structural, not incidental -- and the
+    golden-stream suite pins it anyway.
+    """
+
+    name = "numpy"
+    is_host = True
+    xp = _np
+
+    def owns(self, arr) -> bool:
+        return isinstance(arr, _np.ndarray)
+
+    def from_host(self, arr: _np.ndarray):
+        return arr
+
+    def to_host(self, arr) -> _np.ndarray:
+        return arr
+
+    def constant(self, host_arr: _np.ndarray):
+        return host_arr
+
+    def pack_pairs_to_host(self, x, y) -> _np.ndarray:
+        out = x.astype(_np.uint64)
+        out <<= _np.uint64(32)
+        out |= y
+        return out
+
+    def ndtri(self, a):
+        from scipy.special import ndtri as _ndtri  # lazy: keep core light
+
+        return _ndtri(a)
+
+
+class _DeviceBackend(Backend):
+    """Shared transfer-span plumbing for non-host backends."""
+
+    is_host = False
+
+    def _upload(self, arr: _np.ndarray):
+        raise NotImplementedError
+
+    def _download(self, arr) -> _np.ndarray:
+        raise NotImplementedError
+
+    def from_host(self, arr: _np.ndarray):
+        with span("transfer", backend=self.name, direction="h2d",
+                  bytes=int(arr.nbytes)):
+            return self._upload(arr)
+
+    def to_host(self, arr) -> _np.ndarray:
+        with span("transfer", backend=self.name, direction="d2h"):
+            return self._download(arr)

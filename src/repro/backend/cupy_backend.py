@@ -1,0 +1,79 @@
+"""CuPy backend: the walk kernel on a real CUDA device.
+
+CuPy mirrors the NumPy API including unsigned integers, so the kernel
+body is literally the same call sequence as the host path -- only the
+namespace differs.  Integer ops are exact, so golden streams must be
+bit-identical; float transforms (``exp``/``log``/``ndtri``) may differ
+by ULPs from host libm and are tested for distributional parity only.
+
+Import is lazy and failure maps to :class:`BackendUnavailableError`,
+so merely registering this backend costs nothing on hosts without
+CUDA.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from repro.backend.base import BackendUnavailableError, _DeviceBackend
+
+__all__ = ["CuPyBackend"]
+
+
+class CuPyBackend(_DeviceBackend):
+    name = "cupy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        try:
+            import cupy
+        except Exception as exc:  # pragma: no cover - needs CUDA host
+            raise BackendUnavailableError(
+                f"backend 'cupy' needs the cupy package and a CUDA device: {exc}"
+            ) from exc
+        try:
+            cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:  # pragma: no cover - needs CUDA host
+            raise BackendUnavailableError(
+                f"backend 'cupy' found no usable CUDA device: {exc}"
+            ) from exc
+        self.xp = cupy
+        self._cupy = cupy
+
+    # cupy keeps numpy's dtype objects, so the inherited dtype surface
+    # (uint8/uint32/uint64/float64/intp) is already correct.
+
+    def owns(self, arr) -> bool:  # pragma: no cover - needs CUDA host
+        return isinstance(arr, self._cupy.ndarray)
+
+    def _upload(self, arr):  # pragma: no cover - needs CUDA host
+        return self._cupy.asarray(arr)
+
+    def _download(self, arr):  # pragma: no cover - needs CUDA host
+        return self._cupy.asnumpy(arr)
+
+    def device_index(self, ks):  # pragma: no cover - needs CUDA host
+        if self.owns(ks):
+            return ks
+        return self.from_host(ks)
+
+    def pack_pairs_to_host(self, x, y):  # pragma: no cover - needs CUDA host
+        out = x.astype(self._cupy.uint64)
+        out <<= self._cupy.uint64(32)
+        out |= y
+        return self.to_host(out)
+
+    def ndtri(self, a):  # pragma: no cover - needs CUDA host
+        try:
+            from cupyx.scipy.special import ndtri as _ndtri
+
+            return _ndtri(a)
+        except Exception:
+            # Exactness over speed: the ziggurat tail is rare, so a
+            # host round-trip through scipy is an acceptable fallback.
+            from scipy.special import ndtri as _host_ndtri
+
+            return self.from_host(_host_ndtri(self.to_host(a)))
+
+    def synchronize(self) -> None:  # pragma: no cover - needs CUDA host
+        self._cupy.cuda.get_current_stream().synchronize()

@@ -1,0 +1,183 @@
+"""Torch backend: the walk kernel as torch tensor ops (CPU or CUDA).
+
+Torch has no unsigned integer dtypes and no negative-step slicing, so
+this backend is a *shim namespace* rather than a bare module handle:
+
+* logical ``uint32``/``uint64`` are stored as ``int32``/``int64``.
+  Two's-complement add/multiply/shift/xor produce the same bit
+  patterns as the unsigned ops, and transfers reinterpret bits
+  (``ndarray.view``), never values, so streams stay bit-identical;
+* ``take`` maps to ``torch.index_select`` (indices widened to
+  ``long``), ``swap_rows`` to ``torch.flip``;
+* logical right shift is arithmetic shift + mask, and unsigned
+  comparisons (Lemire's threshold test) use the sign-bit-flip trick.
+
+Runs on CUDA when available, else CPU -- the CPU leg is what the CI
+smoke job exercises.  Import is lazy; absence maps to
+:class:`BackendUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from repro.backend.base import BackendUnavailableError, _DeviceBackend
+
+__all__ = ["TorchBackend"]
+
+_SIGN64 = 1 << 63
+
+
+class _TorchNamespace:
+    """The ``xp`` surface kernels call, backed by torch ops.
+
+    Only the operations the kernels actually use are shimmed; anything
+    else falls through to the ``torch`` module itself.
+    """
+
+    def __init__(self, torch, device) -> None:
+        self._torch = torch
+        self._device = device
+        self._dtype_map = {
+            _np.dtype(_np.uint8): torch.uint8,
+            _np.dtype(_np.uint32): torch.int32,
+            _np.dtype(_np.uint64): torch.int64,
+            _np.dtype(_np.float64): torch.float64,
+            _np.dtype(_np.bool_): torch.bool,
+        }
+
+    def _map_dtype(self, dtype):
+        if dtype is None or isinstance(dtype, self._torch.dtype):
+            return dtype
+        if dtype is bool:
+            return self._torch.bool
+        return self._dtype_map[_np.dtype(dtype)]
+
+    def empty(self, shape, dtype=None):
+        return self._torch.empty(
+            shape, dtype=self._map_dtype(dtype), device=self._device
+        )
+
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(
+            shape, dtype=self._map_dtype(dtype), device=self._device
+        )
+
+    def take(self, a, indices, axis=None, out=None):
+        torch = self._torch
+        if indices.dtype != torch.long:
+            indices = indices.long()
+        if axis is None:
+            a = a.reshape(-1)
+            axis = 0
+        if out is None:
+            return torch.index_select(a, axis, indices)
+        return torch.index_select(a, axis, indices, out=out)
+
+    def multiply(self, a, b, out=None):
+        if out is None:
+            return self._torch.mul(a, b)
+        return self._torch.mul(a, b, out=out)
+
+    def add(self, a, b, out=None):
+        if out is None:
+            return self._torch.add(a, b)
+        return self._torch.add(a, b, out=out)
+
+    def __getattr__(self, name):
+        # exp/log/log1p/sqrt/cos/sin/where/... share numpy's signature.
+        return getattr(self._torch, name)
+
+
+class TorchBackend(_DeviceBackend):
+    name = "torch"
+
+    def __init__(self) -> None:
+        super().__init__()
+        try:
+            import torch
+        except Exception as exc:  # pragma: no cover - needs torch install
+            raise BackendUnavailableError(
+                f"backend 'torch' needs the torch package: {exc}"
+            ) from exc
+        self._torch = torch
+        self._device = torch.device(
+            "cuda" if torch.cuda.is_available() else "cpu"
+        )
+        self.xp = _TorchNamespace(torch, self._device)
+        self.uint8 = torch.uint8
+        self.uint32 = torch.int32
+        self.uint64 = torch.int64
+        self.float64 = torch.float64
+        self.index_dtype = torch.long
+
+    # torch tensors live on the host when the device is "cpu", but the
+    # namespace still needs the shim (no unsigned dtypes), so the
+    # backend reports is_host=False either way and pays the (no-op
+    # memcpy) delivery copy for uniformity.
+
+    def owns(self, arr) -> bool:  # pragma: no cover - needs torch install
+        return isinstance(arr, self._torch.Tensor)
+
+    def _upload(self, arr):  # pragma: no cover - needs torch install
+        if arr.dtype == _np.uint32:
+            arr = arr.view(_np.int32)
+        elif arr.dtype == _np.uint64:
+            arr = arr.view(_np.int64)
+        t = self._torch.from_numpy(_np.ascontiguousarray(arr))
+        if self._device.type == "cpu":
+            return t.clone()
+        return t.to(self._device)
+
+    def _download(self, arr):  # pragma: no cover - needs torch install
+        host = arr.detach().cpu().numpy()
+        if host.dtype == _np.int32:
+            host = host.view(_np.uint32)
+        elif host.dtype == _np.int64:
+            host = host.view(_np.uint64)
+        return host.copy()
+
+    def device_index(self, ks):  # pragma: no cover - needs torch install
+        if self.owns(ks):
+            return ks if ks.dtype == self._torch.long else ks.long()
+        return self.from_host(ks).long()
+
+    def swap_rows(self, a2):  # pragma: no cover - needs torch install
+        return self._torch.flip(a2, dims=(0,))
+
+    def rshift_u64(self, a, k: int):  # pragma: no cover - needs torch
+        if k == 0:
+            return a
+        return (a >> k) & ((1 << (64 - k)) - 1)
+
+    def ge_u64(self, a, k: int):  # pragma: no cover - needs torch install
+        # Flip the sign bit of both sides: unsigned order becomes
+        # signed order.  -_SIGN64 is the int64 whose bits are 0x8000...
+        flipped = int(k) ^ _SIGN64
+        if flipped >= _SIGN64:
+            flipped -= 1 << 64
+        return (a ^ (-_SIGN64)) >= flipped
+
+    def astype_f64(self, a):  # pragma: no cover - needs torch install
+        return a.to(self._torch.float64)
+
+    def astype_index(self, a):  # pragma: no cover - needs torch install
+        return a.to(self._torch.long)
+
+    def copy_u64(self, a):  # pragma: no cover - needs torch install
+        return a.clone()
+
+    def zeros_bool(self, n: int):  # pragma: no cover - needs torch install
+        return self._torch.zeros(n, dtype=self._torch.bool, device=self._device)
+
+    def pack_pairs_to_host(self, x, y):  # pragma: no cover - needs torch
+        x64 = x.to(self._torch.int64) & 0xFFFFFFFF
+        y64 = y.to(self._torch.int64) & 0xFFFFFFFF
+        return self.to_host((x64 << 32) | y64)
+
+    def ndtri(self, a):  # pragma: no cover - needs torch install
+        return self._torch.special.ndtri(a)
+
+    def synchronize(self) -> None:  # pragma: no cover - needs torch
+        if self._device.type == "cuda":
+            self._torch.cuda.synchronize()

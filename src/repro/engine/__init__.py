@@ -12,6 +12,7 @@ relative to the in-process generators (see
 from repro.engine.ring import RingHandle, RingWriter, SharedRing
 from repro.engine.sharded import (
     DEFAULT_ENGINE_LANES,
+    DEFAULT_RING_BURST,
     DEFAULT_RING_SLOTS,
     ENGINE_RETRY_POLICY,
     EngineConfig,
@@ -21,6 +22,7 @@ from repro.engine.sharded import (
 
 __all__ = [
     "DEFAULT_ENGINE_LANES",
+    "DEFAULT_RING_BURST",
     "DEFAULT_RING_SLOTS",
     "ENGINE_RETRY_POLICY",
     "EngineConfig",

@@ -3,9 +3,14 @@
 Each worker shard owns exactly one :class:`SharedRing` and is its only
 *writer*; the engine's reader thread in the parent process is the only
 *consumer*.  A ring is a fixed number of equally sized ``uint64``
-records (one record = one walker-bank round) living in a
-:mod:`multiprocessing.shared_memory` segment, guarded by two counting
-semaphores:
+records living in a :mod:`multiprocessing.shared_memory` segment,
+guarded by two counting semaphores.  A record is a **burst** of
+``rounds_per_slot`` consecutive walker-bank rounds (default 1): the
+writer fills a whole burst with one fused multi-round launch and pays
+one semaphore/notify pair for all of them, so per-round IPC cost is
+amortized ``rounds_per_slot``-fold.  Bursts are transport framing
+only -- the reader still hands rounds out one at a time, and the
+stream is defined round-by-round, never burst-by-burst.
 
 ``free``
     Slots the writer may fill.  Starts at ``slots``; the writer blocks
@@ -59,10 +64,11 @@ class RingHandle:
     """Picklable description of a ring, for handing to a worker process."""
 
     def __init__(self, name: str, slots: int, record_size: int,
-                 free, filled):
+                 free, filled, rounds_per_slot: int = 1):
         self.name = name
         self.slots = slots
         self.record_size = record_size
+        self.rounds_per_slot = rounds_per_slot
         self.free = free
         self.filled = filled
 
@@ -76,8 +82,10 @@ class RingWriter:
 
     def __init__(self, handle: RingHandle):
         self._shm = _attach_untracked(handle.name)
+        rps = getattr(handle, "rounds_per_slot", 1)
+        self.rounds_per_slot = rps
         self._buf = np.ndarray(
-            (handle.slots, handle.record_size),
+            (handle.slots, rps * handle.record_size),
             dtype=np.uint64,
             buffer=self._shm.buf,
         )
@@ -88,8 +96,9 @@ class RingWriter:
         self._reserved = False
 
     def try_reserve(self, timeout: float = 0.0) -> Optional[np.ndarray]:
-        """A writable view of the next slot, or ``None`` if the ring is
-        full for ``timeout`` seconds (backpressure)."""
+        """A writable view of the next slot (one whole burst of
+        ``rounds_per_slot * record_size`` words), or ``None`` if the
+        ring is full for ``timeout`` seconds (backpressure)."""
         if self._reserved:
             raise RuntimeError("previous reservation was never committed")
         ok = self._free.acquire(True, timeout) if timeout > 0 \
@@ -120,22 +129,28 @@ class SharedRing:
     slots : int
         Records the ring buffers; the writer stalls once all are full.
     record_size : int
-        ``uint64`` values per record (the shard's lane count).
+        ``uint64`` values per round (the shard's lane count).
     ctx : multiprocessing context, optional
         Supplies the semaphores (must match the worker start method).
+    rounds_per_slot : int
+        Rounds packed into one slot/semaphore cycle (the burst width).
     """
 
-    def __init__(self, slots: int, record_size: int, ctx=None):
+    def __init__(self, slots: int, record_size: int, ctx=None,
+                 rounds_per_slot: int = 1):
         check_positive("slots", slots)
         check_positive("record_size", record_size)
+        check_positive("rounds_per_slot", rounds_per_slot)
         ctx = ctx or mp.get_context()
         self.slots = slots
         self.record_size = record_size
+        self.rounds_per_slot = rounds_per_slot
+        slot_words = rounds_per_slot * record_size
         self._shm = shared_memory.SharedMemory(
-            create=True, size=slots * record_size * 8
+            create=True, size=slots * slot_words * 8
         )
         self._buf = np.ndarray(
-            (slots, record_size), dtype=np.uint64, buffer=self._shm.buf
+            (slots, slot_words), dtype=np.uint64, buffer=self._shm.buf
         )
         self._free = ctx.Semaphore(slots)
         self._filled = ctx.Semaphore(0)
@@ -147,12 +162,13 @@ class SharedRing:
         """The picklable writer-side handle for the worker process."""
         return RingHandle(
             self._shm.name, self.slots, self.record_size,
-            self._free, self._filled,
+            self._free, self._filled, self.rounds_per_slot,
         )
 
     def peek(self, timeout: Optional[float] = None) -> Optional[np.ndarray]:
-        """View of the oldest committed record (zero-copy), or ``None``
-        if nothing is committed within ``timeout`` seconds.
+        """View of the oldest committed record (zero-copy, the whole
+        burst), or ``None`` if nothing is committed within ``timeout``
+        seconds.
 
         Peeking is idempotent until :meth:`consume` is called; the view
         stays valid exactly that long.

@@ -72,6 +72,7 @@ from repro.engine.ring import RingHandle, SharedRing
 
 __all__ = [
     "DEFAULT_ENGINE_LANES",
+    "DEFAULT_RING_BURST",
     "DEFAULT_RING_SLOTS",
     "ENGINE_RETRY_POLICY",
     "EngineConfig",
@@ -86,6 +87,13 @@ DEFAULT_ENGINE_LANES = 4096
 #: Rounds buffered per shard ring; the writer stalls when all are full,
 #: which is the engine's built-in backpressure.
 DEFAULT_RING_SLOTS = 4
+
+#: Rounds packed into one ring slot (the burst width): one
+#: semaphore/notify pair and one fused multi-round launch per burst,
+#: instead of per round.  Bursts are transport framing only -- the
+#: reader hands rounds out one at a time and restart positions stay
+#: round-granular -- so the bulk stream is unchanged for any value.
+DEFAULT_RING_BURST = 8
 
 #: Fast, bounded supervision budget for worker feeds (mirrors serving).
 ENGINE_RETRY_POLICY = RetryPolicy(
@@ -119,6 +127,15 @@ class EngineConfig:
     #: Rounds buffered per shard; ``0`` disables the bulk stream (a
     #: serve-only pool answers stream fetches but assembles no rounds).
     ring_slots: int = DEFAULT_RING_SLOTS
+    #: Rounds per ring slot (burst width); the effective value is capped
+    #: so one burst never exceeds :data:`MAX_ROUND_WORDS` words.
+    #: Transport framing only -- never part of the stream's identity.
+    ring_burst: int = DEFAULT_RING_BURST
+    #: Array backend name for worker walk kernels (``None`` = process
+    #: default, i.e. NumPy).  The stream is bit-identical on every
+    #: backend; a string (not a Backend instance) so configs stay
+    #: picklable for worker processes.
+    backend: Optional[str] = None
     #: Wrap worker feeds in a SupervisedFeed failover chain.  Value-
     #: transparent while healthy, so it never changes the stream.
     supervised: bool = True
@@ -146,10 +163,16 @@ class EngineConfig:
             raise ValueError(
                 f"ring_slots must be >= 0, got {self.ring_slots}"
             )
+        check_positive("ring_burst", self.ring_burst)
         if self.fetch_timeout_s <= 0:
             raise ValueError(
                 f"fetch_timeout_s must be > 0, got {self.fetch_timeout_s}"
             )
+
+
+def _effective_burst(config: EngineConfig) -> int:
+    """Rounds per ring slot, capped so a burst stays under the word cap."""
+    return max(1, min(config.ring_burst, MAX_ROUND_WORDS // config.lanes))
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +202,7 @@ def _make_bank(config: EngineConfig, shard_index: int) -> AddressableExpanderPRN
         bit_source=_make_feed(config, derive_seed(config.seed, shard_index)),
         walk_length=config.walk_length,
         policy=config.policy,
+        backend=config.backend,
     )
 
 
@@ -190,6 +214,7 @@ def _make_stream(config: EngineConfig, stream_seed: int,
         bit_source=_make_feed(config, stream_seed),
         walk_length=config.walk_length,
         policy=config.policy,
+        backend=config.backend,
     )
 
 
@@ -224,21 +249,15 @@ def _picklable(exc: BaseException):
         return f"{type(exc).__name__}: {exc}"
 
 
-def _serve_request(req, streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
-                   config: EngineConfig, resp_q) -> None:
+def _serve_fetch_round(span_reqs,
+                       streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
+                       config: EngineConfig, resp_q) -> None:
+    """One fused round: every span is generated into a single output
+    buffer, back to back, and shipped in one response.  Spans are
+    independent streams, so a failed span is recorded in ``metas``
+    (its slot in the buffer is simply not filled) and the rest of
+    the round still succeeds.  Always puts exactly one response."""
     try:
-        op = req[0]
-        if op == "ping":
-            resp_q.put(("ok", None))
-            return
-        if op != "fetchv":
-            raise ValueError(f"unknown engine request {op!r}")
-        # One fused round: every span is generated into a single output
-        # buffer, back to back, and shipped in one response.  Spans are
-        # independent streams, so a failed span is recorded in ``metas``
-        # (its slot in the buffer is simply not filled) and the rest of
-        # the round still succeeds.
-        _, span_reqs = req
         buf = np.empty(sum(s[3] for s in span_reqs), dtype=np.uint64)
         metas: list = []
         pos = 0
@@ -270,6 +289,26 @@ def _serve_request(req, streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
             resp_q.put(("err", f"{type(exc).__name__}: {exc}"))
 
 
+def _serve_request(req, streams: Dict[Tuple[int, int], AddressableExpanderPRNG],
+                   config: EngineConfig, resp_q) -> None:
+    """Handle one request message.
+
+    A ``fetchv`` message batches *all* of the caller's rounds for this
+    shard in one queue put (one pickle/wakeup instead of one per
+    round); responses still go back one per round so no single pickle
+    exceeds the :data:`MAX_ROUND_WORDS` response-size budget.
+    """
+    op = req[0]
+    if op == "ping":
+        resp_q.put(("ok", None))
+        return
+    if op != "fetchv":
+        resp_q.put(("err", f"unknown engine request {op!r}"))
+        return
+    for span_reqs in req[1]:
+        _serve_fetch_round(span_reqs, streams, config, resp_q)
+
+
 def _shard_main(config: EngineConfig, shard_index: int,
                 ring_handle: Optional[RingHandle], req_q, resp_q,
                 stop, resume_rounds: int, ready) -> None:
@@ -293,7 +332,11 @@ def _shard_main(config: EngineConfig, shard_index: int,
             if writer is not None:
                 slot = writer.try_reserve()
                 if slot is not None:
-                    slot[:] = bank.next_round()
+                    # One fused multi-round launch fills the whole
+                    # burst in place (zero-alloc: the slot is a view
+                    # into shared memory), then one notify publishes
+                    # every round in it.
+                    bank.generate_into(slot)
                     writer.commit()
                     produced = True
             try:
@@ -342,6 +385,13 @@ class ShardedEngine:
         #: Rounds of each shard the reader has consumed -- the restart
         #: seek target (a respawned worker jumps straight there).
         self._rounds_consumed = [0] * n
+        #: Rounds per ring slot (burst width), after the word cap.
+        self._burst = _effective_burst(config)
+        #: Read cursor inside each shard's current burst.  Reset on
+        #: respawn: a fresh ring's first burst starts at exactly
+        #: ``_rounds_consumed[i]``, so the partially-read burst that
+        #: died with the old ring is regenerated from its unread round.
+        self._burst_pos = [0] * n
         #: Next word offset per (stream_seed, lanes) -- where a fetch
         #: without an explicit ``offset`` continues from.
         self._stream_words: Dict[Tuple[int, int], int] = {}
@@ -366,10 +416,12 @@ class ShardedEngine:
     def _spawn(self, i: int, resume_rounds: int) -> None:
         cfg = self.config
         ring = (
-            SharedRing(cfg.ring_slots, cfg.lanes, self._ctx)
+            SharedRing(cfg.ring_slots, cfg.lanes, self._ctx,
+                       rounds_per_slot=self._burst)
             if cfg.ring_slots
             else None
         )
+        self._burst_pos[i] = 0
         req_q = self._ctx.Queue()
         resp_q = self._ctx.Queue()
         ready = self._ctx.Event()
@@ -484,6 +536,7 @@ class ShardedEngine:
         ring intact (the no-partial-results contract).
         """
         cfg = self.config
+        lanes = cfg.lanes
         parts = []
         for i in range(cfg.shards):
             while True:
@@ -495,13 +548,24 @@ class ShardedEngine:
                 if view is not None:
                     break
                 self._shard_down(i, "producing a round")
-            parts.append(view)
+            # The slot holds a burst; hand out this shard's next unread
+            # round of it.  Peek is idempotent, so re-peeking the same
+            # slot just re-slices at the same cursor.
+            pos = self._burst_pos[i]
+            parts.append(view[pos * lanes:(pos + 1) * lanes])
         return parts
 
     def _consume_round(self) -> None:
-        """Release the round returned by the last :meth:`_peek_round`."""
+        """Release the round returned by the last :meth:`_peek_round`.
+
+        The underlying ring slot is only handed back to the writer once
+        every round of its burst has been consumed.
+        """
         for i in range(self.config.shards):
-            self._rings[i].consume()
+            self._burst_pos[i] += 1
+            if self._burst_pos[i] >= self._burst:
+                self._rings[i].consume()
+                self._burst_pos[i] = 0
             self._rounds_consumed[i] += 1
         self.rounds_assembled += 1
         obs_metrics.counter(
@@ -655,12 +719,16 @@ class ShardedEngine:
                     if cur:
                         msgs.append(cur)
                     messages[i] = msgs
-                # Dispatch every round first -- shards run their fused
-                # walks concurrently -- then collect in the same order.
+                # Dispatch first -- shards run their fused walks
+                # concurrently -- then collect in the same order.  All
+                # of a shard's rounds travel in ONE queue put (one
+                # pickle + one wakeup); the worker still acknowledges
+                # round by round, keeping responses under the word cap.
                 for i in shard_ids:
-                    for msg in messages[i]:
+                    if messages[i]:
                         self._req_qs[i].put(
-                            ("fetchv", [sp for _, sp in msg])
+                            ("fetchv",
+                             [[sp for _, sp in msg] for msg in messages[i]])
                         )
                     obs_metrics.counter(
                         "repro_engine_fused_rounds_total",
@@ -685,12 +753,14 @@ class ShardedEngine:
                                 continue
                             # Revived: the old queues died with the
                             # worker, so re-dispatch every unanswered
-                            # round (absolute offsets make the retry
+                            # round -- again as one batched put
+                            # (absolute offsets make the retry
                             # byte-exact).
-                            for msg in msgs[answered:]:
-                                self._req_qs[i].put(
-                                    ("fetchv", [sp for _, sp in msg])
-                                )
+                            self._req_qs[i].put(
+                                ("fetchv",
+                                 [[sp for _, sp in msg]
+                                  for msg in msgs[answered:]])
+                            )
                             continue
                         msg = msgs[answered]
                         answered += 1
@@ -792,6 +862,8 @@ class ShardedEngine:
             "shards": self.config.shards,
             "lanes_per_shard": self.config.lanes,
             "policy": self.config.policy,
+            "ring_burst": self._burst,
+            "backend": self.config.backend or "numpy",
             "rounds_assembled": self.rounds_assembled,
             "streams": len(self._stream_words),
             "restarts": self.restarts,

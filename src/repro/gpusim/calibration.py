@@ -28,10 +28,13 @@ calibration entry for runs on the blocked kernel.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["PipelineCosts", "BaselineCosts", "PAPER_THROUGHPUT_GN_S",
-           "BLOCKED_FEED_SPEEDUP"]
+           "BLOCKED_FEED_SPEEDUP", "measure_backend_throughput",
+           "backend_calibration_report"]
 
 #: The headline throughput claim (GNumbers/second).
 PAPER_THROUGHPUT_GN_S = 0.07
@@ -128,3 +131,86 @@ class BaselineCosts:
     #: The hybrid generator running CPU-only (Section IV-A, Figure 6):
     #: per-number cost on ONE core; OpenMP divides it across cores.
     cpu_hybrid_single_core_ns: float = 75.0
+
+
+def measure_backend_throughput(
+    backend=None,
+    lanes: int = 4096,
+    rounds: int = 32,
+    repeats: int = 3,
+) -> dict:
+    """Measured ns/number of the fused walk hot loop on a real backend.
+
+    Runs the same fused :meth:`~repro.core.parallel.ParallelExpanderPRNG
+    .generate_into` loop the production paths use, on ``lanes`` walkers
+    for ``rounds`` rounds, and returns the best of ``repeats`` timings.
+    This is the empirical counterpart of the simulator's calibrated
+    ``generate_ns``: the simulator predicts the paper's testbed, this
+    measures *this* host/device, and
+    :func:`backend_calibration_report` puts the two side by side.
+    """
+    from repro.backend import get_backend
+    from repro.bitsource.glibc import GlibcRandom
+    from repro.core.parallel import ParallelExpanderPRNG
+
+    be = get_backend(backend)
+    import numpy as np
+
+    prng = ParallelExpanderPRNG(
+        num_threads=lanes,
+        bit_source=GlibcRandom(12345, blocked=True),
+        policy="mod",
+        fused=True,
+        backend=be,
+    )
+    out = np.empty(lanes * rounds, dtype=np.uint64)
+    best = float("inf")
+    for _ in range(repeats):
+        # No rewind: position along the stream is irrelevant to cost,
+        # and chained feeds only seek forward anyway.
+        start = time.perf_counter()
+        prng.generate_into(out)
+        if hasattr(be, "synchronize"):
+            be.synchronize()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    numbers = lanes * rounds
+    return {
+        "backend": be.name,
+        "lanes": lanes,
+        "rounds": rounds,
+        "numbers": numbers,
+        "ns_per_number": best * 1e9 / numbers,
+        "gnumbers_per_s": numbers / best / 1e9,
+    }
+
+
+def backend_calibration_report(
+    backend=None,
+    costs: Optional[PipelineCosts] = None,
+    lanes: int = 4096,
+    rounds: int = 32,
+) -> dict:
+    """Measured backend throughput vs the simulator's calibrated cost.
+
+    Returns the :func:`measure_backend_throughput` record augmented
+    with the simulator's predicted per-number GENERATE cost at the same
+    resident-thread count and the measured/predicted ratio --
+    ``ratio > 1`` means this backend is *slower* than the calibrated
+    paper GPU, ``< 1`` faster.  This makes the paper's "2x faster than
+    GPU Mersenne Twister" claim directly testable on real hardware:
+    measure on a device backend and compare against
+    :class:`BaselineCosts`.
+    """
+    costs = costs or PipelineCosts()
+    measured = measure_backend_throughput(
+        backend, lanes=lanes, rounds=rounds
+    )
+    predicted = costs.generate_ns_effective(lanes)
+    measured["predicted_generate_ns"] = predicted
+    measured["measured_over_predicted"] = (
+        measured["ns_per_number"] / predicted
+    )
+    mt_ns = BaselineCosts().mersenne_twister_ns
+    measured["speedup_vs_sim_mt"] = mt_ns / measured["ns_per_number"]
+    return measured

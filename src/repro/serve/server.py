@@ -115,6 +115,17 @@ class ServeConfig:
     journal_path: Optional[str] = None
     #: ``fsync`` the journal on every append (durability vs. latency).
     journal_fsync: bool = True
+    #: Array backend for the hot kernels (:mod:`repro.backend`):
+    #: ``None`` resolves to the process default (usually ``"numpy"``).
+    #: Plumbed into both the in-process session banks and the engine
+    #: worker config; served bytes are backend-independent for any
+    #: bit-correct backend.
+    backend: Optional[str] = None
+    #: Byte budget for the engine-span response cache
+    #: (:class:`repro.serve.batching.ResponseCache`); ``0`` disables
+    #: it.  Only the engine path caches -- hits skip whole engine
+    #: round-trips and are byte-identical by stream purity.
+    cache_bytes: int = 8 << 20
 
 
 @dataclass
@@ -143,6 +154,7 @@ class RNGServer:
             max_batch=self.config.max_batch,
             window_s=self.config.batch_window_s,
             workers=self.config.workers,
+            cache_bytes=self.config.cache_bytes,
         )
         self.engine = None
         if self.config.engine_shards > 0:
@@ -155,6 +167,7 @@ class RNGServer:
                 supervised=self.config.failover,
                 source_factory=self.config.source_factory,
                 auto_restart=self.config.engine_auto_restart,
+                backend=self.config.backend,
             ))
         self.sessions: Dict[str, _ServedSession] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -261,6 +274,7 @@ class RNGServer:
                     retry_policy=self.config.retry_policy,
                     sentinel=sentinel,
                     readahead_max=self.config.readahead_max,
+                    backend=self.config.backend,
                 )
             served = _ServedSession(
                 stream=stream,

@@ -1,0 +1,310 @@
+"""The pluggable array-backend layer.
+
+Pins the registry contract (resolution order, cached unavailability,
+default pinning), the numpy backend's zero-overhead identity semantics,
+the non-uniform-op semantics every backend must honour (logical shifts,
+unsigned compares, bit-preserving pack), the kernel purity lint, and
+the gpusim calibration bridge.  Device-parity tests run on every
+*available* registered backend and skip cleanly where the library or
+hardware is absent -- the CI backend matrix turns them on where it can.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import backend as backend_pkg
+from repro.backend import (
+    Backend,
+    BackendUnavailableError,
+    NumPyBackend,
+    available_backends,
+    backend_names,
+    backend_of,
+    get_backend,
+    host_np,
+    register_backend,
+    set_default_backend,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _available(name):
+    return available_backends().get(name, False)
+
+
+def backend_params():
+    """Every registered backend, unavailable ones as clean skips."""
+    return [
+        pytest.param(name, marks=() if _available(name) else pytest.mark.skip(
+            reason=f"backend {name!r} not available here"))
+        for name in backend_names()
+    ]
+
+
+class TestRegistry:
+    def test_numpy_is_default_and_always_available(self):
+        be = get_backend()
+        assert be.name == "numpy"
+        assert be.is_host
+        assert be.xp is np
+        assert available_backends()["numpy"] is True
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendUnavailableError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_backend_instance_passes_through(self):
+        be = get_backend("numpy")
+        assert get_backend(be) is be
+
+    def test_set_default_backend(self):
+        try:
+            set_default_backend("numpy")
+            assert get_backend().name == "numpy"
+            with pytest.raises(BackendUnavailableError):
+                set_default_backend("no-such-backend")
+            assert get_backend().name == "numpy", "bad set must not stick"
+        finally:
+            set_default_backend(None)
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert get_backend().name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+        with pytest.raises(BackendUnavailableError):
+            get_backend()
+
+    def test_unavailable_failure_is_cached(self):
+        calls = []
+
+        def flaky_factory():
+            calls.append(1)
+            raise BackendUnavailableError("nope")
+
+        register_backend("_test_flaky", flaky_factory)
+        try:
+            for _ in range(3):
+                with pytest.raises(BackendUnavailableError):
+                    get_backend("_test_flaky")
+            assert len(calls) == 1, "probe must run once, then cache"
+        finally:
+            backend_pkg._factories.pop("_test_flaky", None)
+            backend_pkg._failures.pop("_test_flaky", None)
+
+    def test_host_np_is_numpy(self):
+        assert host_np is np
+
+    def test_backend_of(self):
+        arr = np.arange(4, dtype=np.uint64)
+        assert backend_of(arr).name == "numpy"
+        with pytest.raises(TypeError):
+            backend_of(object())
+
+
+class TestNumPyBackend:
+    def test_transfers_are_identity(self):
+        be = get_backend("numpy")
+        arr = np.arange(8, dtype=np.uint64)
+        assert be.from_host(arr) is arr
+        assert be.to_host(arr) is arr
+        assert be.constant(arr) is arr
+
+    def test_pack_pairs_to_host(self):
+        be = get_backend("numpy")
+        x = np.array([1, 0xFFFFFFFF], dtype=np.uint32)
+        y = np.array([2, 0xDEADBEEF], dtype=np.uint32)
+        got = be.pack_pairs_to_host(x, y)
+        assert got.dtype == np.uint64
+        np.testing.assert_array_equal(
+            got, np.array([(1 << 32) | 2, (0xFFFFFFFF << 32) | 0xDEADBEEF],
+                          dtype=np.uint64)
+        )
+
+    def test_rshift_and_ge_are_unsigned(self):
+        be = get_backend("numpy")
+        top = np.array([1 << 63, (1 << 64) - 1, 0], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            be.rshift_u64(top, 63), np.array([1, 1, 0], dtype=np.uint64)
+        )
+        np.testing.assert_array_equal(
+            be.ge_u64(top, 1 << 63), np.array([True, True, False])
+        )
+
+    def test_swap_rows(self):
+        be = get_backend("numpy")
+        a2 = np.array([[1, 2], [3, 4]], dtype=np.uint32)
+        np.testing.assert_array_equal(
+            be.swap_rows(a2), np.array([[3, 4], [1, 2]], dtype=np.uint32)
+        )
+
+    def test_ndtri_matches_scipy(self):
+        scipy_special = pytest.importorskip("scipy.special")
+        be = get_backend("numpy")
+        u = np.array([0.1, 0.5, 0.975])
+        np.testing.assert_allclose(be.ndtri(u), scipy_special.ndtri(u))
+
+
+class TestConstantMemo:
+    def test_memoized_by_object_identity(self):
+        class Probe(NumPyBackend):
+            name = "_probe"
+            uploads = 0
+
+            def from_host(self, arr):
+                Probe.uploads += 1
+                return arr
+
+            def constant(self, host_arr):  # restore base memoization
+                return Backend.constant(self, host_arr)
+
+        be = Probe()
+        table = np.arange(16, dtype=np.float64)
+        assert be.constant(table) is be.constant(table)
+        assert Probe.uploads == 1
+        other = np.arange(16, dtype=np.float64)
+        be.constant(other)
+        assert Probe.uploads == 2, "distinct objects upload separately"
+
+
+@pytest.mark.parametrize("name", backend_params())
+class TestBackendParity:
+    """Semantics every available backend must share with numpy."""
+
+    def test_roundtrip_bits(self, name):
+        be = get_backend(name)
+        words = np.array([0, 1, (1 << 64) - 1, 0x8000000000000000,
+                          0x0123456789ABCDEF], dtype=np.uint64)
+        back = be.to_host(be.from_host(words))
+        np.testing.assert_array_equal(back, words)
+        u32 = np.array([0, 1, 0xFFFFFFFF, 0x80000000], dtype=np.uint32)
+        np.testing.assert_array_equal(be.to_host(be.from_host(u32)), u32)
+
+    def test_rshift_u64_is_logical(self, name):
+        be = get_backend(name)
+        words = np.array([(1 << 64) - 1, 1 << 63, 12345], dtype=np.uint64)
+        dev = be.from_host(words)
+        for k in (0, 1, 11, 32, 63):
+            got = be.to_host(be.rshift_u64(dev, k))
+            np.testing.assert_array_equal(
+                got.astype(np.uint64), words >> np.uint64(k)
+            )
+
+    def test_ge_u64_is_unsigned(self, name):
+        be = get_backend(name)
+        words = np.array([0, 1, 1 << 63, (1 << 64) - 1, 77],
+                         dtype=np.uint64)
+        dev = be.from_host(words)
+        for k in (0, 1, 77, 1 << 63, (1 << 64) - 1):
+            got = np.asarray(be.to_host(be.ge_u64(dev, k))).astype(bool)
+            np.testing.assert_array_equal(got, words >= np.uint64(k))
+
+    def test_pack_pairs_to_host(self, name):
+        be = get_backend(name)
+        x = np.array([0, 1, 0xFFFFFFFF, 0xDEAD], dtype=np.uint32)
+        y = np.array([5, 0xFFFFFFFF, 0, 0xBEEF], dtype=np.uint32)
+        got = be.pack_pairs_to_host(be.from_host(x), be.from_host(y))
+        want = (x.astype(np.uint64) << np.uint64(32)) | y
+        assert isinstance(got, np.ndarray) and got.dtype == np.uint64
+        np.testing.assert_array_equal(got, want)
+
+    def test_walk_stream_bit_identical(self, name):
+        """The whole fused hot path on this backend vs the numpy
+        golden path -- the tentpole's core invariant."""
+        from repro.bitsource.glibc import GlibcRandom
+        from repro.core.parallel import ParallelExpanderPRNG
+
+        def run(backend):
+            return ParallelExpanderPRNG(
+                num_threads=64,
+                bit_source=GlibcRandom(7, blocked=True),
+                policy="mod", fused=True, backend=backend,
+            ).generate(1024)
+
+        np.testing.assert_array_equal(run(name), run("numpy"))
+
+
+class TestTransferSpans:
+    def test_device_transfers_traced(self):
+        """Non-host transfers must hit the obs TRANSFER span; pinned
+        against a stub so it holds even with no device library."""
+        from repro.backend.base import _DeviceBackend
+        from repro import obs
+
+        class Loopback(_DeviceBackend):
+            name = "_loopback"
+            xp = np
+
+            def _upload(self, arr):
+                return arr.copy()
+
+            def _download(self, arr):
+                return arr.copy()
+
+        be = Loopback()
+        with obs.observed() as (_registry, tracer):
+            be.to_host(be.from_host(np.arange(4, dtype=np.uint64)))
+        names = [s.name for s in tracer.spans]
+        assert names.count("transfer") == 2
+        dirs = sorted(
+            s.attrs["direction"] for s in tracer.spans
+            if s.name == "transfer"
+        )
+        assert dirs == ["d2h", "h2d"]
+
+
+class TestBackendLint:
+    def test_kernel_modules_are_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_backend.py")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_lint_catches_direct_import(self, tmp_path, monkeypatch):
+        bad = tmp_path / "src" / "repro" / "core"
+        bad.mkdir(parents=True)
+        (bad / "walk.py").write_text("import numpy as np\n")
+        (tmp_path / "src" / "repro" / "dist").mkdir()
+        (tmp_path / "src" / "repro" / "dist" / "transforms.py").write_text(
+            "from numpy.linalg import svd\n"
+        )
+        (bad / "generator.py").write_text(
+            "from repro.backend import host_np as np\n"
+        )
+        tools = tmp_path / "tools"
+        tools.mkdir()
+        tools.joinpath("lint_backend.py").write_text(
+            (REPO / "tools" / "lint_backend.py").read_text()
+        )
+        proc = subprocess.run(
+            [sys.executable, str(tools / "lint_backend.py")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "core/walk.py:1" in proc.stdout
+        assert "dist/transforms.py:1" in proc.stdout
+        assert "generator.py" not in proc.stdout
+
+
+class TestCalibrationBridge:
+    def test_backend_calibration_report(self):
+        from repro.gpusim.calibration import backend_calibration_report
+
+        rep = backend_calibration_report(lanes=128, rounds=4)
+        assert rep["backend"] == "numpy"
+        assert rep["numbers"] == 128 * 4
+        assert rep["ns_per_number"] > 0
+        assert rep["predicted_generate_ns"] > 0
+        assert rep["measured_over_predicted"] == pytest.approx(
+            rep["ns_per_number"] / rep["predicted_generate_ns"]
+        )
+        assert rep["speedup_vs_sim_mt"] > 0

@@ -115,26 +115,48 @@ class TestCarry:
             ds.normal(1, method="polar")
 
 
+def _backend_params():
+    from repro.backend import available_backends, backend_names
+
+    avail = available_backends()
+    return [
+        pytest.param(
+            name,
+            marks=() if avail.get(name) else pytest.mark.skip(
+                reason=f"backend {name!r} not available here"
+            ),
+        )
+        for name in backend_names()
+    ]
+
+
+@pytest.mark.parametrize("backend", _backend_params())
 class TestKernelVariantByteIdentity:
     """blocked/scalar feed x fused/unfused walk: same words, same
-    variates, bit for bit."""
+    variates, bit for bit -- on every available array backend.
 
-    @pytest.fixture(scope="class")
-    def variant_streams(self):
+    Variants are compared *within* one backend: the word stream is
+    backend-invariant by the golden suite, and this class pins that the
+    four kernel variants agree with each other wherever they run.
+    """
+
+    @pytest.fixture
+    def variant_streams(self, backend):
         def make(blocked, fused):
             return DistStream(ParallelExpanderPRNG(
                 num_threads=16,
                 bit_source=GlibcRandom(99, blocked=blocked),
                 fused=fused,
+                backend=backend,
             ))
         return [make(b, f) for b in (True, False) for f in (True, False)]
 
-    def test_normal_identical(self, variant_streams):
+    def test_normal_identical(self, variant_streams, backend):
         outs = [ds.normal(513) for ds in variant_streams]
         for other in outs[1:]:
             np.testing.assert_array_equal(_bits(outs[0]), _bits(other))
 
-    def test_integers_identical(self, variant_streams):
+    def test_integers_identical(self, variant_streams, backend):
         outs = [ds.integers(257, -50, 1000) for ds in variant_streams]
         for other in outs[1:]:
             np.testing.assert_array_equal(outs[0], other)

@@ -197,6 +197,56 @@ class TestFailure:
         )
 
 
+class TestRingBursts:
+    """Burst framing is transport-only: values, restarts and geometry
+    must be invariant in ``ring_burst``."""
+
+    def test_effective_burst_geometry(self):
+        from repro.engine.sharded import MAX_ROUND_WORDS, _effective_burst
+
+        assert _effective_burst(
+            EngineConfig(seed=1, shards=1, lanes=8, ring_burst=8)
+        ) == 8
+        # Huge lanes: capped so one burst still fits a worker message.
+        big = EngineConfig(
+            seed=1, shards=1, lanes=MAX_ROUND_WORDS // 2, ring_burst=8
+        )
+        assert _effective_burst(big) == 2
+        # Never below one round per slot.
+        giant = EngineConfig(
+            seed=1, shards=1, lanes=MAX_ROUND_WORDS, ring_burst=8
+        )
+        assert _effective_burst(giant) == 1
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(seed=1, shards=1, lanes=8, ring_burst=0)
+
+    @pytest.mark.parametrize("burst", [1, 3, 8])
+    def test_bulk_stream_invariant_in_burst(self, burst):
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=2,
+                           ring_burst=burst)
+        ref = serial_reference(cfg, 200)
+        with ShardedEngine(cfg) as eng:
+            assert eng.describe()["ring_burst"] == burst
+            np.testing.assert_array_equal(eng.generate(200), ref)
+
+    def test_restart_mid_burst_is_deterministic(self):
+        """Kill a shard part-way through consuming a burst: the revived
+        worker must resume at the next *round*, not the next burst."""
+        cfg = EngineConfig(seed=3, shards=2, lanes=8, ring_slots=2,
+                           ring_burst=4, fetch_timeout_s=3.0,
+                           auto_restart=True)
+        ref = serial_reference(cfg, 400)
+        with ShardedEngine(cfg) as eng:
+            # 88 words = 5.5 rounds/shard: shard cursors stop mid-burst.
+            head = eng.generate(88)
+            kill_shard(eng, 1)
+            tail = eng.generate(312)
+            assert eng.restarts >= 1
+        np.testing.assert_array_equal(np.concatenate([head, tail]), ref)
+
+
 class TestIntrospection:
     def test_ping(self):
         with ShardedEngine(CONFIG) as eng:

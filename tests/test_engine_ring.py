@@ -69,6 +69,68 @@ class TestRoundTrip:
             w.close()
 
 
+class TestBurstGeometry:
+    """rounds_per_slot packs whole bursts behind one semaphore pair."""
+
+    def test_slot_is_one_whole_burst(self):
+        r = SharedRing(slots=2, record_size=4, rounds_per_slot=3)
+        try:
+            w = r.handle().attach()
+            try:
+                assert w.rounds_per_slot == 3
+                slot = w.try_reserve()
+                assert slot.shape == (12,)  # 3 rounds x 4 words
+                slot[:] = np.arange(12, dtype=np.uint64)
+                w.commit()
+                view = r.peek(timeout=1.0)
+                np.testing.assert_array_equal(
+                    view, np.arange(12, dtype=np.uint64)
+                )
+                # One commit, one consume for the whole burst: the
+                # reader slices rounds out of the view itself.
+                r.consume()
+                assert r.peek(timeout=0.05) is None
+            finally:
+                w.close()
+        finally:
+            r.close()
+
+    def test_burst_amortizes_semaphores(self):
+        """N rounds in one burst cost ONE free/filled cycle, so a
+        2-slot ring holds 2 bursts = 2N rounds before backpressure."""
+        r = SharedRing(slots=2, record_size=2, rounds_per_slot=4)
+        try:
+            w = r.handle().attach()
+            try:
+                for fill in (1, 2):  # two bursts of four rounds
+                    w.try_reserve()[:] = fill
+                    w.commit()
+                assert w.try_reserve() is None  # full after 2 commits
+                assert r.peek(timeout=1.0)[0] == np.uint64(1)
+            finally:
+                w.close()
+        finally:
+            r.close()
+
+    def test_legacy_handle_defaults_to_one_round(self):
+        """A pre-burst RingHandle (no rounds_per_slot attr) attaches as
+        rounds_per_slot=1 -- the writer must not assume the field."""
+        from repro.engine.ring import RingHandle
+
+        r = SharedRing(slots=2, record_size=4)
+        try:
+            h = r.handle()
+            del h.rounds_per_slot
+            w = h.attach()
+            try:
+                assert w.rounds_per_slot == 1
+                assert w.try_reserve().shape == (4,)
+            finally:
+                w.close()
+        finally:
+            r.close()
+
+
 class TestBackpressure:
     def test_writer_stalls_when_full(self, ring):
         w = ring.handle().attach()
@@ -110,6 +172,10 @@ class TestMisuse:
     def test_consume_without_peek_rejected(self, ring):
         with pytest.raises(RuntimeError, match="without a successful peek"):
             ring.consume()
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRing(slots=2, record_size=4, rounds_per_slot=0)
 
     def test_invalid_geometry_rejected(self):
         with pytest.raises(ValueError):

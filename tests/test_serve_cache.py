@@ -1,0 +1,145 @@
+"""The serve-response cache: LRU mechanics and stream-exactness.
+
+The cache keys engine span fetches by their full stream coordinates
+``(engine, seed, lanes, offset, count)``, so a hit is byte-identical to
+the fetch it replaces *by construction* -- these tests pin that down
+empirically (cached vs uncached served bytes), plus the mechanics that
+make it safe: copy-on-put/copy-on-get (the wire path byteswaps served
+buffers in place), byte-bounded LRU eviction, and the hit/miss
+counters the dashboards read.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import EngineConfig, ShardedEngine
+from repro.serve.batching import BatchingExecutor, BatchRequest, ResponseCache
+from repro.serve.session import SessionStream
+
+SEED = 4242
+
+
+def _words(n, fill):
+    return np.full(n, fill, dtype=np.uint64)
+
+
+class TestResponseCacheUnit:
+    def test_get_miss_then_hit(self):
+        cache = ResponseCache(1 << 16)
+        key = (1, 2, 3, 0, 8)
+        assert cache.get(key) is None
+        cache.put(key, _words(8, 7))
+        got = cache.get(key)
+        np.testing.assert_array_equal(got, _words(8, 7))
+
+    def test_copy_on_put_and_get(self):
+        """Neither the stored buffer nor a returned one may share
+        memory: the framing path byteswaps served arrays in place."""
+        cache = ResponseCache(1 << 16)
+        key = ("k",)
+        src = _words(4, 1)
+        cache.put(key, src)
+        src[:] = 99  # caller mutates after put
+        first = cache.get(key)
+        np.testing.assert_array_equal(first, _words(4, 1))
+        first[:] = 55  # consumer mutates a hit (byteswap)
+        second = cache.get(key)
+        np.testing.assert_array_equal(second, _words(4, 1))
+
+    def test_lru_eviction_by_bytes(self):
+        cache = ResponseCache(3 * 8 * 8)  # room for three 8-word entries
+        for i in range(3):
+            cache.put(("k", i), _words(8, i))
+        assert cache.stats["entries"] == 3
+        cache.get(("k", 0))  # refresh 0: now 1 is least-recent
+        cache.put(("k", 3), _words(8, 3))
+        assert cache.get(("k", 1)) is None, "LRU entry should be evicted"
+        assert cache.get(("k", 0)) is not None
+        assert cache.get(("k", 3)) is not None
+
+    def test_oversized_entry_not_cached(self):
+        cache = ResponseCache(8 * 4)
+        cache.put(("big",), _words(100, 1))
+        assert cache.stats == {"entries": 0, "bytes": 0}
+        assert cache.get(("big",)) is None
+
+    def test_replacing_a_key_adjusts_bytes(self):
+        cache = ResponseCache(1 << 16)
+        cache.put(("k",), _words(8, 1))
+        cache.put(("k",), _words(4, 2))
+        assert cache.stats == {"entries": 1, "bytes": 4 * 8}
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            ResponseCache(0)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with ShardedEngine(EngineConfig(
+        seed=SEED, shards=1, lanes=8, ring_slots=0,
+    )) as eng:
+        yield eng
+
+
+def _prefill_once(executor, engine, session_id, count):
+    """Run the planner exactly as a worker batch would for one session."""
+    s = SessionStream(
+        session_id, master_seed=SEED, lanes=8, engine=engine,
+        readahead_max=1 << 14,
+    )
+    batch = [BatchRequest(session=s, count=count)]
+    with s.lock:
+        executor._prefill(batch, [s])
+        values = s.generate_locked(count)
+    return values
+
+
+class TestPrefillCaching:
+    def test_hit_skips_engine_and_is_byte_identical(self, engine):
+        """A replayed session must come out of the cache byte-equal to
+        the engine fetch it replaces, with exactly one engine call
+        between the two runs and hit/miss counters telling the story."""
+        with obs.observed() as (registry, _tracer):
+            ex = BatchingExecutor(cache_bytes=1 << 20)
+            calls = []
+            real = engine.fetch_spans
+
+            def counting(spans):
+                calls.append(list(spans))
+                return real(spans)
+
+            engine.fetch_spans = counting
+            try:
+                first = _prefill_once(ex, engine, "replay", 200)
+                second = _prefill_once(ex, engine, "replay", 200)
+            finally:
+                engine.fetch_spans = real
+            np.testing.assert_array_equal(first, second)
+            assert len(calls) == 1, "second run should be a pure hit"
+            assert registry.counter(
+                "repro_serve_cache_hits_total"
+            ).value == 1
+            assert registry.counter(
+                "repro_serve_cache_misses_total"
+            ).value == 1
+        # And the bytes are the true stream: compare against the
+        # in-process reference for the same session coordinates.
+        ref = SessionStream("replay", master_seed=SEED, lanes=8)
+        np.testing.assert_array_equal(first, ref.generate(200))
+
+    def test_cached_vs_uncached_bytes_identical(self, engine):
+        """The acceptance check: the same session history served with
+        the cache on and off must produce identical bytes."""
+        on = _prefill_once(
+            BatchingExecutor(cache_bytes=1 << 20), engine, "onoff", 300
+        )
+        off = _prefill_once(
+            BatchingExecutor(cache_bytes=0), engine, "onoff", 300
+        )
+        np.testing.assert_array_equal(on, off)
+
+    def test_cache_disabled_by_default(self):
+        assert BatchingExecutor()._cache is None
+        assert BatchingExecutor(cache_bytes=4096)._cache is not None

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Backend purity lint: kernel modules must not import numpy directly.
+
+The hot kernels are required to run unchanged on any registered array
+backend (see ``repro.backend``).  The one structural rule that keeps
+them portable is *no direct numpy/scipy imports*: host-side array use
+goes through the pinned ``repro.backend.host_np`` re-export, device
+work through ``Backend.xp``.  This script AST-walks the kernel modules
+and fails (exit 1) on any ``import numpy``/``from numpy import ...``
+(or scipy), including aliased and submodule forms.
+
+Run from the repo root::
+
+    python tools/lint_backend.py
+
+CI runs it in the lint step; add new kernel modules to
+``KERNEL_MODULES`` when they join the backend-portable surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules whose array work must route through ``repro.backend``.
+KERNEL_MODULES = (
+    "src/repro/core/walk.py",
+    "src/repro/core/generator.py",
+    "src/repro/dist/transforms.py",
+)
+
+#: Import roots forbidden inside kernel modules.
+FORBIDDEN_ROOTS = ("numpy", "scipy")
+
+
+def _violations(path: Path) -> list:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_ROOTS:
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if node.level == 0 and root in FORBIDDEN_ROOTS:
+                names = ", ".join(a.name for a in node.names)
+                bad.append(
+                    (node.lineno, f"from {node.module} import {names}")
+                )
+    return bad
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    failed = False
+    for rel in KERNEL_MODULES:
+        path = repo / rel
+        if not path.exists():
+            print(f"lint_backend: missing kernel module {rel}")
+            failed = True
+            continue
+        for lineno, stmt in _violations(path):
+            print(
+                f"{rel}:{lineno}: forbidden direct import ({stmt}); "
+                f"use 'from repro.backend import host_np as np' or "
+                f"the backend's .xp namespace"
+            )
+            failed = True
+    if failed:
+        return 1
+    print(
+        f"lint_backend: OK ({len(KERNEL_MODULES)} kernel modules "
+        f"backend-clean)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
